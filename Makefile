@@ -1,0 +1,23 @@
+# Development targets for the repro package.
+
+.PHONY: install test bench examples all
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only -s
+
+examples:
+	python examples/quickstart.py
+	python examples/ecommerce_configuration.py
+	python examples/availability_planning.py
+	python examples/capacity_planning.py
+	python examples/simulation_validation.py
+	python examples/dynamic_reconfiguration.py
+	python examples/worklist_management.py
+
+all: test bench

@@ -1,0 +1,143 @@
+"""E11 — transient analysis (extension experiment).
+
+The paper works with the mean turnaround time (§4) and the steady-state
+availability (§5).  Uniformization-based transient analysis extends
+both: the turnaround-time *distribution* of the EP workflow (percentile
+responsiveness statements), and the time-dependent unavailability after
+deployment and after an outage, including finite-horizon expected
+downtime.
+
+Shape claims: the EP turnaround distribution is right-skewed (median <
+mean < 95th percentile); transient unavailability ramps up from 0 to the
+steady state on the scale of the failure inter-arrival times; recovery
+from a full outage happens on the scale of the repair times.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import configuration, emit
+from repro.core.availability import AvailabilityModel
+from repro.core.model_types import ServerTypeIndex, ServerTypeSpec
+from repro.core.workflow_model import build_workflow_ctmc
+from repro.workflows import ecommerce_workflow, standard_server_types
+
+
+@pytest.fixture(scope="module")
+def ep_model():
+    return build_workflow_ctmc(ecommerce_workflow(), standard_server_types())
+
+
+def test_e11_turnaround_distribution(ep_model, benchmark):
+    quantiles = (0.5, 0.8, 0.9, 0.95, 0.99)
+
+    def compute():
+        return [ep_model.turnaround_quantile(q) for q in quantiles]
+
+    values = benchmark.pedantic(compute, rounds=1, iterations=1)
+    mean = ep_model.turnaround_time()
+    lines = [f"mean turnaround: {mean:.2f} minutes"]
+    for q, value in zip(quantiles, values):
+        lines.append(f"P{int(q * 100):02d} = {value:10.2f} minutes")
+    emit("E11a: EP turnaround-time distribution", lines)
+
+    # Right-skewed: median below the mean, long upper tail.
+    assert values[0] < mean
+    assert values[-1] > 2.0 * values[0]
+    assert all(a < b for a, b in zip(values, values[1:]))
+
+
+def test_e11_turnaround_cdf_consistency(ep_model, benchmark):
+    mean = ep_model.turnaround_time()
+    times = np.array([0.5 * mean, mean, 2.0 * mean, 4.0 * mean])
+    cdf = benchmark(lambda: ep_model.chain.turnaround_cdf(times))
+    lines = [
+        f"P(T <= {t:8.2f}) = {value:.4f}"
+        for t, value in zip(times, cdf)
+    ]
+    emit("E11b: EP turnaround CDF at multiples of the mean", lines)
+    assert np.all(np.diff(cdf) > 0.0)
+    assert cdf[-1] > 0.95
+
+
+def _accelerated_model():
+    """Failure rates sped up so the transient window is visible."""
+    types = ServerTypeIndex(
+        [
+            ServerTypeSpec("comm", 1.0, failure_rate=1 / 432.0,
+                           repair_rate=0.1),
+            ServerTypeSpec("engine", 1.0, failure_rate=1 / 100.8,
+                           repair_rate=0.1),
+            ServerTypeSpec("app", 1.0, failure_rate=1 / 14.4,
+                           repair_rate=0.1),
+        ]
+    )
+    return types, AvailabilityModel(
+        types, configuration(types, (2, 2, 2))
+    )
+
+
+def test_e11_availability_rampup(benchmark):
+    _, model = _accelerated_model()
+    times = [1.0, 5.0, 20.0, 80.0, 320.0]
+
+    def compute():
+        return [model.transient_unavailability(t) for t in times]
+
+    values = benchmark.pedantic(compute, rounds=1, iterations=1)
+    steady = model.unavailability("joint")
+    lines = [
+        f"U(t={t:6.1f}) = {value:.6e}"
+        for t, value in zip(times, values)
+    ]
+    lines.append(f"steady state: {steady:.6e}")
+    emit("E11c: unavailability ramp-up after deployment", lines)
+
+    assert values[0] < steady
+    assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+    assert values[-1] == pytest.approx(steady, rel=0.01)
+
+
+def test_e11_recovery_after_outage(benchmark):
+    _, model = _accelerated_model()
+    outage = (2, 2, 0)  # all application servers down
+
+    def compute():
+        return [
+            model.transient_unavailability(t, outage)
+            for t in (0.0, 5.0, 10.0, 30.0, 120.0)
+        ]
+
+    values = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = [
+        f"U(t={t:6.1f} | app outage) = {value:.6f}"
+        for t, value in zip((0.0, 5.0, 10.0, 30.0, 120.0), values)
+    ]
+    emit("E11d: recovery from a full app-server outage", lines)
+    # Starts fully down; with 10-minute mean repairs the system is very
+    # likely back within a few repair times.
+    assert values[0] == pytest.approx(1.0)
+    assert values[2] < 0.5
+    assert values[-1] == pytest.approx(
+        model.unavailability("joint"), rel=0.05
+    )
+
+
+def test_e11_expected_downtime_horizon(benchmark):
+    _, model = _accelerated_model()
+    horizon = 1000.0
+    downtime = benchmark.pedantic(
+        lambda: model.expected_downtime(horizon, grid_points=48),
+        rounds=1, iterations=1,
+    )
+    steady_estimate = model.unavailability() * horizon
+    emit(
+        "E11e: expected downtime over a finite horizon",
+        [
+            f"integrated over [0, {horizon:g}]: {downtime:.3f} minutes",
+            f"steady-state x horizon:          {steady_estimate:.3f} minutes",
+        ],
+    )
+    # Slightly below the steady-state product (the system starts up).
+    assert downtime < steady_estimate
+    assert downtime == pytest.approx(steady_estimate, rel=0.1)

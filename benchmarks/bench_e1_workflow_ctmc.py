@@ -1,0 +1,60 @@
+"""E1 — Figures 3 and 4: the EP state chart and its CTMC translation.
+
+Regenerates the structure the paper illustrates: the top-level EP state
+chart with seven execution states, its translation into an
+eight-state absorbing CTMC (Figure 4), and the per-state visit
+frequencies the Section 4 analysis starts from.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.workflow_model import build_workflow_ctmc
+from repro.workflows import ecommerce_workflow, standard_server_types
+
+
+@pytest.fixture(scope="module")
+def ep_model():
+    return build_workflow_ctmc(ecommerce_workflow(), standard_server_types())
+
+
+def test_e1_structure_matches_figure_4(ep_model, benchmark):
+    model = benchmark(
+        lambda: build_workflow_ctmc(
+            ecommerce_workflow(), standard_server_types()
+        )
+    )
+    # Figure 4: absorbing state + seven further states.
+    assert model.chain.num_states == 8
+    assert set(model.definition.state_names) == {
+        "NewOrder", "CreditCardCheck", "Shipment_S", "CreditCardPayment",
+        "InvoicePayment", "SendReminder", "EP_EXIT_S",
+    }
+
+    visits = model.expected_visits()
+    lines = ["state                 visits    residence  (minutes)"]
+    for i, name in enumerate(model.definition.state_names):
+        lines.append(
+            f"{name:20s} {visits[name]:8.4f} "
+            f"{model.chain.residence_times[i]:10.3f}"
+        )
+    lines.append(f"turnaround R_EP = {model.turnaround_time():.3f} minutes")
+    emit("E1: EP workflow CTMC (Figures 3 and 4)", lines)
+
+    # Shape claims: every instance runs NewOrder and the exit exactly
+    # once; the reminder loop inflates invoice visits above first entry.
+    assert visits["NewOrder"] == pytest.approx(1.0)
+    assert visits["EP_EXIT_S"] == pytest.approx(1.0)
+    first_entry = visits["Shipment_S"] - visits["CreditCardPayment"]
+    assert visits["InvoicePayment"] > first_entry
+
+
+def test_e1_chart_to_model_round_trip(benchmark):
+    definition = benchmark(ecommerce_workflow)
+    # The chart's seven top-level states survive the translation, and the
+    # parallel Notify/Delivery subworkflows are folded hierarchically.
+    shipment = definition.state("Shipment_S")
+    assert shipment.is_subworkflow_state
+    assert {child.name for child in shipment.subworkflows} == {
+        "Notify_SC", "Delivery_SC",
+    }

@@ -1,0 +1,74 @@
+"""E2 — Sections 4.1/4.2: turnaround time and per-instance load.
+
+Regenerates the first two stages of the performance model for the EP
+workflow: the mean turnaround time ``R_EP`` via the first-passage
+linear system (solved both directly and with the paper's Gauss-Seidel
+scheme) and the expected service requests ``r_{x,EP}`` per server type
+via the Markov reward model — computed with the paper's truncated
+uniformization series *and* the exact embedded-chain fundamental matrix,
+which must agree at the 99%-rule truncation within ~1% and converge as
+the confidence rises.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.workflow_model import build_workflow_ctmc
+from repro.workflows import ecommerce_workflow, standard_server_types
+
+
+@pytest.fixture(scope="module")
+def ep_model():
+    return build_workflow_ctmc(ecommerce_workflow(), standard_server_types())
+
+
+def test_e2_turnaround_time(ep_model, benchmark):
+    turnaround = benchmark(ep_model.turnaround_time)
+    gauss_seidel = ep_model.turnaround_time(method="gauss_seidel")
+    emit(
+        "E2a: EP turnaround time (Section 4.1)",
+        [
+            f"direct solve:       R_EP = {turnaround:.6f} minutes",
+            f"Gauss-Seidel solve: R_EP = {gauss_seidel:.6f} minutes",
+        ],
+    )
+    assert gauss_seidel == pytest.approx(turnaround, rel=1e-8)
+    # Sanity: turnaround exceeds the longest single path's dominant state.
+    assert turnaround > 56.0
+
+
+def test_e2_requests_per_instance_series_vs_exact(ep_model, benchmark):
+    types = standard_server_types()
+    exact = ep_model.requests_per_instance(method="fundamental")
+    series = benchmark(
+        lambda: ep_model.requests_per_instance(
+            method="series", confidence=0.99
+        )
+    )
+
+    lines = ["server type        exact r_x   series(99%)   rel.error"]
+    for i, name in enumerate(types.names):
+        error = abs(series[i] - exact[i]) / exact[i]
+        lines.append(
+            f"{name:18s} {exact[i]:9.4f} {series[i]:12.4f} {error:10.5f}"
+        )
+    emit("E2b: expected service requests r_{x,EP} (Section 4.2)", lines)
+
+    # The 99% truncation rule loses at most ~1% of the visits.
+    assert np.all(np.abs(series - exact) / exact < 0.02)
+    # Tightening the confidence closes the gap.
+    tight = ep_model.requests_per_instance(
+        method="series", confidence=0.99999
+    )
+    assert np.abs(tight - exact).max() < np.abs(series - exact).max()
+
+
+def test_e2_zmax_rule(ep_model, benchmark):
+    z99 = benchmark(lambda: ep_model.chain.z_max(0.99))
+    z9999 = ep_model.chain.z_max(0.9999)
+    emit(
+        "E2c: z_max truncation depths (Section 4.2.1)",
+        [f"z_max(99%)    = {z99}", f"z_max(99.99%) = {z9999}"],
+    )
+    assert z9999 > z99 > 0

@@ -1,0 +1,189 @@
+"""E7 — model validation against the simulated WFMS.
+
+The paper validates its models against measurements of real WFMS
+products ("these measurements are a first touchstone for the accuracy of
+our models"); our substitute testbed is the discrete-event WFMS.  For
+three configurations of the EP + order-processing mix, the analytic
+predictions (turnaround, utilization, waiting ranking, bottleneck,
+availability) are compared with simulation measurements.
+
+Expected agreement: turnaround and utilization quantitatively (the
+CTMC's assumptions hold exactly in the simulator); waiting times in
+shape (same ranking and bottleneck — the analytic M/G/1 under-predicts
+absolute waits because requests of one activity arrive clustered, a
+burstier-than-Poisson pattern the paper's model idealizes away).
+"""
+
+import pytest
+
+from benchmarks.conftest import configuration, emit
+from repro.core.availability import AvailabilityModel
+from repro.core.performance import PerformanceModel, Workload, WorkloadItem
+from repro.wfms import RoutingPolicy, SimulatedWFMS, SimulatedWorkflowType
+from repro.workflows import (
+    ecommerce_activities,
+    ecommerce_chart,
+    ecommerce_workflow,
+    order_processing_activities,
+    order_processing_chart,
+    order_processing_workflow,
+    standard_server_types,
+)
+
+EP_RATE = 0.4
+OP_RATE = 0.2
+CONFIGURATIONS = [(1, 2, 3), (2, 2, 4), (2, 3, 5)]
+SIM_DURATION = 12_000.0
+SIM_WARMUP = 1_000.0
+
+
+def simulate(counts, seed=101):
+    types = standard_server_types()
+    wfms = SimulatedWFMS(
+        server_types=types,
+        configuration=configuration(types, counts),
+        workflow_types=[
+            SimulatedWorkflowType(
+                ecommerce_chart(), ecommerce_activities(), EP_RATE
+            ),
+            SimulatedWorkflowType(
+                order_processing_chart(), order_processing_activities(),
+                OP_RATE,
+            ),
+        ],
+        seed=seed,
+        routing_policy=RoutingPolicy.ROUND_ROBIN,
+        inject_failures=False,
+    )
+    return wfms.run(duration=SIM_DURATION, warmup=SIM_WARMUP)
+
+
+@pytest.fixture(scope="module")
+def analytic():
+    types = standard_server_types()
+    workload = Workload(
+        [
+            WorkloadItem(ecommerce_workflow(), EP_RATE),
+            WorkloadItem(order_processing_workflow(), OP_RATE),
+        ]
+    )
+    return types, PerformanceModel(types, workload)
+
+
+def test_e7_turnaround_and_utilization(analytic, benchmark):
+    types, model = analytic
+    counts = CONFIGURATIONS[0]
+    report = benchmark.pedantic(
+        lambda: simulate(counts), rounds=1, iterations=1
+    )
+
+    lines = ["metric                         analytic    simulated"]
+    for workflow in ("EP", "OrderProcessing"):
+        predicted = model.turnaround_time(workflow)
+        measured = report.workflow_types[workflow].mean_turnaround_time
+        lines.append(
+            f"turnaround {workflow:18s} {predicted:10.3f} {measured:11.3f}"
+        )
+        assert measured == pytest.approx(predicted, rel=0.06)
+    utilizations = model.utilizations(configuration(types, counts))
+    for i, name in enumerate(types.names):
+        measured = report.server_types[name].utilization
+        lines.append(
+            f"utilization {name:17s} {utilizations[i]:10.4f} {measured:11.4f}"
+        )
+        assert measured == pytest.approx(utilizations[i], rel=0.12)
+    emit(f"E7a: analytic vs simulated, configuration {counts}", lines)
+
+
+def test_e7_waiting_time_shape(analytic, benchmark):
+    types, model = analytic
+
+    def run_all():
+        return {
+            counts: simulate(counts, seed=103)
+            for counts in CONFIGURATIONS
+        }
+
+    reports = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [
+        "config     type          analytic w   simulated w   ratio"
+    ]
+    for counts, report in reports.items():
+        predicted = model.waiting_times(configuration(types, counts))
+        for i, name in enumerate(types.names):
+            measured = report.server_types[name].mean_waiting_time
+            ratio = measured / predicted[i] if predicted[i] > 0 else 0.0
+            lines.append(
+                f"{str(counts):10s} {name:13s} {predicted[i]:10.5f}"
+                f" {measured:12.5f}   x{ratio:.2f}"
+            )
+    emit("E7b: waiting times, analytic vs simulated", lines)
+
+    for counts, report in reports.items():
+        predicted = model.waiting_times(configuration(types, counts))
+        # Shape: identical ranking of server types by waiting time.
+        predicted_ranking = sorted(
+            types.names, key=lambda n: predicted[types.position(n)]
+        )
+        measured_ranking = sorted(
+            types.names,
+            key=lambda n: report.server_types[n].mean_waiting_time,
+        )
+        assert predicted_ranking == measured_ranking
+        # Magnitude: within a small constant factor.
+        for i, name in enumerate(types.names):
+            measured = report.server_types[name].mean_waiting_time
+            assert 0.4 * predicted[i] <= measured <= 4.0 * predicted[i] + 1e-3
+
+    # Replication ordering: more replicas -> shorter measured waits.
+    small = reports[CONFIGURATIONS[0]]
+    large = reports[CONFIGURATIONS[-1]]
+    for name in types.names:
+        assert (
+            large.server_types[name].mean_waiting_time
+            <= small.server_types[name].mean_waiting_time + 1e-6
+        )
+
+
+def test_e7_availability_validation(benchmark):
+    """Accelerated failure rates so the simulation observes real outages."""
+    from repro.core.model_types import ServerTypeIndex, ServerTypeSpec
+
+    fast_types = ServerTypeIndex(
+        [
+            ServerTypeSpec("comm-server", 0.02, failure_rate=1 / 60.0,
+                           repair_rate=1 / 4.0),
+            ServerTypeSpec("wf-engine", 0.05, failure_rate=1 / 40.0,
+                           repair_rate=1 / 4.0),
+            ServerTypeSpec("app-server", 0.15, failure_rate=1 / 25.0,
+                           repair_rate=1 / 4.0),
+        ]
+    )
+    counts = (1, 2, 2)
+    wfms = SimulatedWFMS(
+        server_types=fast_types,
+        configuration=configuration(fast_types, counts),
+        workflow_types=[
+            SimulatedWorkflowType(
+                ecommerce_chart(), ecommerce_activities(), 0.05
+            )
+        ],
+        seed=107,
+    )
+    report = benchmark.pedantic(
+        lambda: wfms.run(duration=80_000.0, warmup=1_000.0),
+        rounds=1, iterations=1,
+    )
+    model = AvailabilityModel(fast_types, configuration(fast_types, counts))
+    predicted = model.unavailability()
+    measured = report.system_unavailability
+    emit(
+        "E7c: availability, analytic vs simulated (accelerated rates)",
+        [
+            f"predicted system unavailability: {predicted:.5e}",
+            f"measured  system unavailability: {measured:.5e}",
+            f"ratio: x{measured / predicted:.3f}",
+        ],
+    )
+    assert measured == pytest.approx(predicted, rel=0.35)

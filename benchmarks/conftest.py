@@ -1,0 +1,39 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark module regenerates one experiment from DESIGN.md
+(E1-E9), prints the paper-vs-measured rows, and asserts the *shape*
+claims (who wins, by roughly what factor, where crossovers fall).  Run
+with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.core.model_types import ServerTypeIndex
+from repro.core.performance import SystemConfiguration
+from repro.workflows import standard_server_types
+
+
+def emit(title: str, lines: list[str]) -> None:
+    """Print an experiment table to the real stdout (visible under -s)."""
+    out = sys.stdout
+    out.write(f"\n=== {title} ===\n")
+    for line in lines:
+        out.write(f"{line}\n")
+    out.flush()
+
+
+@pytest.fixture(scope="session")
+def paper_server_types() -> ServerTypeIndex:
+    """The Section 5.2 server landscape (minutes as the time unit)."""
+    return standard_server_types()
+
+
+def configuration(
+    types: ServerTypeIndex, counts: tuple[int, ...]
+) -> SystemConfiguration:
+    """Shorthand: a configuration vector in server-type index order."""
+    return SystemConfiguration(dict(zip(types.names, counts)))

@@ -1,0 +1,113 @@
+"""Capacity planning with the Section 4 performance model.
+
+How much workflow load can a configuration sustain, which server type
+saturates first, how do waiting times grow as the business grows, and
+what happens if server types are co-located on shared computers?
+
+Run:  python examples/capacity_planning.py
+"""
+
+import math
+
+from repro.core.performance import (
+    Computer,
+    PerformanceModel,
+    SystemConfiguration,
+    Workload,
+    WorkloadItem,
+)
+from repro.workflows import (
+    ecommerce_workflow,
+    insurance_workflow,
+    order_processing_workflow,
+    standard_server_types,
+)
+
+
+def build_model(scale: float = 1.0) -> PerformanceModel:
+    """The department's mix: e-commerce + orders + insurance claims."""
+    workload = Workload(
+        [
+            WorkloadItem(ecommerce_workflow(), 0.30 * scale),
+            WorkloadItem(order_processing_workflow(), 0.20 * scale),
+            WorkloadItem(insurance_workflow(), 0.05 * scale),
+        ]
+    )
+    return PerformanceModel(standard_server_types(), workload)
+
+
+def main() -> None:
+    types = standard_server_types()
+    model = build_model()
+    configuration = SystemConfiguration(
+        {"comm-server": 1, "wf-engine": 2, "app-server": 3}
+    )
+
+    # ------------------------------------------------------------------
+    # Current state: load, bottleneck, headroom.
+    # ------------------------------------------------------------------
+    print(model.assess(configuration).format_text())
+    print("\nConcurrent instances by type (Little's law):")
+    for name in ("EP", "OrderProcessing", "InsuranceClaim"):
+        print(f"  {name:20s} N_active = "
+              f"{model.active_instances(name):8.2f}")
+
+    # ------------------------------------------------------------------
+    # Growth: waiting time of the bottleneck as the business scales.
+    # ------------------------------------------------------------------
+    print("\nGrowth sweep (load scale -> bottleneck waiting time):")
+    for scale in (1.0, 1.5, 2.0, 2.5, 3.0):
+        scaled = build_model(scale)
+        waits = scaled.waiting_times(configuration)
+        worst = max(waits)
+        text = f"{worst:10.4f} min" if math.isfinite(worst) else "saturated"
+        report = scaled.max_sustainable_throughput(configuration)
+        print(f"  x{scale:3.1f}: worst waiting {text:>14s}   "
+              f"(headroom x{report.headroom:5.2f}, "
+              f"bottleneck {report.bottleneck})")
+
+    # ------------------------------------------------------------------
+    # Fixing the bottleneck: replicate the application server tier.
+    # ------------------------------------------------------------------
+    print("\nScaling out the app-server tier at double load:")
+    doubled = build_model(2.0)
+    for app_count in (3, 4, 5, 6, 8):
+        candidate = SystemConfiguration(
+            {"comm-server": 1, "wf-engine": 2, "app-server": app_count}
+        )
+        waits = doubled.waiting_times(candidate)
+        worst = max(waits)
+        text = f"{worst:10.4f}" if math.isfinite(worst) else "  saturated"
+        print(f"  app-server x{app_count}: worst waiting {text}")
+
+    # ------------------------------------------------------------------
+    # Consolidation what-if: fewer computers, shared among types
+    # (Section 4.4 generalized case).
+    # ------------------------------------------------------------------
+    print("\nConsolidation what-if (waiting time per type):")
+    layouts = {
+        "6 dedicated hosts": [
+            Computer("c1", ("comm-server",)),
+            Computer("c2", ("wf-engine",)),
+            Computer("c3", ("wf-engine",)),
+            Computer("c4", ("app-server",)),
+            Computer("c5", ("app-server",)),
+            Computer("c6", ("app-server",)),
+        ],
+        "4 shared hosts": [
+            Computer("c1", ("comm-server", "wf-engine")),
+            Computer("c2", ("wf-engine", "app-server")),
+            Computer("c3", ("app-server",)),
+            Computer("c4", ("app-server",)),
+        ],
+    }
+    for label, computers in layouts.items():
+        waits = model.waiting_times_colocated(computers)
+        cells = ", ".join(
+            f"{name}={value:.4f}" for name, value in waits.items()
+        )
+        print(f"  {label:18s} {cells}")
+
+
+if __name__ == "__main__":
+    main()

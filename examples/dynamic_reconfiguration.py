@@ -1,0 +1,92 @@
+"""Dynamic reconfiguration of a running WFMS (Section 7.1, last step).
+
+The full operational loop: configure the system for the assumed load,
+run it (in simulation), watch the monitoring data, detect that the real
+load has outgrown the assumption, and let the advisor recommend a
+scale-out plan — then verify the new configuration holds, and watch the
+advisor recommend downsizing when the load drops again.
+
+Run:  python examples/dynamic_reconfiguration.py   (~30 s)
+"""
+
+from repro.core.goals import PerformabilityGoals
+from repro.tool import (
+    ConfigurationTool,
+    ReconfigurationAdvisor,
+    WorkflowRepository,
+)
+from repro.wfms import RoutingPolicy, SimulatedWFMS, SimulatedWorkflowType
+from repro.workflows import (
+    ecommerce_activities,
+    ecommerce_chart,
+    standard_server_types,
+)
+
+GOALS = PerformabilityGoals(max_waiting_time=0.25, max_unavailability=1e-5)
+ASSUMED_RATE = 0.3            # EP instances/minute the system was sized for
+OBSERVATION = 8_000.0         # length of each monitoring window (minutes)
+
+
+def run_window(configuration, arrival_rate, seed):
+    """One monitoring window on the simulated WFMS."""
+    wfms = SimulatedWFMS(
+        server_types=standard_server_types(),
+        configuration=configuration,
+        workflow_types=[
+            SimulatedWorkflowType(
+                ecommerce_chart(), ecommerce_activities(), arrival_rate
+            )
+        ],
+        seed=seed,
+        routing_policy=RoutingPolicy.ROUND_ROBIN,
+        inject_failures=False,
+    )
+    return wfms.run(duration=OBSERVATION, warmup=500.0)
+
+
+def main() -> None:
+    repository = WorkflowRepository()
+    repository.register(ecommerce_chart(), ecommerce_activities())
+    tool = ConfigurationTool(standard_server_types(), repository)
+    advisor = ReconfigurationAdvisor(tool, GOALS)
+
+    # ------------------------------------------------------------------
+    # Day 0: size the system for the assumed load.
+    # ------------------------------------------------------------------
+    initial = tool.recommend(GOALS, {"EP": ASSUMED_RATE}).configuration
+    print(f"Initial configuration for {ASSUMED_RATE}/min: {initial}\n")
+
+    # ------------------------------------------------------------------
+    # Weeks later: the business has grown to 3x the assumed load.
+    # ------------------------------------------------------------------
+    print("Monitoring window 1: actual load 3x the assumption ...")
+    report = run_window(initial, 3 * ASSUMED_RATE, seed=1)
+    plan = advisor.advise(
+        initial, {"EP": ASSUMED_RATE}, report.trail, OBSERVATION
+    )
+    print(plan.format_text())
+    scaled_out = plan.recommended
+
+    # ------------------------------------------------------------------
+    # After the reconfiguration: verify the new configuration holds.
+    # ------------------------------------------------------------------
+    print("\nMonitoring window 2: after scale-out, same 3x load ...")
+    report = run_window(scaled_out, 3 * ASSUMED_RATE, seed=2)
+    plan = advisor.advise(
+        scaled_out, {"EP": 3 * ASSUMED_RATE}, report.trail, OBSERVATION
+    )
+    print(plan.format_text())
+
+    # ------------------------------------------------------------------
+    # Off-season: load drops far below capacity.
+    # ------------------------------------------------------------------
+    print("\nMonitoring window 3: load drops to 0.5x the assumption ...")
+    report = run_window(scaled_out, 0.5 * ASSUMED_RATE, seed=3)
+    plan = advisor.advise(
+        scaled_out, {"EP": 3 * ASSUMED_RATE}, report.trail, OBSERVATION
+    )
+    print(plan.format_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Quickstart: assess and configure a small distributed WFMS.
+
+Builds a two-activity workflow from scratch, predicts its performance on
+a candidate configuration, checks availability, and asks the greedy
+search for the cheapest configuration meeting performability goals.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ActivitySpec,
+    AvailabilityModel,
+    GoalEvaluator,
+    PerformabilityGoals,
+    PerformanceModel,
+    ServerTypeIndex,
+    ServerTypeSpec,
+    SystemConfiguration,
+    Workload,
+    WorkloadItem,
+    WorkflowDefinition,
+    WorkflowState,
+    greedy_configuration,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. The server landscape (time unit: minutes).
+    # ------------------------------------------------------------------
+    server_types = ServerTypeIndex(
+        [
+            ServerTypeSpec(
+                "wf-engine", mean_service_time=0.05,
+                failure_rate=1 / 10080, repair_rate=1 / 10,  # weekly/10min
+            ),
+            ServerTypeSpec(
+                "app-server", mean_service_time=0.2,
+                failure_rate=1 / 1440, repair_rate=1 / 10,  # daily/10min
+            ),
+        ]
+    )
+
+    # ------------------------------------------------------------------
+    # 2. A workflow type: review (interactive) then archive (automated),
+    #    with a 20% rework loop back to review.
+    # ------------------------------------------------------------------
+    review = ActivitySpec(
+        "Review", mean_duration=12.0,
+        loads={"wf-engine": 3.0},
+    )
+    archive = ActivitySpec(
+        "Archive", mean_duration=1.0,
+        loads={"wf-engine": 2.0, "app-server": 3.0},
+    )
+    workflow = WorkflowDefinition(
+        name="DocumentReview",
+        states=(
+            WorkflowState("Review", activity=review),
+            WorkflowState("Archive", activity=archive),
+            WorkflowState("Done", mean_duration=0.1),
+        ),
+        transitions={
+            ("Review", "Archive"): 1.0,
+            ("Archive", "Review"): 0.2,   # rework loop
+            ("Archive", "Done"): 0.8,
+        },
+        initial_state="Review",
+    )
+
+    # ------------------------------------------------------------------
+    # 3. Performance of a candidate configuration (Section 4).
+    # ------------------------------------------------------------------
+    workload = Workload([WorkloadItem(workflow, arrival_rate=1.2)])
+    performance = PerformanceModel(server_types, workload)
+    candidate = SystemConfiguration({"wf-engine": 1, "app-server": 1})
+    print(performance.assess(candidate).format_text())
+
+    # ------------------------------------------------------------------
+    # 4. Availability of the candidate (Section 5).
+    # ------------------------------------------------------------------
+    availability = AvailabilityModel(server_types, candidate)
+    print(
+        f"\nCandidate downtime: "
+        f"{availability.downtime_per_year('hours'):.1f} hours/year"
+    )
+
+    # ------------------------------------------------------------------
+    # 5. Minimum-cost configuration for explicit goals (Section 7.2).
+    # ------------------------------------------------------------------
+    goals = PerformabilityGoals(
+        max_waiting_time=0.5,          # minutes, performability metric
+        max_unavailability=1e-5,       # ~5 minutes downtime per year
+    )
+    recommendation = greedy_configuration(
+        GoalEvaluator(performance), goals
+    )
+    print()
+    print(recommendation.format_text())
+
+
+if __name__ == "__main__":
+    main()

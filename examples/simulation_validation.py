@@ -1,0 +1,105 @@
+"""Validate the analytic models against the simulated WFMS.
+
+Runs the EP workflow on the discrete-event WFMS (the reproduction's
+stand-in for the real products the authors measured), compares the
+measurements with the Section 4/5 predictions, and closes the loop by
+recalibrating the models from the run's audit trail (Section 7.1).
+
+Run:  python examples/simulation_validation.py   (~30 s)
+"""
+
+from repro.core.availability import AvailabilityModel
+from repro.core.performance import (
+    PerformanceModel,
+    SystemConfiguration,
+    Workload,
+    WorkloadItem,
+)
+from repro.monitor.calibration import (
+    estimate_transition_probabilities,
+    estimate_turnaround_time,
+)
+from repro.tool import ConfigurationTool, WorkflowRepository
+from repro.wfms import RoutingPolicy, SimulatedWFMS, SimulatedWorkflowType
+from repro.workflows import (
+    ecommerce_activities,
+    ecommerce_chart,
+    ecommerce_workflow,
+    standard_server_types,
+)
+
+ARRIVAL_RATE = 0.4      # EP instances per minute
+DURATION = 20_000.0     # observed minutes
+WARMUP = 1_000.0
+
+
+def main() -> None:
+    types = standard_server_types()
+    configuration = SystemConfiguration(
+        {"comm-server": 1, "wf-engine": 2, "app-server": 3}
+    )
+
+    # ------------------------------------------------------------------
+    # Run the simulated WFMS.
+    # ------------------------------------------------------------------
+    print(f"Simulating {DURATION:g} minutes of EP traffic "
+          f"({ARRIVAL_RATE} arrivals/min) ...")
+    wfms = SimulatedWFMS(
+        server_types=types,
+        configuration=configuration,
+        workflow_types=[
+            SimulatedWorkflowType(
+                ecommerce_chart(), ecommerce_activities(), ARRIVAL_RATE
+            )
+        ],
+        seed=42,
+        routing_policy=RoutingPolicy.ROUND_ROBIN,
+    )
+    report = wfms.run(duration=DURATION, warmup=WARMUP)
+    print(report.format_text())
+
+    # ------------------------------------------------------------------
+    # Analytic predictions side by side.
+    # ------------------------------------------------------------------
+    model = PerformanceModel(
+        types, Workload([WorkloadItem(ecommerce_workflow(), ARRIVAL_RATE)])
+    )
+    availability = AvailabilityModel(types, configuration)
+    print("\nAnalytic vs simulated:")
+    print(f"  turnaround  EP: {model.turnaround_time('EP'):10.3f}  vs  "
+          f"{report.workflow_types['EP'].mean_turnaround_time:10.3f}")
+    utilizations = model.utilizations(configuration)
+    waits = model.waiting_times(configuration)
+    for i, name in enumerate(types.names):
+        measured = report.server_types[name]
+        print(f"  {name:14s} utilization {utilizations[i]:7.4f} vs "
+              f"{measured.utilization:7.4f}   waiting {waits[i]:8.5f} vs "
+              f"{measured.mean_waiting_time:8.5f}")
+    print(f"  unavailability: {availability.unavailability():.3e}  vs  "
+          f"{report.system_unavailability:.3e}")
+
+    # ------------------------------------------------------------------
+    # Calibration round trip (Section 7.1): re-estimate parameters from
+    # the audit trail the run produced.
+    # ------------------------------------------------------------------
+    repository = WorkflowRepository()
+    repository.register(ecommerce_chart(), ecommerce_activities())
+    tool = ConfigurationTool(types, repository)
+    calibration = tool.calibrate(report.trail, observation_period=DURATION)
+    print()
+    print(calibration.format_text())
+
+    probabilities = estimate_transition_probabilities(report.trail, "EP")
+    print("\nRe-estimated EP branching probabilities (designer values in "
+          "parentheses):")
+    print(f"  NewOrder -> CreditCardCheck: "
+          f"{probabilities[('NewOrder', 'CreditCardCheck')]:.3f} (0.600)")
+    print(f"  CreditCardCheck -> Shipment: "
+          f"{probabilities[('CreditCardCheck', 'Shipment_S')]:.3f} (0.900)")
+    measured_turnaround = estimate_turnaround_time(report.trail, "EP")
+    print(f"  measured EP turnaround: {measured_turnaround:.2f} "
+          f"(model: {model.turnaround_time('EP'):.2f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+The execution environment has setuptools without the ``wheel`` package, so
+PEP 660 editable installs fail; this shim enables
+``pip install -e . --no-build-isolation --no-use-pep517``.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,349 @@
+"""Command-line interface to the configuration tool.
+
+Operates on a *project file* (JSON: server types, workflow definitions,
+arrival rates — see :mod:`repro.io`) and exposes the tool's evaluation
+and recommendation functions:
+
+.. code-block:: console
+
+   $ python -m repro.cli init-demo study.json
+   $ python -m repro.cli assess --project study.json \\
+         --config comm-server=1,wf-engine=2,app-server=3
+   $ python -m repro.cli recommend --project study.json \\
+         --max-waiting 0.15 --max-unavailability 1e-5
+   $ python -m repro.cli availability --project study.json \\
+         --config comm-server=2,wf-engine=2,app-server=3
+
+Exit status 0 on success, 2 on usage/validation errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.availability import AvailabilityModel
+from repro.core.configuration import (
+    ReplicationConstraints,
+    branch_and_bound_configuration,
+    exhaustive_configuration,
+    greedy_configuration,
+    simulated_annealing_configuration,
+)
+from repro.core.goals import GoalEvaluator, PerformabilityGoals
+from repro.core.performance import PerformanceModel, SystemConfiguration
+from repro.core.performability import PerformabilityModel
+from repro.exceptions import ReproError, ValidationError
+from repro.io import Project, load_project, save_project
+
+_SEARCHES = {
+    "greedy": greedy_configuration,
+    "exhaustive": exhaustive_configuration,
+    "branch_and_bound": branch_and_bound_configuration,
+    "simulated_annealing": simulated_annealing_configuration,
+}
+
+
+def _parse_configuration(text: str) -> SystemConfiguration:
+    """Parse ``name=count,name=count`` into a configuration."""
+    replicas: dict[str, int] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ValidationError(
+                f"bad --config entry {part!r}; expected name=count"
+            )
+        name, _, count = part.partition("=")
+        try:
+            replicas[name.strip()] = int(count)
+        except ValueError:
+            raise ValidationError(
+                f"bad replica count in {part!r}"
+            ) from None
+    if not replicas:
+        raise ValidationError("--config must name at least one server type")
+    return SystemConfiguration(replicas)
+
+
+def _performance_model(project: Project) -> PerformanceModel:
+    return PerformanceModel(project.server_types, project.workload())
+
+
+def _goals_from_args(args: argparse.Namespace) -> PerformabilityGoals:
+    return PerformabilityGoals(
+        max_waiting_time=args.max_waiting,
+        max_unavailability=args.max_unavailability,
+    )
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+def _cmd_init_demo(args: argparse.Namespace) -> int:
+    from repro.workflows import (
+        ecommerce_workflow,
+        order_processing_workflow,
+        standard_server_types,
+    )
+
+    project = Project(
+        server_types=standard_server_types(),
+        workflows=(ecommerce_workflow(), order_processing_workflow()),
+        arrival_rates={"EP": 0.4, "OrderProcessing": 0.2},
+    )
+    save_project(project, args.path)
+    print(f"wrote demo project (EP + OrderProcessing) to {args.path}")
+    return 0
+
+
+def _cmd_assess(args: argparse.Namespace) -> int:
+    project = load_project(args.project)
+    configuration = _parse_configuration(args.config)
+    performance = _performance_model(project)
+    print(performance.assess(configuration).format_text())
+
+    availability = AvailabilityModel(project.server_types, configuration)
+    print(
+        f"\nSystem unavailability: {availability.unavailability():.3e} "
+        f"(~{availability.downtime_per_year('hours'):.2f} hours/year)"
+    )
+    performability = PerformabilityModel(performance, availability)
+    print()
+    print(performability.expected_waiting_times().format_text())
+    return 0
+
+
+def _cmd_availability(args: argparse.Namespace) -> int:
+    project = load_project(args.project)
+    configuration = _parse_configuration(args.config)
+    model = AvailabilityModel(project.server_types, configuration)
+    print(f"Configuration {configuration}")
+    print(f"  system unavailability: {model.unavailability():.6e}")
+    for unit in ("hours", "minutes", "seconds"):
+        print(
+            f"  downtime/year: {model.downtime_per_year(unit):12.4f} {unit}"
+        )
+    print("  per-type unavailability:")
+    for name, value in model.per_type_unavailability().items():
+        print(f"    {name:20s} {value:.6e}")
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    project = load_project(args.project)
+    evaluator = GoalEvaluator(_performance_model(project))
+    goals = _goals_from_args(args)
+    constraints = ReplicationConstraints(
+        fixed=dict(
+            (name, int(count))
+            for name, _, count in (
+                entry.partition("=") for entry in args.fix or []
+            )
+        ),
+        max_total_servers=args.max_total_servers,
+    )
+    search = _SEARCHES[args.algorithm]
+    recommendation = search(evaluator, goals, constraints)
+    print(recommendation.format_text())
+    return 0
+
+
+def _cmd_breakdown(args: argparse.Namespace) -> int:
+    project = load_project(args.project)
+    model = _performance_model(project)
+    breakdown = model.load_breakdown()
+    totals = model.total_request_rates()
+    print("Load breakdown per server type (share of request rate):")
+    for i, name in enumerate(project.server_types.names):
+        print(f"  {name} (total {totals[i]:.4f} requests/unit):")
+        shares = breakdown[name]
+        if not shares:
+            print("    (no load)")
+            continue
+        for workflow, share in sorted(
+            shares.items(), key=lambda item: -item[1]
+        ):
+            print(f"    {workflow:24s} {share:7.2%}")
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    project = load_project(args.project)
+    configuration = _parse_configuration(args.config)
+    model = AvailabilityModel(project.server_types, configuration)
+    print(f"Configuration {configuration}")
+    print(
+        f"  system unavailability: {model.unavailability():.6e}"
+    )
+    print("  unavailability reduction from one extra replica:")
+    sensitivity = model.replication_sensitivity()
+    for name, value in sorted(
+        sensitivity.items(), key=lambda item: -item[1]
+    ):
+        print(f"    +1 {name:20s} -{value:.6e}")
+    return 0
+
+
+def _cmd_quantile(args: argparse.Namespace) -> int:
+    project = load_project(args.project)
+    from repro.core.workflow_model import build_workflow_ctmc
+
+    probabilities = sorted(set(args.probability or [0.5, 0.9, 0.95]))
+    for probability in probabilities:
+        if not 0.0 < probability < 1.0:
+            raise ValidationError(
+                f"quantile probability {probability} must lie in (0, 1)"
+            )
+    print("Turnaround-time quantiles (transient first-passage analysis):")
+    for workflow in project.workflows:
+        model = build_workflow_ctmc(workflow, project.server_types)
+        mean = model.turnaround_time()
+        cells = "  ".join(
+            f"P{int(p * 100):02d}={model.turnaround_quantile(p):.2f}"
+            for p in probabilities
+        )
+        print(f"  {workflow.name:24s} mean={mean:9.2f}  {cells}")
+    return 0
+
+
+def _cmd_throughput(args: argparse.Namespace) -> int:
+    project = load_project(args.project)
+    configuration = _parse_configuration(args.config)
+    model = _performance_model(project)
+    report = model.max_sustainable_throughput(configuration)
+    print(f"Configuration {configuration}")
+    print(
+        f"  max sustainable throughput: "
+        f"{report.max_workflow_throughput:.6f} workflows/time-unit"
+    )
+    print(f"  bottleneck: {report.bottleneck}")
+    print(f"  headroom over current load: x{report.headroom:.3f}")
+    for name, capacity in report.request_capacity.items():
+        print(f"    {name:20s} capacity {capacity:12.4f} requests/unit")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Performance/availability/performability assessment and "
+            "configuration of distributed WFMSs (Gillmann et al., EDBT "
+            "2000)."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    init_demo = commands.add_parser(
+        "init-demo", help="write a demo project file (EP e-commerce mix)"
+    )
+    init_demo.add_argument("path", help="output JSON path")
+    init_demo.set_defaults(handler=_cmd_init_demo)
+
+    def add_project(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--project", required=True, help="project JSON file"
+        )
+
+    assess = commands.add_parser(
+        "assess", help="full assessment of one configuration"
+    )
+    add_project(assess)
+    assess.add_argument(
+        "--config", required=True,
+        help="replica counts, e.g. comm-server=1,wf-engine=2",
+    )
+    assess.set_defaults(handler=_cmd_assess)
+
+    availability = commands.add_parser(
+        "availability", help="availability analysis of one configuration"
+    )
+    add_project(availability)
+    availability.add_argument("--config", required=True)
+    availability.set_defaults(handler=_cmd_availability)
+
+    throughput = commands.add_parser(
+        "throughput", help="maximum sustainable throughput analysis"
+    )
+    add_project(throughput)
+    throughput.add_argument("--config", required=True)
+    throughput.set_defaults(handler=_cmd_throughput)
+
+    breakdown = commands.add_parser(
+        "breakdown", help="per-workflow share of each server type's load"
+    )
+    add_project(breakdown)
+    breakdown.set_defaults(handler=_cmd_breakdown)
+
+    sensitivity = commands.add_parser(
+        "sensitivity",
+        help="unavailability reduction per additional replica",
+    )
+    add_project(sensitivity)
+    sensitivity.add_argument("--config", required=True)
+    sensitivity.set_defaults(handler=_cmd_sensitivity)
+
+    quantile = commands.add_parser(
+        "quantile", help="turnaround-time quantiles per workflow type"
+    )
+    add_project(quantile)
+    quantile.add_argument(
+        "--probability", "-p", type=float, action="append",
+        help="quantile level, repeatable (default: 0.5, 0.9, 0.95)",
+    )
+    quantile.set_defaults(handler=_cmd_quantile)
+
+    recommend = commands.add_parser(
+        "recommend", help="search a minimum-cost configuration for goals"
+    )
+    add_project(recommend)
+    recommend.add_argument(
+        "--max-waiting", type=float, default=None,
+        help="waiting-time goal (performability metric)",
+    )
+    recommend.add_argument(
+        "--max-unavailability", type=float, default=None,
+        help="system unavailability goal",
+    )
+    recommend.add_argument(
+        "--algorithm", choices=sorted(_SEARCHES), default="greedy",
+    )
+    recommend.add_argument(
+        "--max-total-servers", type=int, default=32,
+        help="search bound on the total number of servers",
+    )
+    recommend.add_argument(
+        "--fix", action="append", metavar="NAME=COUNT",
+        help="pin a server type's replica count (repeatable)",
+    )
+    recommend.set_defaults(handler=_cmd_recommend)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # A downstream pager/`head` closed the pipe; not an error.
+        try:
+            sys.stdout.close()
+        except OSError:  # pragma: no cover - depends on the consumer
+            pass
+        return 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

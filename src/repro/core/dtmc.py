@@ -1,0 +1,224 @@
+"""Discrete-time Markov chains.
+
+Two flavours are needed by the paper's method:
+
+* **Absorbing chains** — the embedded jump chain of a workflow CTMC.  Its
+  fundamental matrix gives the exact expected number of visits to each
+  execution state before absorption, which is the oracle against which the
+  paper's truncated-series algorithm (Section 4.2.1) is verified.
+* **Ergodic chains** — used by the uniformization machinery and the
+  availability analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core import linalg
+from repro.exceptions import ModelError, ValidationError
+
+
+def _default_state_names(n: int) -> tuple[str, ...]:
+    return tuple(f"s{i}" for i in range(n))
+
+
+@dataclass(frozen=True)
+class AbsorbingDTMC:
+    """A discrete-time Markov chain with at least one absorbing state.
+
+    Parameters
+    ----------
+    transition_matrix:
+        Row-stochastic matrix ``P`` where ``P[i, j]`` is the probability of
+        jumping from state ``i`` to state ``j``.
+    state_names:
+        Optional labels; defaults to ``s0 .. s{n-1}``.
+
+    Absorbing states are detected as the states ``i`` with ``P[i, i] = 1``.
+    """
+
+    transition_matrix: np.ndarray
+    state_names: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        p = linalg.validate_stochastic_matrix(
+            np.asarray(self.transition_matrix, dtype=float),
+            "transition matrix",
+        )
+        object.__setattr__(self, "transition_matrix", p)
+        names = self.state_names or _default_state_names(p.shape[0])
+        if len(names) != p.shape[0]:
+            raise ValidationError(
+                f"expected {p.shape[0]} state names, got {len(names)}"
+            )
+        if len(set(names)) != len(names):
+            raise ValidationError("state names must be unique")
+        object.__setattr__(self, "state_names", tuple(names))
+        if not self.absorbing_states:
+            raise ModelError("chain has no absorbing state")
+        self._validate_absorption_is_certain()
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        """Total number of states, absorbing ones included."""
+        return self.transition_matrix.shape[0]
+
+    @property
+    def absorbing_states(self) -> tuple[int, ...]:
+        """Indices ``i`` with ``P[i, i] == 1`` (within tolerance)."""
+        p = self.transition_matrix
+        return tuple(
+            i for i in range(p.shape[0]) if p[i, i] >= 1.0 - 1e-12
+        )
+
+    @property
+    def transient_states(self) -> tuple[int, ...]:
+        """Indices of the non-absorbing states."""
+        absorbing = set(self.absorbing_states)
+        return tuple(i for i in range(self.num_states) if i not in absorbing)
+
+    def _validate_absorption_is_certain(self) -> None:
+        """Check every transient state reaches some absorbing state.
+
+        The paper assumes first-passage probabilities into the absorbing
+        state equal one; a workflow whose chain violates this (e.g. a loop
+        with no exit) is a specification error that must be reported.
+        """
+        p = self.transition_matrix
+        reachable = set(self.absorbing_states)
+        # Backward breadth-first search over P's support.
+        changed = True
+        while changed:
+            changed = False
+            for i in self.transient_states:
+                if i in reachable:
+                    continue
+                if any(p[i, j] > 0.0 for j in reachable):
+                    reachable.add(i)
+                    changed = True
+        trapped = [self.state_names[i] for i in self.transient_states
+                   if i not in reachable]
+        if trapped:
+            raise ModelError(
+                "absorption is not certain: states cannot reach an "
+                f"absorbing state: {trapped}"
+            )
+
+    # ------------------------------------------------------------------
+    # Absorption analysis
+    # ------------------------------------------------------------------
+    def fundamental_matrix(self) -> np.ndarray:
+        """Return ``N = (I - T)^-1`` over the transient states.
+
+        ``N[i, j]`` is the expected number of visits to transient state ``j``
+        given the chain starts in transient state ``i`` (indices taken in
+        :attr:`transient_states` order).
+        """
+        transient = list(self.transient_states)
+        t = self.transition_matrix[np.ix_(transient, transient)]
+        identity = np.eye(len(transient))
+        try:
+            return np.linalg.solve(identity - t, identity)
+        except np.linalg.LinAlgError as exc:  # pragma: no cover - guarded
+            raise ModelError(
+                f"fundamental matrix is singular: {exc}"
+            ) from exc
+
+    def expected_visits(self, start: int = 0) -> np.ndarray:
+        """Expected visits to every state before absorption, from ``start``.
+
+        Returns a full-length vector (absorbing states get 0).  The start
+        state itself counts as one visit, matching the paper's convention
+        in which entering the initial state incurs its load once.
+        """
+        self._require_transient(start)
+        transient = list(self.transient_states)
+        n = self.fundamental_matrix()
+        visits = np.zeros(self.num_states)
+        row = transient.index(start)
+        for column, state in enumerate(transient):
+            visits[state] = n[row, column]
+        return visits
+
+    def expected_steps_to_absorption(self, start: int = 0) -> float:
+        """Expected number of jumps until absorption from ``start``."""
+        return float(self.expected_visits(start).sum())
+
+    def absorption_probabilities(self, start: int = 0) -> dict[int, float]:
+        """Probability of ending in each absorbing state, from ``start``."""
+        self._require_transient(start)
+        transient = list(self.transient_states)
+        n = self.fundamental_matrix()
+        r = self.transition_matrix[np.ix_(transient,
+                                          list(self.absorbing_states))]
+        b = n @ r
+        row = transient.index(start)
+        return {
+            state: float(b[row, column])
+            for column, state in enumerate(self.absorbing_states)
+        }
+
+    def _require_transient(self, state: int) -> None:
+        if state not in self.transient_states:
+            raise ValidationError(
+                f"start state {state} must be transient "
+                f"(absorbing states: {self.absorbing_states})"
+            )
+
+
+@dataclass(frozen=True)
+class ErgodicDTMC:
+    """An irreducible, aperiodic discrete-time Markov chain."""
+
+    transition_matrix: np.ndarray
+    state_names: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        p = linalg.validate_stochastic_matrix(
+            np.asarray(self.transition_matrix, dtype=float),
+            "transition matrix",
+        )
+        object.__setattr__(self, "transition_matrix", p)
+        names = self.state_names or _default_state_names(p.shape[0])
+        if len(names) != p.shape[0]:
+            raise ValidationError(
+                f"expected {p.shape[0]} state names, got {len(names)}"
+            )
+        object.__setattr__(self, "state_names", tuple(names))
+
+    @property
+    def num_states(self) -> int:
+        return self.transition_matrix.shape[0]
+
+    def steady_state(self) -> np.ndarray:
+        """Stationary distribution ``pi`` with ``pi P = pi``."""
+        p = self.transition_matrix
+        n = p.shape[0]
+        a = (p.T - np.eye(n)).copy()
+        a[-1, :] = 1.0
+        rhs = np.zeros(n)
+        rhs[-1] = 1.0
+        try:
+            pi = np.linalg.solve(a, rhs)
+        except np.linalg.LinAlgError as exc:
+            raise ModelError(
+                f"stationary distribution is not unique: {exc}"
+            ) from exc
+        return linalg._validated_distribution(pi)
+
+
+def uniform_random_walk(weights: Sequence[float]) -> np.ndarray:
+    """Normalize non-negative weights into a probability row vector."""
+    w = np.asarray(weights, dtype=float)
+    if np.any(w < 0.0):
+        raise ValidationError("weights must be non-negative")
+    total = w.sum()
+    if total <= 0.0:
+        raise ValidationError("weights must not all be zero")
+    return w / total

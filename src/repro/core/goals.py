@@ -1,0 +1,277 @@
+"""Performability goals and their evaluation (Section 7.1).
+
+System administrators specify two kinds of goals: a tolerance threshold
+for the mean waiting time of service requests (optionally refined per
+server type) and a tolerance threshold for the unavailability of the
+entire WFMS.  :class:`GoalEvaluator` checks a candidate configuration
+against these goals using the availability model (Section 5) and the
+performability model (Section 6); it is the inner loop of the
+configuration search (Section 7.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.availability import AvailabilityModel, RepairPolicy
+from repro.core.model_types import ServerTypeIndex
+from repro.core.performance import PerformanceModel, SystemConfiguration
+from repro.core.performability import (
+    DegradedStatePolicy,
+    PerformabilityModel,
+    PerformabilityReport,
+)
+from repro.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class PerformabilityGoals:
+    """Goal thresholds for a WFMS configuration.
+
+    Parameters
+    ----------
+    max_waiting_time:
+        Tolerance threshold on the expected (performability) waiting time,
+        applied to every server type unless overridden per type.
+    max_waiting_times_per_type:
+        Optional per-type refinements; keys are server type names.
+    max_unavailability:
+        Tolerance threshold on the system unavailability (1 minus the
+        required minimum availability level).
+    max_unavailability_per_type:
+        Optional per-server-type availability refinements (Section 7.1:
+        goals "can be refined into workflow-type-specific goals, by
+        requiring, for example, different ... availability levels for
+        specific server types"): the probability that *all* replicas of
+        the named type are down must stay below the threshold.
+    """
+
+    max_waiting_time: float | None = None
+    max_waiting_times_per_type: Mapping[str, float] = field(
+        default_factory=dict
+    )
+    max_unavailability: float | None = None
+    max_unavailability_per_type: Mapping[str, float] = field(
+        default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        per_type = dict(self.max_waiting_times_per_type)
+        object.__setattr__(self, "max_waiting_times_per_type", per_type)
+        per_type_availability = dict(self.max_unavailability_per_type)
+        object.__setattr__(
+            self, "max_unavailability_per_type", per_type_availability
+        )
+        if (self.max_waiting_time is None and not per_type
+                and self.max_unavailability is None
+                and not per_type_availability):
+            raise ValidationError("at least one goal must be specified")
+        if self.max_waiting_time is not None and self.max_waiting_time <= 0.0:
+            raise ValidationError("max_waiting_time must be positive")
+        for name, threshold in per_type.items():
+            if threshold <= 0.0:
+                raise ValidationError(
+                    f"waiting-time threshold of {name} must be positive"
+                )
+        for name, threshold in per_type_availability.items():
+            if not 0.0 < threshold < 1.0:
+                raise ValidationError(
+                    f"unavailability threshold of {name} must lie strictly "
+                    "in (0, 1)"
+                )
+        if self.max_unavailability is not None:
+            if not 0.0 < self.max_unavailability < 1.0:
+                raise ValidationError(
+                    "max_unavailability must lie strictly in (0, 1)"
+                )
+
+    @property
+    def has_performance_goal(self) -> bool:
+        return (self.max_waiting_time is not None
+                or bool(self.max_waiting_times_per_type))
+
+    @property
+    def has_availability_goal(self) -> bool:
+        return (self.max_unavailability is not None
+                or bool(self.max_unavailability_per_type))
+
+    def waiting_time_threshold(self, server_type: str) -> float:
+        """Effective threshold for one server type (inf if unconstrained)."""
+        if server_type in self.max_waiting_times_per_type:
+            return float(self.max_waiting_times_per_type[server_type])
+        if self.max_waiting_time is not None:
+            return float(self.max_waiting_time)
+        return math.inf
+
+    def type_unavailability_threshold(self, server_type: str) -> float:
+        """Per-type unavailability threshold (inf if unconstrained)."""
+        if server_type in self.max_unavailability_per_type:
+            return float(self.max_unavailability_per_type[server_type])
+        return math.inf
+
+
+@dataclass(frozen=True)
+class GoalViolation:
+    """One violated goal in an assessment."""
+
+    kind: str  # "waiting_time", "unavailability", or "type_unavailability"
+    server_type: str | None
+    actual: float
+    threshold: float
+
+    def __str__(self) -> str:
+        if self.kind == "waiting_time":
+            subject = f"waiting time of {self.server_type}"
+        elif self.kind == "type_unavailability":
+            subject = f"unavailability of {self.server_type}"
+        else:
+            subject = "system unavailability"
+        return f"{subject}: {self.actual:.6g} exceeds {self.threshold:.6g}"
+
+
+@dataclass(frozen=True)
+class GoalAssessment:
+    """Outcome of checking one configuration against the goals."""
+
+    configuration: SystemConfiguration
+    goals: PerformabilityGoals
+    violations: tuple[GoalViolation, ...]
+    performability: PerformabilityReport | None
+    unavailability: float | None
+    per_type_unavailability: dict[str, float]
+    utilizations: dict[str, float]
+
+    @property
+    def satisfied(self) -> bool:
+        """Whether the configuration meets every specified goal."""
+        return not self.violations
+
+    @property
+    def availability_satisfied(self) -> bool:
+        return not any(
+            violation.kind in ("unavailability", "type_unavailability")
+            for violation in self.violations
+        )
+
+    @property
+    def performance_satisfied(self) -> bool:
+        return not any(
+            violation.kind == "waiting_time" for violation in self.violations
+        )
+
+
+class GoalEvaluator:
+    """Evaluates configurations against performability goals.
+
+    Wires together the performance model (built once per workload), the
+    availability model (built per candidate configuration), and the
+    performability model.  Evaluation results are cached per
+    configuration, which the iterating search of Section 7.2 relies on.
+    """
+
+    def __init__(
+        self,
+        performance: PerformanceModel,
+        repair_policy: RepairPolicy = RepairPolicy.INDEPENDENT,
+        degraded_policy: DegradedStatePolicy = DegradedStatePolicy.CONDITIONAL,
+        penalty_waiting_time: float | None = None,
+    ) -> None:
+        self.performance = performance
+        self.repair_policy = repair_policy
+        self.degraded_policy = degraded_policy
+        self.penalty_waiting_time = penalty_waiting_time
+        self._cache: dict[tuple[tuple[str, int], ...], GoalAssessment] = {}
+        self.evaluation_count = 0
+
+    @property
+    def server_types(self) -> ServerTypeIndex:
+        return self.performance.server_types
+
+    def _cache_key(
+        self, configuration: SystemConfiguration
+    ) -> tuple[tuple[str, int], ...]:
+        return tuple(sorted(configuration.replicas.items()))
+
+    def assess(
+        self,
+        configuration: SystemConfiguration,
+        goals: PerformabilityGoals,
+    ) -> GoalAssessment:
+        """Check one configuration against the goals (cached)."""
+        key = self._cache_key(configuration) + (
+            ("__goals__", id(goals)),
+        )
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+
+        self.evaluation_count += 1
+        availability_model = AvailabilityModel(
+            self.server_types, configuration, policy=self.repair_policy
+        )
+        violations: list[GoalViolation] = []
+
+        unavailability = availability_model.unavailability()
+        per_type = availability_model.per_type_unavailability()
+        if goals.max_unavailability is not None:
+            if unavailability > goals.max_unavailability:
+                violations.append(
+                    GoalViolation(
+                        kind="unavailability",
+                        server_type=None,
+                        actual=unavailability,
+                        threshold=goals.max_unavailability,
+                    )
+                )
+        for name, value in per_type.items():
+            threshold = goals.type_unavailability_threshold(name)
+            if value > threshold:
+                violations.append(
+                    GoalViolation(
+                        kind="type_unavailability",
+                        server_type=name,
+                        actual=value,
+                        threshold=threshold,
+                    )
+                )
+
+        performability_report: PerformabilityReport | None = None
+        if goals.has_performance_goal:
+            performability = PerformabilityModel(
+                self.performance,
+                availability_model,
+                policy=self.degraded_policy,
+                penalty_waiting_time=self.penalty_waiting_time,
+            )
+            performability_report = performability.expected_waiting_times()
+            for name, value in (
+                performability_report.expected_waiting_times.items()
+            ):
+                threshold = goals.waiting_time_threshold(name)
+                if value > threshold:
+                    violations.append(
+                        GoalViolation(
+                            kind="waiting_time",
+                            server_type=name,
+                            actual=value,
+                            threshold=threshold,
+                        )
+                    )
+
+        utilizations = self.performance.utilizations(configuration)
+        assessment = GoalAssessment(
+            configuration=configuration,
+            goals=goals,
+            violations=tuple(violations),
+            performability=performability_report,
+            unavailability=unavailability,
+            per_type_unavailability=per_type,
+            utilizations={
+                name: float(utilizations[i])
+                for i, name in enumerate(self.server_types.names)
+            },
+        )
+        self._cache[key] = assessment
+        return assessment

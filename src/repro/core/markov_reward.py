@@ -1,0 +1,159 @@
+"""Markov reward models (MRM).
+
+The paper uses two reward structures:
+
+* **Reward until absorption** (Section 4.2): on the workflow CTMC, each
+  visit to an execution state earns the per-visit service requests that the
+  corresponding activity induces on each server type; the accumulated
+  reward until absorption is the expected load of one workflow instance.
+* **Steady-state reward** (Section 6): on the availability CTMC, each
+  system state carries the waiting-time vector the performance model
+  predicts for that degraded configuration; the steady-state expectation is
+  the performability metric ``W^Y``.
+
+Both per-visit and per-time-unit rewards are supported for the absorbing
+case; the steady-state case supports scalar- and vector-valued rewards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ctmc import AbsorbingCTMC, ErgodicCTMC, VisitMethod
+from repro.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class AbsorptionRewardModel:
+    """Markov reward model over an absorbing CTMC.
+
+    Parameters
+    ----------
+    chain:
+        The workflow CTMC.
+    per_visit_rewards:
+        Matrix (``k x n``) or vector (``n``) of rewards earned on *each
+        visit* to a state — e.g. the load matrix ``L^t`` with one row per
+        server type.
+    per_time_rewards:
+        Optional rewards earned *per time unit of residence* in a state.
+    """
+
+    chain: AbsorbingCTMC
+    per_visit_rewards: np.ndarray | None = None
+    per_time_rewards: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.per_visit_rewards is None and self.per_time_rewards is None:
+            raise ValidationError(
+                "at least one of per_visit_rewards / per_time_rewards is "
+                "required"
+            )
+        for attribute in ("per_visit_rewards", "per_time_rewards"):
+            value = getattr(self, attribute)
+            if value is None:
+                continue
+            array = np.asarray(value, dtype=float)
+            if array.ndim not in (1, 2):
+                raise ValidationError(f"{attribute} must be a vector or matrix")
+            if array.shape[-1] != self.chain.num_states:
+                raise ValidationError(
+                    f"{attribute} must have {self.chain.num_states} columns"
+                )
+            object.__setattr__(self, attribute, array)
+
+    def expected_reward(
+        self,
+        method: VisitMethod = "fundamental",
+        confidence: float = 0.99,
+    ) -> np.ndarray | float:
+        """Total expected reward accumulated until absorption.
+
+        Per-visit rewards are weighted by expected visits; per-time rewards
+        by the expected total residence time per state.  If both are given,
+        their contributions are summed (shapes must agree).
+        """
+        total: np.ndarray | float | None = None
+        if self.per_visit_rewards is not None:
+            visits = self.chain.expected_visits(
+                method=method, confidence=confidence
+            )
+            total = _apply(self.per_visit_rewards, visits)
+        if self.per_time_rewards is not None:
+            times = self.chain.expected_time_in_states()
+            time_part = _apply(self.per_time_rewards, times)
+            total = time_part if total is None else _add(total, time_part)
+        assert total is not None  # guaranteed by __post_init__
+        return total
+
+
+@dataclass(frozen=True)
+class SteadyStateRewardModel:
+    """Markov reward model over an ergodic CTMC (Section 6 structure).
+
+    ``state_rewards`` has one column per CTMC state; a 1-D array is treated
+    as scalar rewards.  Rows may be, for instance, the per-server-type
+    waiting times of each system state.
+    """
+
+    chain: ErgodicCTMC
+    state_rewards: np.ndarray
+
+    def __post_init__(self) -> None:
+        rewards = np.asarray(self.state_rewards, dtype=float)
+        if rewards.ndim not in (1, 2):
+            raise ValidationError("state_rewards must be a vector or matrix")
+        if rewards.shape[-1] != self.chain.num_states:
+            raise ValidationError(
+                f"state_rewards must have {self.chain.num_states} columns"
+            )
+        object.__setattr__(self, "state_rewards", rewards)
+
+    def expected_reward(self) -> float | np.ndarray:
+        """Steady-state expected reward ``sum_i pi_i r_i``."""
+        return self.chain.expected_steady_state_reward(self.state_rewards)
+
+    def conditional_expected_reward(
+        self, condition: np.ndarray
+    ) -> float | np.ndarray:
+        """Expected reward conditioned on a subset of states.
+
+        ``condition`` is a boolean mask over states; the steady-state
+        probabilities are renormalized over the selected states.  Used by
+        the performability model's ``CONDITIONAL`` policy, which conditions
+        on the system being operational.
+        """
+        mask = np.asarray(condition, dtype=bool)
+        if mask.shape != (self.chain.num_states,):
+            raise ValidationError(
+                f"condition must be a boolean vector of length "
+                f"{self.chain.num_states}"
+            )
+        pi = self.chain.steady_state()
+        mass = float(pi[mask].sum())
+        if mass <= 0.0:
+            raise ValidationError(
+                "conditioning event has zero steady-state probability"
+            )
+        weights = np.where(mask, pi, 0.0) / mass
+        rewards = self.state_rewards
+        if rewards.ndim == 1:
+            return float(rewards @ weights)
+        return rewards @ weights
+
+
+def _apply(rewards: np.ndarray, weights: np.ndarray) -> np.ndarray | float:
+    if rewards.ndim == 1:
+        return float(rewards @ weights)
+    return rewards @ weights
+
+
+def _add(
+    left: np.ndarray | float, right: np.ndarray | float
+) -> np.ndarray | float:
+    result = np.asarray(left) + np.asarray(right)
+    if result.ndim == 0:
+        return float(result)
+    return result

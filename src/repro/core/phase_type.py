@@ -1,0 +1,270 @@
+"""Phase-type expansion of non-exponential failure/repair times (§5.1).
+
+The paper's availability CTMC assumes exponentially distributed times to
+failure and repair but notes that "non-exponential failure or repair rates
+(e.g., anticipated periodic downtimes for software maintenance) can be
+accommodated as well, by refining the corresponding state into a
+(reasonably small) set of exponential states".  This module implements that
+refinement for repair times: a repair duration given as a phase-type
+distribution (Erlang-k for nearly deterministic maintenance windows,
+hyperexponential for mixed quick-restart/long-recovery behaviour) is
+expanded into exponential stages inside a per-type availability CTMC.
+
+The expansion tracks one repair in progress at a time (single repair crew
+per server type), which is the natural reading of a "maintenance window";
+the state space is ``{all up} + {(j running, repair phase p)}`` and stays
+small.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.core.ctmc import ErgodicCTMC
+from repro.core.model_types import ServerTypeSpec
+from repro.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class PhaseTypeDistribution:
+    """A (continuous) phase-type distribution ``PH(alpha, S)``.
+
+    ``initial_probabilities`` is the row vector ``alpha`` over transient
+    phases; ``subgenerator`` is the matrix ``S`` of phase transition rates
+    (absorption rates are the row deficits ``-S 1``).
+    """
+
+    initial_probabilities: np.ndarray
+    subgenerator: np.ndarray
+
+    def __post_init__(self) -> None:
+        alpha = np.asarray(self.initial_probabilities, dtype=float)
+        s = np.asarray(self.subgenerator, dtype=float)
+        if alpha.ndim != 1:
+            raise ValidationError("initial probabilities must be a vector")
+        k = alpha.shape[0]
+        if s.shape != (k, k):
+            raise ValidationError(
+                f"subgenerator must be {k}x{k}, got {s.shape}"
+            )
+        if np.any(alpha < 0.0) or abs(alpha.sum() - 1.0) > 1e-9:
+            raise ValidationError(
+                "initial probabilities must be a distribution"
+            )
+        off_diagonal = s - np.diag(np.diag(s))
+        if np.any(off_diagonal < 0.0):
+            raise ValidationError(
+                "subgenerator off-diagonal rates must be >= 0"
+            )
+        exit_rates = -s.sum(axis=1)
+        if np.any(np.diag(s) >= 0.0):
+            raise ValidationError("subgenerator diagonal must be negative")
+        if np.any(exit_rates < -1e-9):
+            raise ValidationError("subgenerator row sums must be <= 0")
+        object.__setattr__(self, "initial_probabilities", alpha)
+        object.__setattr__(self, "subgenerator", s)
+
+    @property
+    def num_phases(self) -> int:
+        return self.initial_probabilities.shape[0]
+
+    @cached_property
+    def exit_rates(self) -> np.ndarray:
+        """Absorption (completion) rate out of each phase."""
+        return -self.subgenerator.sum(axis=1)
+
+    def moment(self, order: int) -> float:
+        """Raw moment ``E[T^n] = n! * alpha (-S)^-n 1``."""
+        if order < 1:
+            raise ValidationError("moment order must be >= 1")
+        inverse = np.linalg.inv(-self.subgenerator)
+        power = np.linalg.matrix_power(inverse, order)
+        ones = np.ones(self.num_phases)
+        return float(
+            math.factorial(order) * self.initial_probabilities @ power @ ones
+        )
+
+    @property
+    def mean(self) -> float:
+        return self.moment(1)
+
+    @property
+    def variance(self) -> float:
+        return self.moment(2) - self.mean**2
+
+    @property
+    def squared_coefficient_of_variation(self) -> float:
+        """``Var / mean^2`` — 1 for exponential, ``1/k`` for Erlang-k."""
+        return self.variance / self.mean**2
+
+
+def exponential_phase(rate: float) -> PhaseTypeDistribution:
+    """Exponential distribution as a one-phase PH (sanity baseline)."""
+    if rate <= 0.0:
+        raise ValidationError("rate must be positive")
+    return PhaseTypeDistribution(
+        initial_probabilities=np.array([1.0]),
+        subgenerator=np.array([[-rate]]),
+    )
+
+
+def erlang_phase(num_stages: int, mean: float) -> PhaseTypeDistribution:
+    """Erlang-k distribution with the given mean.
+
+    With ``k`` stages of rate ``k / mean`` each; approaches a deterministic
+    duration as ``k`` grows (squared coefficient of variation ``1/k``) —
+    the natural model for planned maintenance windows.
+    """
+    if num_stages < 1:
+        raise ValidationError("Erlang needs at least one stage")
+    if mean <= 0.0:
+        raise ValidationError("mean must be positive")
+    rate = num_stages / mean
+    alpha = np.zeros(num_stages)
+    alpha[0] = 1.0
+    s = np.zeros((num_stages, num_stages))
+    for i in range(num_stages):
+        s[i, i] = -rate
+        if i + 1 < num_stages:
+            s[i, i + 1] = rate
+    return PhaseTypeDistribution(alpha, s)
+
+
+def hyperexponential_phase(
+    probabilities: np.ndarray, rates: np.ndarray
+) -> PhaseTypeDistribution:
+    """Hyperexponential mixture of exponentials (SCV > 1).
+
+    Models repairs that are usually a quick restart but occasionally a long
+    recovery.
+    """
+    p = np.asarray(probabilities, dtype=float)
+    r = np.asarray(rates, dtype=float)
+    if p.shape != r.shape or p.ndim != 1:
+        raise ValidationError("probabilities and rates must match in shape")
+    if np.any(r <= 0.0):
+        raise ValidationError("rates must be positive")
+    return PhaseTypeDistribution(p, np.diag(-r))
+
+
+@dataclass(frozen=True)
+class PhaseTypeRepairPool:
+    """Availability chain of one server type with phase-type repairs.
+
+    A single repair crew works on at most one failed replica at a time;
+    the repair duration follows ``repair_distribution``.  States:
+
+    * ``ALL_UP``: all ``count`` replicas running, no repair in progress;
+    * ``(j, p)``: ``j`` replicas running (``0 <= j < count``), the crew is
+      repairing one replica and the repair is in phase ``p``.
+
+    Failures of running replicas occur at rate ``j * failure_rate`` and do
+    not disturb the ongoing repair.
+    """
+
+    spec: ServerTypeSpec
+    count: int
+    repair_distribution: PhaseTypeDistribution
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValidationError("need at least one replica")
+        if self.spec.failure_rate <= 0.0:
+            raise ValidationError(
+                "phase-type expansion needs a positive failure rate"
+            )
+
+    def _index(self, running: int, phase: int) -> int:
+        """Dense index of state ``(running, phase)``; ALL_UP is last."""
+        return running * self.repair_distribution.num_phases + phase
+
+    @property
+    def num_states(self) -> int:
+        return self.count * self.repair_distribution.num_phases + 1
+
+    def generator_matrix(self) -> np.ndarray:
+        """Generator over ``(running, phase)`` states plus ALL_UP."""
+        distribution = self.repair_distribution
+        k = distribution.num_phases
+        all_up = self.num_states - 1
+        q = np.zeros((self.num_states, self.num_states))
+        alpha = distribution.initial_probabilities
+        s = distribution.subgenerator
+        exit_rates = distribution.exit_rates
+        failure_rate = self.spec.failure_rate
+
+        # From ALL_UP: any of `count` replicas fails; a repair starts in a
+        # phase drawn from alpha.
+        for phase in range(k):
+            q[all_up, self._index(self.count - 1, phase)] = (
+                self.count * failure_rate * alpha[phase]
+            )
+
+        for running in range(self.count):
+            for phase in range(k):
+                here = self._index(running, phase)
+                # Another running replica fails; the crew keeps its phase.
+                if running >= 1:
+                    q[here, self._index(running - 1, phase)] += (
+                        running * failure_rate
+                    )
+                # Repair phase transitions.
+                for next_phase in range(k):
+                    if next_phase != phase and s[phase, next_phase] > 0.0:
+                        q[here, self._index(running, next_phase)] += (
+                            s[phase, next_phase]
+                        )
+                # Repair completion: one more replica runs; if others are
+                # still down the crew immediately starts the next repair.
+                completion = exit_rates[phase]
+                if completion > 0.0:
+                    if running + 1 == self.count:
+                        q[here, all_up] += completion
+                    else:
+                        for next_phase in range(k):
+                            q[
+                                here, self._index(running + 1, next_phase)
+                            ] += completion * alpha[next_phase]
+        np.fill_diagonal(q, 0.0)
+        np.fill_diagonal(q, -q.sum(axis=1))
+        return q
+
+    def chain(self) -> ErgodicCTMC:
+        names = [
+            f"(up={running},phase={phase})"
+            for running in range(self.count)
+            for phase in range(self.repair_distribution.num_phases)
+        ]
+        names.append("ALL_UP")
+        return ErgodicCTMC(self.generator_matrix(), state_names=tuple(names))
+
+    @cached_property
+    def _steady_state(self) -> np.ndarray:
+        return self.chain().steady_state()
+
+    @property
+    def unavailability(self) -> float:
+        """Probability that zero replicas of this type are running."""
+        pi = self._steady_state
+        k = self.repair_distribution.num_phases
+        return float(sum(pi[self._index(0, phase)] for phase in range(k)))
+
+    @property
+    def availability(self) -> float:
+        return 1.0 - self.unavailability
+
+    def running_distribution(self) -> np.ndarray:
+        """Marginal distribution of the number of running replicas."""
+        pi = self._steady_state
+        k = self.repair_distribution.num_phases
+        marginal = np.zeros(self.count + 1)
+        for running in range(self.count):
+            marginal[running] = sum(
+                pi[self._index(running, phase)] for phase in range(k)
+            )
+        marginal[self.count] = pi[-1]
+        return marginal

@@ -1,0 +1,222 @@
+"""JSON (de)serialization of state charts.
+
+Complements :mod:`repro.io.serialization` (which handles the translated
+model layer) with the *specification* layer: guards, actions, ECA rules,
+transitions with probability annotations, and nested/orthogonal regions
+all round-trip through JSON, so a workflow repository can be persisted
+and exchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.exceptions import ValidationError
+from repro.spec.events import (
+    Action,
+    And,
+    ECARule,
+    Guard,
+    Not,
+    Or,
+    RaiseEvent,
+    SetCondition,
+    StartActivity,
+    TrueGuard,
+    Var,
+)
+from repro.spec.statechart import ChartState, ChartTransition, StateChart
+
+
+# ----------------------------------------------------------------------
+# Guards
+# ----------------------------------------------------------------------
+def guard_to_dict(guard: Guard) -> dict[str, Any]:
+    """Serialize a guard expression tree."""
+    if isinstance(guard, TrueGuard):
+        return {"type": "true"}
+    if isinstance(guard, Var):
+        return {"type": "var", "name": guard.name}
+    if isinstance(guard, Not):
+        return {"type": "not", "operand": guard_to_dict(guard.operand)}
+    if isinstance(guard, And):
+        return {
+            "type": "and",
+            "operands": [guard_to_dict(g) for g in guard.operands],
+        }
+    if isinstance(guard, Or):
+        return {
+            "type": "or",
+            "operands": [guard_to_dict(g) for g in guard.operands],
+        }
+    raise ValidationError(
+        f"cannot serialize guard type {type(guard).__name__}"
+    )
+
+
+def guard_from_dict(data: Mapping[str, Any]) -> Guard:
+    """Deserialize a guard expression tree."""
+    kind = data.get("type")
+    if kind == "true":
+        return TrueGuard()
+    if kind == "var":
+        return Var(data["name"])
+    if kind == "not":
+        return Not(guard_from_dict(data["operand"]))
+    if kind == "and":
+        return And(*(guard_from_dict(g) for g in data["operands"]))
+    if kind == "or":
+        return Or(*(guard_from_dict(g) for g in data["operands"]))
+    raise ValidationError(f"unknown guard type {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Actions and rules
+# ----------------------------------------------------------------------
+def action_to_dict(action: Action) -> dict[str, Any]:
+    """Serialize one action."""
+    if isinstance(action, StartActivity):
+        return {"type": "start_activity", "activity": action.activity_name}
+    if isinstance(action, SetCondition):
+        return {
+            "type": "set_condition",
+            "name": action.name,
+            "value": action.value,
+        }
+    if isinstance(action, RaiseEvent):
+        return {"type": "raise_event", "event": action.event_name}
+    raise ValidationError(
+        f"cannot serialize action type {type(action).__name__}"
+    )
+
+
+def action_from_dict(data: Mapping[str, Any]) -> Action:
+    """Deserialize one action."""
+    kind = data.get("type")
+    if kind == "start_activity":
+        return StartActivity(data["activity"])
+    if kind == "set_condition":
+        return SetCondition(data["name"], bool(data["value"]))
+    if kind == "raise_event":
+        return RaiseEvent(data["event"])
+    raise ValidationError(f"unknown action type {kind!r}")
+
+
+def rule_to_dict(rule: ECARule) -> dict[str, Any]:
+    """Serialize an ECA rule."""
+    return {
+        "event": rule.event,
+        "guard": guard_to_dict(rule.guard),
+        "actions": [action_to_dict(action) for action in rule.actions],
+    }
+
+
+def rule_from_dict(data: Mapping[str, Any]) -> ECARule:
+    """Deserialize an ECA rule."""
+    return ECARule(
+        event=data.get("event"),
+        guard=guard_from_dict(data.get("guard", {"type": "true"})),
+        actions=tuple(
+            action_from_dict(action) for action in data.get("actions", [])
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# States and charts
+# ----------------------------------------------------------------------
+def chart_state_to_dict(state: ChartState) -> dict[str, Any]:
+    """Serialize one chart state (recursively for regions)."""
+    result: dict[str, Any] = {"name": state.name}
+    if state.activity is not None:
+        result["activity"] = state.activity
+    if state.entry_actions:
+        result["entry_actions"] = [
+            action_to_dict(action) for action in state.entry_actions
+        ]
+    if state.regions:
+        result["regions"] = [
+            chart_to_dict(region) for region in state.regions
+        ]
+    if state.mean_duration is not None:
+        result["mean_duration"] = state.mean_duration
+    return result
+
+
+def chart_state_from_dict(data: Mapping[str, Any]) -> ChartState:
+    """Deserialize one chart state."""
+    return ChartState(
+        name=data["name"],
+        activity=data.get("activity"),
+        entry_actions=tuple(
+            action_from_dict(action)
+            for action in data.get("entry_actions", [])
+        ),
+        regions=tuple(
+            chart_from_dict(region) for region in data.get("regions", [])
+        ),
+        mean_duration=data.get("mean_duration"),
+    )
+
+
+def chart_to_dict(chart: StateChart) -> dict[str, Any]:
+    """Serialize a state chart (with nested regions)."""
+    return {
+        "name": chart.name,
+        "initial_state": chart.initial_state,
+        "states": [
+            chart_state_to_dict(state) for state in chart.states
+        ],
+        "transitions": [
+            {
+                "source": transition.source,
+                "target": transition.target,
+                "rule": rule_to_dict(transition.rule),
+                "probability": transition.probability,
+            }
+            for transition in chart.transitions
+        ],
+    }
+
+
+def chart_from_dict(data: Mapping[str, Any]) -> StateChart:
+    """Deserialize a state chart; structure validated by the constructor."""
+    for key in ("name", "initial_state", "states", "transitions"):
+        if key not in data:
+            raise ValidationError(f"chart record is missing key {key!r}")
+    return StateChart(
+        name=data["name"],
+        states=tuple(
+            chart_state_from_dict(state) for state in data["states"]
+        ),
+        transitions=tuple(
+            ChartTransition(
+                source=item["source"],
+                target=item["target"],
+                rule=rule_from_dict(item.get("rule", {})),
+                probability=item.get("probability"),
+            )
+            for item in data["transitions"]
+        ),
+        initial_state=data["initial_state"],
+    )
+
+
+def save_chart(chart: StateChart, path: str | Path) -> None:
+    """Write a chart as pretty-printed JSON."""
+    Path(path).write_text(
+        json.dumps(chart_to_dict(chart), indent=2, sort_keys=True) + "\n"
+    )
+
+
+def load_chart(path: str | Path) -> StateChart:
+    """Read a chart from JSON."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        raise ValidationError(f"chart file not found: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"invalid JSON in {path}: {exc}") from exc
+    return chart_from_dict(data)

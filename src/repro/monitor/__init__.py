@@ -1,0 +1,45 @@
+"""Monitoring and calibration (Section 7.1): audit trails in, parameters out."""
+
+from repro.monitor.audit import (
+    TERMINATION,
+    AuditTrail,
+    InstanceRecord,
+    ServiceRequestRecord,
+    StateVisitRecord,
+)
+from repro.monitor.persistence import (
+    load_trail,
+    merge_trail_files,
+    save_trail,
+)
+from repro.monitor.calibration import (
+    ServiceTimeEstimate,
+    calibrate_flat_workflow,
+    calibrate_server_type,
+    estimate_arrival_rate,
+    estimate_requests_per_instance,
+    estimate_residence_times,
+    estimate_service_times,
+    estimate_transition_probabilities,
+    estimate_turnaround_time,
+)
+
+__all__ = [
+    "AuditTrail",
+    "InstanceRecord",
+    "ServiceRequestRecord",
+    "ServiceTimeEstimate",
+    "StateVisitRecord",
+    "TERMINATION",
+    "calibrate_flat_workflow",
+    "calibrate_server_type",
+    "estimate_arrival_rate",
+    "estimate_requests_per_instance",
+    "estimate_residence_times",
+    "estimate_service_times",
+    "estimate_transition_probabilities",
+    "estimate_turnaround_time",
+    "load_trail",
+    "merge_trail_files",
+    "save_trail",
+]

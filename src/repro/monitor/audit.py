@@ -1,0 +1,161 @@
+"""Audit trails of workflow executions.
+
+The paper's calibration component (Section 7.1) derives transition
+probabilities, residence times, and service-time moments "from audit
+trails of previous workflow executions" and online monitoring statistics.
+This module defines the trail records; :mod:`repro.monitor.calibration`
+turns trails back into model parameters.  The simulated WFMS emits these
+records natively, closing the map -> run -> calibrate -> remap loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.exceptions import ValidationError
+
+#: Pseudo state name recorded as the successor of a final state.
+TERMINATION = "__TERMINATED__"
+
+
+@dataclass(frozen=True)
+class StateVisitRecord:
+    """One visit of a workflow instance to an execution state."""
+
+    instance_id: int
+    workflow_type: str
+    state: str
+    entered_at: float
+    left_at: float
+    next_state: str
+
+    def __post_init__(self) -> None:
+        if self.left_at < self.entered_at:
+            raise ValidationError(
+                f"instance {self.instance_id}: left_at {self.left_at} "
+                f"precedes entered_at {self.entered_at}"
+            )
+
+    @property
+    def residence_time(self) -> float:
+        return self.left_at - self.entered_at
+
+
+@dataclass(frozen=True)
+class ServiceRequestRecord:
+    """One service request processed by a server.
+
+    ``instance_id`` attributes the request to the workflow instance that
+    issued it (-1 when unknown), enabling load-matrix calibration: the
+    expected requests per instance ``r_{x,t}`` are estimated by joining
+    request records with instance records.
+    """
+
+    server_type: str
+    server_name: str
+    submitted_at: float
+    started_at: float
+    completed_at: float
+    instance_id: int = -1
+
+    def __post_init__(self) -> None:
+        if not (self.submitted_at <= self.started_at <= self.completed_at):
+            raise ValidationError(
+                "request timestamps must be ordered "
+                "submitted <= started <= completed"
+            )
+
+    @property
+    def waiting_time(self) -> float:
+        return self.started_at - self.submitted_at
+
+    @property
+    def service_time(self) -> float:
+        return self.completed_at - self.started_at
+
+
+@dataclass(frozen=True)
+class InstanceRecord:
+    """Lifecycle of one workflow instance."""
+
+    instance_id: int
+    workflow_type: str
+    started_at: float
+    completed_at: float
+
+    def __post_init__(self) -> None:
+        if self.completed_at < self.started_at:
+            raise ValidationError(
+                f"instance {self.instance_id}: completed before started"
+            )
+
+    @property
+    def turnaround_time(self) -> float:
+        return self.completed_at - self.started_at
+
+
+@dataclass
+class AuditTrail:
+    """Container for monitoring records of one observation run."""
+
+    state_visits: list[StateVisitRecord] = field(default_factory=list)
+    service_requests: list[ServiceRequestRecord] = field(default_factory=list)
+    instances: list[InstanceRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_state_visit(self, record: StateVisitRecord) -> None:
+        self.state_visits.append(record)
+
+    def record_service_request(self, record: ServiceRequestRecord) -> None:
+        self.service_requests.append(record)
+
+    def record_instance(self, record: InstanceRecord) -> None:
+        self.instances.append(record)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def workflow_types(self) -> frozenset[str]:
+        """All workflow type names appearing in the trail."""
+        return frozenset(record.workflow_type for record in self.instances) | \
+            frozenset(record.workflow_type for record in self.state_visits)
+
+    def visits_of(self, workflow_type: str) -> Iterator[StateVisitRecord]:
+        """State visits of one workflow type."""
+        return (
+            record
+            for record in self.state_visits
+            if record.workflow_type == workflow_type
+        )
+
+    def requests_of(self, server_type: str) -> Iterator[ServiceRequestRecord]:
+        """Service requests handled by one server type."""
+        return (
+            record
+            for record in self.service_requests
+            if record.server_type == server_type
+        )
+
+    def instances_of(self, workflow_type: str) -> Iterator[InstanceRecord]:
+        """Instance lifecycles of one workflow type."""
+        return (
+            record
+            for record in self.instances
+            if record.workflow_type == workflow_type
+        )
+
+    def merge(self, others: Iterable["AuditTrail"]) -> "AuditTrail":
+        """A new trail combining this one with the given trails."""
+        merged = AuditTrail(
+            state_visits=list(self.state_visits),
+            service_requests=list(self.service_requests),
+            instances=list(self.instances),
+        )
+        for other in others:
+            merged.state_visits.extend(other.state_visits)
+            merged.service_requests.extend(other.service_requests)
+            merged.instances.extend(other.instances)
+        return merged

@@ -1,0 +1,122 @@
+"""Persistence of audit trails as JSON Lines.
+
+A real monitoring pipeline collects audit records continuously and the
+calibration component consumes them offline (Section 7.1); this module
+provides the interchange format: one JSON object per line, with a
+``kind`` discriminator (``state_visit`` / ``service_request`` /
+``instance``).  Files written by one process can be merged and loaded by
+another, and loading validates every record through the dataclass
+constructors.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from repro.exceptions import ValidationError
+from repro.monitor.audit import (
+    AuditTrail,
+    InstanceRecord,
+    ServiceRequestRecord,
+    StateVisitRecord,
+)
+
+_KIND_STATE_VISIT = "state_visit"
+_KIND_SERVICE_REQUEST = "service_request"
+_KIND_INSTANCE = "instance"
+
+
+def _record_lines(trail: AuditTrail) -> Iterator[dict[str, Any]]:
+    for visit in trail.state_visits:
+        yield {
+            "kind": _KIND_STATE_VISIT,
+            "instance_id": visit.instance_id,
+            "workflow_type": visit.workflow_type,
+            "state": visit.state,
+            "entered_at": visit.entered_at,
+            "left_at": visit.left_at,
+            "next_state": visit.next_state,
+        }
+    for request in trail.service_requests:
+        yield {
+            "kind": _KIND_SERVICE_REQUEST,
+            "server_type": request.server_type,
+            "server_name": request.server_name,
+            "submitted_at": request.submitted_at,
+            "started_at": request.started_at,
+            "completed_at": request.completed_at,
+            "instance_id": request.instance_id,
+        }
+    for instance in trail.instances:
+        yield {
+            "kind": _KIND_INSTANCE,
+            "instance_id": instance.instance_id,
+            "workflow_type": instance.workflow_type,
+            "started_at": instance.started_at,
+            "completed_at": instance.completed_at,
+        }
+
+
+def save_trail(trail: AuditTrail, path: str | Path) -> int:
+    """Write a trail as JSON Lines; returns the number of records."""
+    count = 0
+    with Path(path).open("w") as stream:
+        for record in _record_lines(trail):
+            stream.write(json.dumps(record, sort_keys=True))
+            stream.write("\n")
+            count += 1
+    return count
+
+
+def _parse_record(data: dict[str, Any], line_number: int, trail: AuditTrail) -> None:
+    kind = data.pop("kind", None)
+    try:
+        if kind == _KIND_STATE_VISIT:
+            trail.record_state_visit(StateVisitRecord(**data))
+        elif kind == _KIND_SERVICE_REQUEST:
+            trail.record_service_request(ServiceRequestRecord(**data))
+        elif kind == _KIND_INSTANCE:
+            trail.record_instance(InstanceRecord(**data))
+        else:
+            raise ValidationError(f"unknown record kind {kind!r}")
+    except TypeError as exc:
+        raise ValidationError(
+            f"line {line_number}: malformed {kind} record: {exc}"
+        ) from exc
+
+
+def load_trail(path: str | Path) -> AuditTrail:
+    """Read a JSON Lines trail file; validates every record."""
+    trail = AuditTrail()
+    try:
+        lines = Path(path).read_text().splitlines()
+    except FileNotFoundError:
+        raise ValidationError(f"trail file not found: {path}") from None
+    for line_number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(
+                f"line {line_number}: invalid JSON: {exc}"
+            ) from exc
+        if not isinstance(data, dict):
+            raise ValidationError(
+                f"line {line_number}: expected a JSON object"
+            )
+        _parse_record(data, line_number, trail)
+    return trail
+
+
+def merge_trail_files(
+    paths: Iterable[str | Path], output: str | Path
+) -> int:
+    """Concatenate several trail files into one; returns record count."""
+    merged = AuditTrail()
+    for path in paths:
+        merged = merged.merge([load_trail(path)])
+    return save_trail(merged, output)

@@ -1,0 +1,22 @@
+"""Organizational model and worklist management (Section 2 substrate)."""
+
+from repro.org.model import Actor, Organization, OrgUnit, Role
+from repro.org.worklist import (
+    ActorMeasurement,
+    AssignmentPolicy,
+    SimulatedWorklist,
+    WorkItem,
+    WorklistReport,
+)
+
+__all__ = [
+    "Actor",
+    "ActorMeasurement",
+    "AssignmentPolicy",
+    "OrgUnit",
+    "Organization",
+    "Role",
+    "SimulatedWorklist",
+    "WorkItem",
+    "WorklistReport",
+]

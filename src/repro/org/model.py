@@ -1,0 +1,184 @@
+"""Organizational model: roles, actors, and organizational units.
+
+Section 2 of the paper: an activity "can first require the assignment to
+an appropriate human actor or organizational unit according to a
+specified worklist management policy".  The paper's *performance* models
+deliberately disregard human behaviour; this package provides the
+organizational substrate anyway, because the simulated WFMS can then
+demonstrate what the analytic model abstracts away — actor contention on
+interactive activities — and because worklist management is part of the
+architectural picture (the paper lists worklist facilities among the
+server types one could add).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class Role:
+    """A capability/qualification actors can hold (e.g. ``clerk``)."""
+
+    name: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("role name must be non-empty")
+
+
+@dataclass(frozen=True)
+class Actor:
+    """A human actor with roles and a relative working speed.
+
+    ``efficiency`` scales processing durations: an actor with efficiency
+    2.0 completes work items in half the nominal time.
+    """
+
+    name: str
+    roles: frozenset[str] = field(default_factory=frozenset)
+    efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("actor name must be non-empty")
+        object.__setattr__(self, "roles", frozenset(self.roles))
+        if self.efficiency <= 0.0:
+            raise ValidationError(
+                f"actor {self.name}: efficiency must be positive"
+            )
+
+    def has_role(self, role: str) -> bool:
+        return role in self.roles
+
+
+@dataclass(frozen=True)
+class OrgUnit:
+    """An organizational unit grouping actors (optionally nested)."""
+
+    name: str
+    actor_names: tuple[str, ...] = ()
+    parent: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("unit name must be non-empty")
+        object.__setattr__(self, "actor_names", tuple(self.actor_names))
+
+
+class Organization:
+    """The enterprise's actors, units, and declared roles."""
+
+    def __init__(
+        self,
+        actors: Iterable[Actor],
+        units: Iterable[OrgUnit] = (),
+        roles: Iterable[Role] = (),
+    ) -> None:
+        self._actors = {actor.name: actor for actor in actors}
+        if not self._actors:
+            raise ValidationError("organization needs at least one actor")
+        actor_list = list(self._actors)
+        if len(actor_list) != len(set(actor_list)):  # pragma: no cover
+            raise ValidationError("duplicate actor names")
+
+        self._roles = {role.name: role for role in roles}
+        if self._roles:
+            for actor in self._actors.values():
+                undeclared = actor.roles - set(self._roles)
+                if undeclared:
+                    raise ValidationError(
+                        f"actor {actor.name} holds undeclared roles "
+                        f"{sorted(undeclared)}"
+                    )
+
+        self._units = {unit.name: unit for unit in units}
+        for unit in self._units.values():
+            for member in unit.actor_names:
+                if member not in self._actors:
+                    raise ValidationError(
+                        f"unit {unit.name} lists unknown actor {member!r}"
+                    )
+            if unit.parent is not None and unit.parent not in self._units:
+                raise ValidationError(
+                    f"unit {unit.name} has unknown parent {unit.parent!r}"
+                )
+        self._check_unit_cycles()
+
+    def _check_unit_cycles(self) -> None:
+        for name in self._units:
+            seen = set()
+            node: str | None = name
+            while node is not None:
+                if node in seen:
+                    raise ValidationError(
+                        f"organizational units form a cycle at {node!r}"
+                    )
+                seen.add(node)
+                node = self._units[node].parent
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def actors(self) -> tuple[Actor, ...]:
+        """All actors, in registration order."""
+        return tuple(self._actors.values())
+
+    @property
+    def roles(self) -> tuple[Role, ...]:
+        return tuple(self._roles.values())
+
+    @property
+    def units(self) -> tuple[OrgUnit, ...]:
+        return tuple(self._units.values())
+
+    def actor(self, name: str) -> Actor:
+        try:
+            return self._actors[name]
+        except KeyError:
+            raise ValidationError(f"unknown actor {name!r}") from None
+
+    def unit(self, name: str) -> OrgUnit:
+        try:
+            return self._units[name]
+        except KeyError:
+            raise ValidationError(f"unknown unit {name!r}") from None
+
+    def actors_with_role(self, role: str) -> tuple[Actor, ...]:
+        """All actors qualified for ``role`` (may be empty)."""
+        return tuple(
+            actor for actor in self._actors.values()
+            if actor.has_role(role)
+        )
+
+    def actors_of_unit(
+        self, unit_name: str, include_subunits: bool = True
+    ) -> tuple[Actor, ...]:
+        """Members of a unit, optionally including nested units."""
+        self.unit(unit_name)
+        names: list[str] = []
+        for unit in self._units.values():
+            if unit.name == unit_name or (
+                include_subunits and self._is_descendant(unit, unit_name)
+            ):
+                names.extend(unit.actor_names)
+        seen: set[str] = set()
+        members = []
+        for name in names:
+            if name not in seen:
+                seen.add(name)
+                members.append(self._actors[name])
+        return tuple(members)
+
+    def _is_descendant(self, unit: OrgUnit, ancestor: str) -> bool:
+        node = unit.parent
+        while node is not None:
+            if node == ancestor:
+                return True
+            node = self._units[node].parent
+        return False

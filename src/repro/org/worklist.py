@@ -1,0 +1,238 @@
+"""Worklist management for interactive activities (Section 2).
+
+Interactive activities are assigned to qualified actors according to a
+*worklist management policy*; each actor processes their work items one
+at a time (humans are single servers).  Plugged into the simulated WFMS,
+this exposes the effect the analytic models deliberately exclude: under
+actor contention, interactive activities wait in worklists and measured
+turnaround times exceed the CTMC prediction — quantifying the cost of
+the paper's "disregard all effects of human user behavior" assumption.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.exceptions import ValidationError
+from repro.org.model import Actor, Organization
+from repro.sim.engine import Simulator
+from repro.sim.statistics import RunningStats, TimeWeightedStats
+
+
+class AssignmentPolicy(enum.Enum):
+    """How a new work item picks among the qualified actors."""
+
+    RANDOM = "random"
+    ROUND_ROBIN = "round_robin"
+    #: Fewest open (queued + active) items; ties broken by order.
+    LEAST_LOADED = "least_loaded"
+
+
+@dataclass
+class WorkItem:
+    """One interactive activity instance waiting for / at an actor."""
+
+    activity: str
+    instance_id: int
+    nominal_duration: float
+    created_at: float
+    on_complete: Callable[["WorkItem"], None] = field(repr=False)
+    assigned_actor: str | None = None
+    started_at: float | None = None
+    completed_at: float | None = None
+
+    @property
+    def waiting_time(self) -> float:
+        """Time spent in the worklist before the actor started it."""
+        if self.started_at is None:
+            raise ValidationError("work item not started yet")
+        return self.started_at - self.created_at
+
+
+class _ActorRuntime:
+    """FCFS single-server runtime of one actor."""
+
+    def __init__(self, simulator: Simulator, actor: Actor) -> None:
+        self.simulator = simulator
+        self.actor = actor
+        self.queue: deque[WorkItem] = deque()
+        self.current: WorkItem | None = None
+        self.busy = TimeWeightedStats(0.0, simulator.now)
+        self.completed_items = 0
+
+    @property
+    def open_items(self) -> int:
+        return len(self.queue) + (1 if self.current is not None else 0)
+
+    def submit(self, item: WorkItem) -> None:
+        self.queue.append(item)
+        self._try_start()
+
+    def _try_start(self) -> None:
+        if self.current is not None or not self.queue:
+            return
+        item = self.queue.popleft()
+        item.started_at = self.simulator.now
+        self.current = item
+        self.busy.update(1.0, self.simulator.now)
+        processing = item.nominal_duration / self.actor.efficiency
+        self.simulator.schedule(processing, self._complete, item)
+
+    def _complete(self, item: WorkItem) -> None:
+        item.completed_at = self.simulator.now
+        self.current = None
+        self.completed_items += 1
+        self.busy.update(0.0, self.simulator.now)
+        item.on_complete(item)
+        self._try_start()
+
+
+@dataclass(frozen=True)
+class ActorMeasurement:
+    """Measured behaviour of one actor over a run."""
+
+    name: str
+    completed_items: int
+    utilization: float
+
+
+@dataclass(frozen=True)
+class WorklistReport:
+    """Aggregated worklist statistics of one run."""
+
+    mean_waiting_time: float
+    waiting_samples: int
+    actors: dict[str, ActorMeasurement]
+
+    def format_text(self) -> str:
+        lines = [
+            f"Worklist: mean waiting {self.mean_waiting_time:.4f} over "
+            f"{self.waiting_samples} items",
+        ]
+        for measurement in self.actors.values():
+            lines.append(
+                f"  {measurement.name:16s} items "
+                f"{measurement.completed_items:6d}   utilization "
+                f"{measurement.utilization:.4f}"
+            )
+        return "\n".join(lines)
+
+
+class SimulatedWorklist:
+    """Assigns interactive work items to actors and runs them.
+
+    Parameters
+    ----------
+    simulator:
+        The discrete-event engine shared with the WFMS.
+    organization:
+        Actors (with roles) available for assignment.
+    activity_roles:
+        Maps activity names to the role required to work on them;
+        unmapped activities may be handled by *any* actor.
+    policy:
+        The worklist management policy.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        organization: Organization,
+        activity_roles: Mapping[str, str] | None = None,
+        policy: AssignmentPolicy = AssignmentPolicy.LEAST_LOADED,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.simulator = simulator
+        self.organization = organization
+        self.activity_roles = dict(activity_roles or {})
+        self.policy = policy
+        self._rng = rng if rng is not None else random.Random()
+        self._runtimes = {
+            actor.name: _ActorRuntime(simulator, actor)
+            for actor in organization.actors
+        }
+        self._round_robin_position = 0
+        self.waiting_times = RunningStats()
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        activity: str,
+        instance_id: int,
+        nominal_duration: float,
+        on_complete: Callable[[WorkItem], None],
+    ) -> WorkItem:
+        """Create, assign, and enqueue one work item."""
+        if nominal_duration <= 0.0:
+            raise ValidationError("nominal duration must be positive")
+        candidates = self._candidates(activity)
+        actor = self._choose(candidates)
+
+        def record_and_forward(item: WorkItem) -> None:
+            self.waiting_times.add(item.waiting_time)
+            on_complete(item)
+
+        item = WorkItem(
+            activity=activity,
+            instance_id=instance_id,
+            nominal_duration=nominal_duration,
+            created_at=self.simulator.now,
+            on_complete=record_and_forward,
+            assigned_actor=actor.name,
+        )
+        self._runtimes[actor.name].submit(item)
+        return item
+
+    def _candidates(self, activity: str) -> tuple[Actor, ...]:
+        role = self.activity_roles.get(activity)
+        if role is None:
+            return self.organization.actors
+        candidates = self.organization.actors_with_role(role)
+        if not candidates:
+            raise ValidationError(
+                f"no actor holds role {role!r} required by activity "
+                f"{activity!r}"
+            )
+        return candidates
+
+    def _choose(self, candidates: tuple[Actor, ...]) -> Actor:
+        if len(candidates) == 1:
+            return candidates[0]
+        if self.policy is AssignmentPolicy.RANDOM:
+            return self._rng.choice(candidates)
+        if self.policy is AssignmentPolicy.ROUND_ROBIN:
+            self._round_robin_position += 1
+            return candidates[self._round_robin_position % len(candidates)]
+        # LEAST_LOADED
+        return min(
+            candidates,
+            key=lambda actor: self._runtimes[actor.name].open_items,
+        )
+
+    # ------------------------------------------------------------------
+    def open_items(self, actor_name: str) -> int:
+        """Currently queued + active items of one actor."""
+        try:
+            return self._runtimes[actor_name].open_items
+        except KeyError:
+            raise ValidationError(f"unknown actor {actor_name!r}") from None
+
+    def report(self) -> WorklistReport:
+        """Aggregate statistics over all actors."""
+        now = self.simulator.now
+        return WorklistReport(
+            mean_waiting_time=self.waiting_times.mean,
+            waiting_samples=self.waiting_times.count,
+            actors={
+                name: ActorMeasurement(
+                    name=name,
+                    completed_items=runtime.completed_items,
+                    utilization=runtime.busy.time_average(now),
+                )
+                for name, runtime in self._runtimes.items()
+            },
+        )

@@ -1,0 +1,37 @@
+"""Little's law helpers.
+
+Section 4.3 applies Little's law to the population of concurrently active
+workflow instances: ``N_active = arrival_rate * turnaround_time``.  These
+helpers make the three-way relationship explicit and validated.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ValidationError
+
+
+def mean_population(arrival_rate: float, mean_time_in_system: float) -> float:
+    """``N = lambda * T`` — e.g. concurrently active workflow instances."""
+    if arrival_rate < 0.0:
+        raise ValidationError("arrival rate must be >= 0")
+    if mean_time_in_system < 0.0:
+        raise ValidationError("mean time in system must be >= 0")
+    return arrival_rate * mean_time_in_system
+
+
+def mean_response_time(mean_population_: float, arrival_rate: float) -> float:
+    """``T = N / lambda``."""
+    if mean_population_ < 0.0:
+        raise ValidationError("population must be >= 0")
+    if arrival_rate <= 0.0:
+        raise ValidationError("arrival rate must be positive")
+    return mean_population_ / arrival_rate
+
+
+def throughput(mean_population_: float, mean_time_in_system: float) -> float:
+    """``lambda = N / T``."""
+    if mean_population_ < 0.0:
+        raise ValidationError("population must be >= 0")
+    if mean_time_in_system <= 0.0:
+        raise ValidationError("mean time in system must be positive")
+    return mean_population_ / mean_time_in_system

@@ -1,0 +1,78 @@
+"""M/M/1 and M/M/c queueing formulas.
+
+Used as oracles for the M/G/1 implementation (an M/M/1 is the exponential
+special case) and to quantify how much the paper's "one M/G/1 per replica"
+partitioning model loses against an idealized shared queue with ``c``
+servers (see the ablation benchmark).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import SaturationError, ValidationError
+
+
+def mm1_mean_waiting_time(
+    arrival_rate: float, service_rate: float, strict: bool = False
+) -> float:
+    """Mean waiting time of an M/M/1 queue: ``rho / (mu - lambda)``."""
+    if arrival_rate < 0.0:
+        raise ValidationError("arrival rate must be >= 0")
+    if service_rate <= 0.0:
+        raise ValidationError("service rate must be positive")
+    utilization = arrival_rate / service_rate
+    if utilization >= 1.0:
+        if strict:
+            raise SaturationError(
+                f"station saturated: utilization {utilization:.4f} >= 1"
+            )
+        return math.inf
+    return utilization / (service_rate - arrival_rate)
+
+
+def erlang_c(num_servers: int, offered_load: float) -> float:
+    """Erlang-C probability that an arriving request must wait.
+
+    ``offered_load`` is ``a = lambda / mu`` in Erlangs; requires
+    ``a < num_servers`` for stability.
+    """
+    if num_servers < 1:
+        raise ValidationError("need at least one server")
+    if offered_load < 0.0:
+        raise ValidationError("offered load must be >= 0")
+    if offered_load >= num_servers:
+        return 1.0
+    if offered_load == 0.0:
+        return 0.0
+    # Iterative Erlang-B then convert to Erlang-C (numerically stable).
+    blocking = 1.0
+    for k in range(1, num_servers + 1):
+        blocking = offered_load * blocking / (k + offered_load * blocking)
+    utilization = offered_load / num_servers
+    return blocking / (1.0 - utilization * (1.0 - blocking))
+
+
+def mmc_mean_waiting_time(
+    arrival_rate: float,
+    service_rate: float,
+    num_servers: int,
+    strict: bool = False,
+) -> float:
+    """Mean waiting time of an M/M/c queue with a shared queue."""
+    if arrival_rate < 0.0:
+        raise ValidationError("arrival rate must be >= 0")
+    if service_rate <= 0.0:
+        raise ValidationError("service rate must be positive")
+    if num_servers < 1:
+        raise ValidationError("need at least one server")
+    offered_load = arrival_rate / service_rate
+    if offered_load >= num_servers:
+        if strict:
+            raise SaturationError(
+                f"station saturated: offered load {offered_load:.4f} >= "
+                f"{num_servers} servers"
+            )
+        return math.inf
+    wait_probability = erlang_c(num_servers, offered_load)
+    return wait_probability / (num_servers * service_rate - arrival_rate)

@@ -1,0 +1,34 @@
+"""Discrete-event simulation kernel: engine, distributions, statistics."""
+
+from repro.sim.distributions import (
+    Deterministic,
+    Distribution,
+    Erlang,
+    Exponential,
+    HyperExponential,
+    LogNormal,
+    Uniform,
+    distribution_for_moments,
+)
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.statistics import (
+    RateCounter,
+    RunningStats,
+    TimeWeightedStats,
+)
+
+__all__ = [
+    "Deterministic",
+    "Distribution",
+    "Erlang",
+    "EventHandle",
+    "Exponential",
+    "HyperExponential",
+    "LogNormal",
+    "RateCounter",
+    "RunningStats",
+    "Simulator",
+    "TimeWeightedStats",
+    "Uniform",
+    "distribution_for_moments",
+]

@@ -1,0 +1,268 @@
+"""Random-variate distributions with known first two moments.
+
+The analytic models of the paper characterize service times only by their
+first two moments (the M/G/1 formula of Section 4.4); the simulator must
+therefore sample from distributions whose moments are known exactly, so
+that simulated and analytic inputs match.  Every distribution reports its
+``mean``, ``second_moment``, ``variance``, and squared coefficient of
+variation.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import random
+from dataclasses import dataclass
+
+from repro.exceptions import ValidationError
+
+
+class Distribution(abc.ABC):
+    """A non-negative continuous distribution with known moments."""
+
+    @abc.abstractmethod
+    def sample(self, rng: random.Random) -> float:
+        """Draw one variate."""
+
+    @property
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """First moment."""
+
+    @property
+    @abc.abstractmethod
+    def second_moment(self) -> float:
+        """Raw second moment ``E[X^2]``."""
+
+    @property
+    def variance(self) -> float:
+        """Central second moment."""
+        return self.second_moment - self.mean**2
+
+    @property
+    def squared_coefficient_of_variation(self) -> float:
+        """``Var / mean^2``: 0 deterministic, 1 exponential, >1 bursty."""
+        if self.mean == 0.0:
+            return 0.0
+        return self.variance / self.mean**2
+
+
+@dataclass(frozen=True)
+class Deterministic(Distribution):
+    """A constant duration."""
+
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value < 0.0:
+            raise ValidationError("value must be >= 0")
+
+    def sample(self, rng: random.Random) -> float:
+        return self.value
+
+    @property
+    def mean(self) -> float:
+        return self.value
+
+    @property
+    def second_moment(self) -> float:
+        return self.value**2
+
+
+@dataclass(frozen=True)
+class Exponential(Distribution):
+    """Exponential distribution parameterized by its *mean*."""
+
+    mean_value: float
+
+    def __post_init__(self) -> None:
+        if self.mean_value <= 0.0:
+            raise ValidationError("mean must be positive")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.expovariate(1.0 / self.mean_value)
+
+    @property
+    def mean(self) -> float:
+        return self.mean_value
+
+    @property
+    def second_moment(self) -> float:
+        return 2.0 * self.mean_value**2
+
+
+@dataclass(frozen=True)
+class Uniform(Distribution):
+    """Uniform distribution on ``[low, high]``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low < 0.0 or self.high <= self.low:
+            raise ValidationError("need 0 <= low < high")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    @property
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    @property
+    def second_moment(self) -> float:
+        return (self.low**2 + self.low * self.high + self.high**2) / 3.0
+
+
+@dataclass(frozen=True)
+class Erlang(Distribution):
+    """Erlang-k distribution parameterized by stage count and mean.
+
+    Squared coefficient of variation ``1/k`` — sub-exponential
+    variability, approaching deterministic for large ``k``.
+    """
+
+    stages: int
+    mean_value: float
+
+    def __post_init__(self) -> None:
+        if self.stages < 1:
+            raise ValidationError("stages must be >= 1")
+        if self.mean_value <= 0.0:
+            raise ValidationError("mean must be positive")
+
+    def sample(self, rng: random.Random) -> float:
+        stage_mean = self.mean_value / self.stages
+        return sum(
+            rng.expovariate(1.0 / stage_mean) for _ in range(self.stages)
+        )
+
+    @property
+    def mean(self) -> float:
+        return self.mean_value
+
+    @property
+    def second_moment(self) -> float:
+        variance = self.mean_value**2 / self.stages
+        return variance + self.mean_value**2
+
+
+@dataclass(frozen=True)
+class HyperExponential(Distribution):
+    """Probabilistic mixture of exponentials (SCV > 1).
+
+    ``branch_probabilities[i]`` selects an exponential with mean
+    ``branch_means[i]``.
+    """
+
+    branch_probabilities: tuple[float, ...]
+    branch_means: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        probabilities = tuple(self.branch_probabilities)
+        means = tuple(self.branch_means)
+        object.__setattr__(self, "branch_probabilities", probabilities)
+        object.__setattr__(self, "branch_means", means)
+        if len(probabilities) != len(means) or not probabilities:
+            raise ValidationError(
+                "need equally many (>=1) probabilities and means"
+            )
+        if any(probability <= 0.0 for probability in probabilities):
+            raise ValidationError("branch probabilities must be positive")
+        if abs(sum(probabilities) - 1.0) > 1e-9:
+            raise ValidationError("branch probabilities must sum to 1")
+        if any(mean <= 0.0 for mean in means):
+            raise ValidationError("branch means must be positive")
+
+    def sample(self, rng: random.Random) -> float:
+        mean = rng.choices(
+            self.branch_means, weights=self.branch_probabilities, k=1
+        )[0]
+        return rng.expovariate(1.0 / mean)
+
+    @property
+    def mean(self) -> float:
+        return sum(
+            probability * mean
+            for probability, mean in zip(
+                self.branch_probabilities, self.branch_means
+            )
+        )
+
+    @property
+    def second_moment(self) -> float:
+        return sum(
+            probability * 2.0 * mean**2
+            for probability, mean in zip(
+                self.branch_probabilities, self.branch_means
+            )
+        )
+
+
+@dataclass(frozen=True)
+class LogNormal(Distribution):
+    """Log-normal distribution parameterized by mean and SCV.
+
+    Heavy-tailed service times; useful to stress the M/G/1 model's
+    second-moment sensitivity.
+    """
+
+    mean_value: float
+    scv: float
+
+    def __post_init__(self) -> None:
+        if self.mean_value <= 0.0:
+            raise ValidationError("mean must be positive")
+        if self.scv <= 0.0:
+            raise ValidationError("scv must be positive")
+
+    def _parameters(self) -> tuple[float, float]:
+        sigma_squared = math.log(1.0 + self.scv)
+        mu = math.log(self.mean_value) - 0.5 * sigma_squared
+        return mu, math.sqrt(sigma_squared)
+
+    def sample(self, rng: random.Random) -> float:
+        mu, sigma = self._parameters()
+        return rng.lognormvariate(mu, sigma)
+
+    @property
+    def mean(self) -> float:
+        return self.mean_value
+
+    @property
+    def second_moment(self) -> float:
+        return self.mean_value**2 * (1.0 + self.scv)
+
+
+def distribution_for_moments(
+    mean: float, second_moment: float
+) -> Distribution:
+    """Pick a distribution matching the given first two moments.
+
+    Chooses by squared coefficient of variation: deterministic for SCV 0,
+    Erlang for SCV < 1 (nearest stage count), exponential for SCV 1, and
+    a balanced two-branch hyperexponential for SCV > 1.  This is how the
+    simulator realizes the service-time moments the analytic model was
+    fed, closing the loop between the two.
+    """
+    if mean <= 0.0:
+        raise ValidationError("mean must be positive")
+    if second_moment < mean**2:
+        raise ValidationError("second moment must be >= mean**2")
+    scv = (second_moment - mean**2) / mean**2
+    if scv < 1e-9:
+        return Deterministic(mean)
+    if abs(scv - 1.0) < 1e-9:
+        return Exponential(mean)
+    if scv < 1.0:
+        stages = max(1, round(1.0 / scv))
+        return Erlang(stages=stages, mean_value=mean)
+    # Balanced-means hyperexponential fit for SCV > 1 (standard
+    # two-moment fit with p1/m1 = p2/m2 symmetry).
+    skew = math.sqrt((scv - 1.0) / (scv + 1.0))
+    p1 = 0.5 * (1.0 + skew)
+    p2 = 1.0 - p1
+    m1 = mean / (2.0 * p1)
+    m2 = mean / (2.0 * p2)
+    return HyperExponential((p1, p2), (m1, m2))

@@ -1,0 +1,138 @@
+"""Discrete-event simulation kernel.
+
+A minimal but complete event calendar: events are scheduled at absolute
+or relative times, executed in timestamp order (FIFO among ties, via a
+monotone sequence number), and can be cancelled.  The simulated WFMS of
+:mod:`repro.wfms` is built on top of this engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.exceptions import ValidationError
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Handle to a scheduled event; allows cancellation."""
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Scheduled execution time."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Cancel the event (idempotent; no-op if already executed)."""
+        self._event.cancelled = True
+
+
+class Simulator:
+    """The event calendar: schedules and dispatches simulation events."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._sequence = 0
+        self._calendar: list[_ScheduledEvent] = []
+        self._executed_events = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def executed_events(self) -> int:
+        """Number of events dispatched so far."""
+        return self._executed_events
+
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled (possibly cancelled) future events."""
+        return len(self._calendar)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` from now."""
+        if delay < 0.0:
+            raise ValidationError(f"delay must be >= 0, got {delay}")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulation time."""
+        if time < self._now:
+            raise ValidationError(
+                f"cannot schedule into the past: {time} < now {self._now}"
+            )
+        event = _ScheduledEvent(
+            time=time, sequence=self._sequence, callback=callback, args=args
+        )
+        self._sequence += 1
+        heapq.heappush(self._calendar, event)
+        return EventHandle(event)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Dispatch the next event; returns False when the calendar is empty."""
+        while self._calendar:
+            event = heapq.heappop(self._calendar)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._executed_events += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run_until(self, end_time: float) -> None:
+        """Dispatch all events with time <= ``end_time``; advance the clock.
+
+        The clock ends exactly at ``end_time`` even if the calendar holds
+        later events (they remain scheduled).
+        """
+        if end_time < self._now:
+            raise ValidationError(
+                f"end_time {end_time} lies before now {self._now}"
+            )
+        while self._calendar:
+            head = self._calendar[0]
+            if head.cancelled:
+                heapq.heappop(self._calendar)
+                continue
+            if head.time > end_time:
+                break
+            self.step()
+        self._now = end_time
+
+    def run(self, max_events: int | None = None) -> None:
+        """Dispatch events until the calendar drains (or a cap is hit)."""
+        dispatched = 0
+        while self.step():
+            dispatched += 1
+            if max_events is not None and dispatched >= max_events:
+                return

@@ -1,0 +1,152 @@
+"""Online statistics collectors for simulation measurements.
+
+Collects exactly the quantities the paper's calibration component needs
+(Section 7.1): first and second moments of observed durations (service
+times, waiting times), time-weighted averages (utilization, availability),
+and event counts/rates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ValidationError
+
+#: Two-sided 95% normal quantile used for confidence intervals.
+NORMAL_QUANTILE_95 = 1.959963984540054
+
+
+class RunningStats:
+    """Streaming mean / variance / second moment (Welford's algorithm)."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0  # sum of squared deviations from the running mean
+        self._sum_squares = 0.0
+        self._minimum = math.inf
+        self._maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        """Record one observation."""
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        self._sum_squares += value * value
+        self._minimum = min(self._minimum, value)
+        self._maximum = max(self._maximum, value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0 when empty)."""
+        return self._mean if self._count else 0.0
+
+    @property
+    def second_moment(self) -> float:
+        """Raw second moment ``E[X^2]`` estimate."""
+        if not self._count:
+            return 0.0
+        return self._sum_squares / self._count
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance."""
+        if self._count < 2:
+            return 0.0
+        return self._m2 / (self._count - 1)
+
+    @property
+    def standard_deviation(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        return self._minimum if self._count else math.nan
+
+    @property
+    def maximum(self) -> float:
+        return self._maximum if self._count else math.nan
+
+    def confidence_interval_95(self) -> tuple[float, float]:
+        """Normal-approximation 95% CI of the mean."""
+        if self._count < 2:
+            return (self.mean, self.mean)
+        half_width = NORMAL_QUANTILE_95 * self.standard_deviation / math.sqrt(
+            self._count
+        )
+        return (self.mean - half_width, self.mean + half_width)
+
+
+class TimeWeightedStats:
+    """Time-average of a piecewise-constant signal (utilization etc.).
+
+    Call :meth:`update` whenever the signal changes; the value between
+    updates is held constant.  :meth:`finalize` closes the observation
+    window at the given time.
+    """
+
+    def __init__(self, initial_value: float = 0.0, start_time: float = 0.0):
+        self._value = initial_value
+        self._last_time = start_time
+        self._start_time = start_time
+        self._weighted_sum = 0.0
+        self._finalized_at: float | None = None
+
+    def update(self, value: float, time: float) -> None:
+        """The signal takes ``value`` from ``time`` onwards."""
+        if time < self._last_time:
+            raise ValidationError(
+                f"time {time} precedes last update {self._last_time}"
+            )
+        self._weighted_sum += self._value * (time - self._last_time)
+        self._value = value
+        self._last_time = time
+
+    @property
+    def current_value(self) -> float:
+        return self._value
+
+    def finalize(self, time: float) -> None:
+        """Close the window; the signal held its value until ``time``."""
+        self.update(self._value, time)
+        self._finalized_at = time
+
+    def time_average(self, until: float | None = None) -> float:
+        """Time-weighted average over the observation window."""
+        end = until if until is not None else (
+            self._finalized_at
+            if self._finalized_at is not None
+            else self._last_time
+        )
+        if end < self._last_time:
+            raise ValidationError("averaging window ends before last update")
+        total = end - self._start_time
+        if total <= 0.0:
+            return self._value
+        weighted = self._weighted_sum + self._value * (end - self._last_time)
+        return weighted / total
+
+
+@dataclass
+class RateCounter:
+    """Counts events and reports their rate over the observed window."""
+
+    count: int = 0
+    start_time: float = 0.0
+
+    def record(self) -> None:
+        """Count one event."""
+        self.count += 1
+
+    def rate(self, now: float) -> float:
+        """Events per time unit since ``start_time``."""
+        window = now - self.start_time
+        if window <= 0.0:
+            return 0.0
+        return self.count / window

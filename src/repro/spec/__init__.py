@@ -1,0 +1,89 @@
+"""State-chart workflow specification language (Section 3.1).
+
+State charts with ECA rules, nested states, and orthogonal components;
+structural validation; a fluent builder; an executable interpreter for the
+simulated WFMS; and the translation into the stochastic model layer.
+"""
+
+from repro.spec.builder import StateChartBuilder
+from repro.spec.graph import (
+    activity_dependencies,
+    chart_to_graph,
+    control_flow_cycles,
+    critical_path,
+    mandatory_states,
+)
+from repro.spec.render import to_dot, workflow_ctmc_to_dot
+from repro.spec.events import (
+    And,
+    ECARule,
+    Guard,
+    Not,
+    Or,
+    RaiseEvent,
+    SetCondition,
+    StartActivity,
+    TrueGuard,
+    Var,
+    completion_event,
+)
+from repro.spec.interpreter import (
+    ActiveState,
+    BranchResolver,
+    GuardedResolver,
+    InterpreterListener,
+    ProbabilisticResolver,
+    StateChartInterpreter,
+    StatePath,
+)
+from repro.spec.statechart import ChartState, ChartTransition, StateChart
+from repro.spec.translator import (
+    DEFAULT_ROUTING_DURATION,
+    ActivityRegistry,
+    translate_chart,
+)
+from repro.spec.validation import (
+    ChartIssue,
+    IssueLevel,
+    ensure_valid,
+    validate_chart,
+)
+
+__all__ = [
+    "ActiveState",
+    "ActivityRegistry",
+    "And",
+    "activity_dependencies",
+    "chart_to_graph",
+    "control_flow_cycles",
+    "critical_path",
+    "mandatory_states",
+    "to_dot",
+    "workflow_ctmc_to_dot",
+    "BranchResolver",
+    "ChartIssue",
+    "ChartState",
+    "ChartTransition",
+    "DEFAULT_ROUTING_DURATION",
+    "ECARule",
+    "Guard",
+    "GuardedResolver",
+    "InterpreterListener",
+    "IssueLevel",
+    "Not",
+    "Or",
+    "ProbabilisticResolver",
+    "RaiseEvent",
+    "SetCondition",
+    "StartActivity",
+    "StateChart",
+    "StateChartBuilder",
+    "StateChartInterpreter",
+    "StatePath",
+    "TrueGuard",
+    "Var",
+    "completion_event",
+    "ensure_valid",
+    "translate_chart",
+    "validate_chart",
+]

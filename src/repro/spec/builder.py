@@ -1,0 +1,153 @@
+"""Fluent builder for state charts.
+
+Writing :class:`~repro.spec.statechart.StateChart` literals by hand is
+verbose; the builder offers a compact, validated construction style::
+
+    chart = (
+        StateChartBuilder("EP")
+        .activity_state("NewOrder", activity="NewOrder")
+        .activity_state("CreditCardCheck", activity="CreditCardCheck")
+        .routing_state("EP_EXIT_S", mean_duration=0.1)
+        .initial("NewOrder")
+        .transition("NewOrder", "CreditCardCheck",
+                    event="NewOrder_DONE", guard=Var("PayByCreditCard"),
+                    probability=0.6)
+        ...
+        .build()
+    )
+
+``build()`` runs the structural validation of
+:mod:`repro.spec.validation` and raises on errors.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ValidationError
+from repro.spec.events import Action, ECARule, Guard, TrueGuard
+from repro.spec.statechart import ChartState, ChartTransition, StateChart
+from repro.spec.validation import ensure_valid
+
+
+class StateChartBuilder:
+    """Incrementally assembles and validates a :class:`StateChart`."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValidationError("chart name must be non-empty")
+        self._name = name
+        self._states: list[ChartState] = []
+        self._transitions: list[ChartTransition] = []
+        self._initial: str | None = None
+
+    # ------------------------------------------------------------------
+    # States
+    # ------------------------------------------------------------------
+    def state(self, state: ChartState) -> "StateChartBuilder":
+        """Add a pre-built state."""
+        if any(existing.name == state.name for existing in self._states):
+            raise ValidationError(
+                f"chart {self._name}: duplicate state {state.name!r}"
+            )
+        self._states.append(state)
+        return self
+
+    def activity_state(
+        self,
+        name: str,
+        activity: str | None = None,
+        entry_actions: tuple[Action, ...] = (),
+    ) -> "StateChartBuilder":
+        """Add a state that starts an activity upon entry.
+
+        ``activity`` defaults to the state name, matching the paper's
+        examples where states and their activities share names.
+        """
+        return self.state(
+            ChartState(
+                name=name,
+                activity=activity if activity is not None else name,
+                entry_actions=entry_actions,
+            )
+        )
+
+    def routing_state(
+        self, name: str, mean_duration: float,
+        entry_actions: tuple[Action, ...] = (),
+    ) -> "StateChartBuilder":
+        """Add a state without load (pure control flow/bookkeeping)."""
+        return self.state(
+            ChartState(
+                name=name,
+                mean_duration=mean_duration,
+                entry_actions=entry_actions,
+            )
+        )
+
+    def nested_state(
+        self, name: str, *regions: StateChart,
+        entry_actions: tuple[Action, ...] = (),
+    ) -> "StateChartBuilder":
+        """Add a composite state: one region nests a subworkflow, several
+        regions run orthogonally (in parallel)."""
+        if not regions:
+            raise ValidationError(
+                f"state {name}: a nested state needs at least one region"
+            )
+        return self.state(
+            ChartState(
+                name=name,
+                regions=tuple(regions),
+                entry_actions=entry_actions,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Control flow
+    # ------------------------------------------------------------------
+    def initial(self, name: str) -> "StateChartBuilder":
+        """Designate the initial state."""
+        self._initial = name
+        return self
+
+    def transition(
+        self,
+        source: str,
+        target: str,
+        event: str | None = None,
+        guard: Guard | None = None,
+        actions: tuple[Action, ...] = (),
+        probability: float | None = None,
+    ) -> "StateChartBuilder":
+        """Add a transition with an ECA rule and optional probability."""
+        self._transitions.append(
+            ChartTransition(
+                source=source,
+                target=target,
+                rule=ECARule(
+                    event=event,
+                    guard=guard if guard is not None else TrueGuard(),
+                    actions=actions,
+                ),
+                probability=probability,
+            )
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def build(self, validate: bool = True) -> StateChart:
+        """Assemble the chart; validates structure unless disabled."""
+        if self._initial is None:
+            if not self._states:
+                raise ValidationError(f"chart {self._name}: no states")
+            self._initial = self._states[0].name
+        chart = StateChart(
+            name=self._name,
+            states=tuple(self._states),
+            transitions=tuple(self._transitions),
+            initial_state=self._initial,
+        )
+        if validate:
+            ensure_valid(chart)
+        return chart

@@ -1,0 +1,224 @@
+"""Events, guard conditions, actions, and ECA rules (Section 3.1).
+
+State-chart transitions are annotated with event-condition-action rules of
+the form ``E[C]/A``: the transition fires if event ``E`` occurs and
+condition ``C`` holds; the effect executes action ``A``.  Conditions are
+boolean expressions over workflow variables; actions can start activities
+(``st!(activity)``), set or clear condition variables (``tr!(C)`` /
+``fs!(C)``), and raise events.  Each of the three components may be empty.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.exceptions import ValidationError
+
+
+def completion_event(activity_name: str) -> str:
+    """Name of the event raised when an activity finishes.
+
+    The paper's convention: for every activity ``act`` the condition
+    ``act_DONE`` is set to true when ``act`` is finished; we additionally
+    raise an event of the same name to drive transitions.
+    """
+    return f"{activity_name}_DONE"
+
+
+# ----------------------------------------------------------------------
+# Guards (the [C] part)
+# ----------------------------------------------------------------------
+class Guard(abc.ABC):
+    """A boolean expression over condition variables."""
+
+    @abc.abstractmethod
+    def evaluate(self, environment: Mapping[str, bool]) -> bool:
+        """Evaluate under an assignment; unset variables read as False."""
+
+    @abc.abstractmethod
+    def variables(self) -> frozenset[str]:
+        """The condition variables this guard reads."""
+
+
+@dataclass(frozen=True)
+class TrueGuard(Guard):
+    """The empty condition: always satisfied."""
+
+    def evaluate(self, environment: Mapping[str, bool]) -> bool:
+        return True
+
+    def variables(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class Var(Guard):
+    """Reference to a boolean condition variable."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("condition variable name must be non-empty")
+
+    def evaluate(self, environment: Mapping[str, bool]) -> bool:
+        return bool(environment.get(self.name, False))
+
+    def variables(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Not(Guard):
+    """Logical negation."""
+
+    operand: Guard
+
+    def evaluate(self, environment: Mapping[str, bool]) -> bool:
+        return not self.operand.evaluate(environment)
+
+    def variables(self) -> frozenset[str]:
+        return self.operand.variables()
+
+    def __str__(self) -> str:
+        return f"!({self.operand})"
+
+
+@dataclass(frozen=True)
+class And(Guard):
+    """Logical conjunction of one or more guards."""
+
+    operands: tuple[Guard, ...]
+
+    def __init__(self, *operands: Guard) -> None:
+        if not operands:
+            raise ValidationError("And needs at least one operand")
+        object.__setattr__(self, "operands", tuple(operands))
+
+    def evaluate(self, environment: Mapping[str, bool]) -> bool:
+        return all(guard.evaluate(environment) for guard in self.operands)
+
+    def variables(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for guard in self.operands:
+            result |= guard.variables()
+        return result
+
+    def __str__(self) -> str:
+        return " & ".join(f"({guard})" for guard in self.operands)
+
+
+@dataclass(frozen=True)
+class Or(Guard):
+    """Logical disjunction of one or more guards."""
+
+    operands: tuple[Guard, ...]
+
+    def __init__(self, *operands: Guard) -> None:
+        if not operands:
+            raise ValidationError("Or needs at least one operand")
+        object.__setattr__(self, "operands", tuple(operands))
+
+    def evaluate(self, environment: Mapping[str, bool]) -> bool:
+        return any(guard.evaluate(environment) for guard in self.operands)
+
+    def variables(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for guard in self.operands:
+            result |= guard.variables()
+        return result
+
+    def __str__(self) -> str:
+        return " | ".join(f"({guard})" for guard in self.operands)
+
+
+# ----------------------------------------------------------------------
+# Actions (the /A part)
+# ----------------------------------------------------------------------
+class Action(abc.ABC):
+    """An effect executed when a transition fires or a state is entered."""
+
+
+@dataclass(frozen=True)
+class StartActivity(Action):
+    """``st!(activity)`` — start the named activity."""
+
+    activity_name: str
+
+    def __post_init__(self) -> None:
+        if not self.activity_name:
+            raise ValidationError("activity name must be non-empty")
+
+    def __str__(self) -> str:
+        return f"st!({self.activity_name})"
+
+
+@dataclass(frozen=True)
+class SetCondition(Action):
+    """``tr!(C)`` / ``fs!(C)`` — set a condition variable."""
+
+    name: str
+    value: bool
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("condition name must be non-empty")
+
+    def __str__(self) -> str:
+        return f"{'tr' if self.value else 'fs'}!({self.name})"
+
+
+@dataclass(frozen=True)
+class RaiseEvent(Action):
+    """Generate an (internal) event."""
+
+    event_name: str
+
+    def __post_init__(self) -> None:
+        if not self.event_name:
+            raise ValidationError("event name must be non-empty")
+
+    def __str__(self) -> str:
+        return f"raise!({self.event_name})"
+
+
+# ----------------------------------------------------------------------
+# ECA rules
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ECARule:
+    """An event-condition-action triple ``E[C]/A``.
+
+    ``event`` of ``None`` means the transition is triggered by any step in
+    which its guard holds (an "empty E" in the paper's terms).
+    """
+
+    event: str | None = None
+    guard: Guard = field(default_factory=TrueGuard)
+    actions: tuple[Action, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "actions", tuple(self.actions))
+        if self.event is not None and not self.event:
+            raise ValidationError("event name must be None or non-empty")
+
+    def is_enabled(
+        self, occurred_event: str | None, environment: Mapping[str, bool]
+    ) -> bool:
+        """Whether the rule fires for the given event and variables."""
+        if self.event is not None and self.event != occurred_event:
+            return False
+        return self.guard.evaluate(environment)
+
+    def __str__(self) -> str:
+        event_text = self.event or ""
+        action_text = ", ".join(str(action) for action in self.actions)
+        return f"{event_text}[{self.guard}]/{action_text}"

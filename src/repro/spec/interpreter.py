@@ -1,0 +1,354 @@
+"""Executable state-chart semantics.
+
+The analytic models only need the stochastic *translation* of a chart;
+the simulated WFMS (:mod:`repro.wfms`) additionally needs to *execute*
+instances of it: enter states, start activities, fire transitions when
+activities complete, run orthogonal regions in parallel, and synchronize
+their termination (the join of Figure 3).  This module provides that
+runtime.
+
+Execution model (a pragmatic subset of statechart semantics, sufficient
+for the paper's workflow charts):
+
+* The driver calls :meth:`StateChartInterpreter.start`, then repeatedly
+  inspects :meth:`active_states` (the currently entered leaf states,
+  one per active region) and calls :meth:`advance` on a leaf once its
+  activity (or routing delay) has finished.
+* ``advance`` sets the ``<activity>_DONE`` condition, raises the
+  completion event, executes the chosen transition's actions, and enters
+  the target state — recursively entering regions of composite states.
+* A region completes when its final state is advanced; an orthogonal
+  composite completes when *all* its regions have completed, after which
+  the parent region leaves the composite via one of its outgoing
+  transitions.
+* Branching decisions are delegated to a :class:`BranchResolver` —
+  probability-annotation-driven for simulation, guard-driven for
+  deterministic replay.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.exceptions import ModelError, ValidationError
+from repro.spec.events import (
+    Action,
+    RaiseEvent,
+    SetCondition,
+    StartActivity,
+    completion_event,
+)
+from repro.spec.statechart import ChartState, ChartTransition, StateChart
+
+#: A path uniquely identifying an active leaf state: alternating chart
+#: and state names from the root, e.g.
+#: ``("EP", "Shipment_S", "Delivery_SC", "CheckStock")``.
+StatePath = tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ActiveState:
+    """One currently entered leaf state of a running instance."""
+
+    path: StatePath
+    state: ChartState
+
+    @property
+    def activity(self) -> str | None:
+        return self.state.activity
+
+
+class BranchResolver(abc.ABC):
+    """Chooses which outgoing transition a completing state takes."""
+
+    @abc.abstractmethod
+    def choose(
+        self,
+        transitions: Sequence[ChartTransition],
+        event: str | None,
+        environment: Mapping[str, bool],
+    ) -> ChartTransition:
+        """Pick one of the (non-empty) outgoing transitions."""
+
+
+class ProbabilisticResolver(BranchResolver):
+    """Samples branches according to the probability annotations.
+
+    This is the resolver the simulated WFMS uses: it realizes exactly the
+    branching distribution that the stochastic translation assumes, so
+    simulation and analysis see the same control-flow statistics.
+    """
+
+    def __init__(self, rng: random.Random | None = None) -> None:
+        self._rng = rng if rng is not None else random.Random()
+
+    def choose(
+        self,
+        transitions: Sequence[ChartTransition],
+        event: str | None,
+        environment: Mapping[str, bool],
+    ) -> ChartTransition:
+        if len(transitions) == 1:
+            return transitions[0]
+        weights = []
+        for transition in transitions:
+            if transition.probability is None:
+                raise ModelError(
+                    f"transition {transition} lacks a probability "
+                    "annotation; the probabilistic resolver needs one on "
+                    "every branching transition"
+                )
+            weights.append(transition.probability)
+        return self._rng.choices(list(transitions), weights=weights, k=1)[0]
+
+
+class GuardedResolver(BranchResolver):
+    """Takes the first transition whose ECA rule is enabled.
+
+    Deterministic replay semantics: useful for unit tests and for
+    re-executing audited instances.  Raises when no rule is enabled.
+    """
+
+    def choose(
+        self,
+        transitions: Sequence[ChartTransition],
+        event: str | None,
+        environment: Mapping[str, bool],
+    ) -> ChartTransition:
+        for transition in transitions:
+            if transition.rule.is_enabled(event, environment):
+                return transition
+        raise ModelError(
+            "no outgoing transition is enabled for event "
+            f"{event!r} under {dict(environment)!r}"
+        )
+
+
+class InterpreterListener:
+    """Callbacks observing an executing instance; all default to no-ops."""
+
+    def on_state_entered(self, active: ActiveState) -> None:
+        """A (leaf or composite) state was entered."""
+
+    def on_state_exited(self, active: ActiveState) -> None:
+        """A state was left."""
+
+    def on_activity_started(self, activity_name: str, path: StatePath) -> None:
+        """An ``st!(activity)`` took effect."""
+
+    def on_workflow_completed(self) -> None:
+        """The root chart reached (and completed) its final state."""
+
+
+class _RegionRuntime:
+    """Execution state of one region (one chart) of a running instance."""
+
+    def __init__(
+        self,
+        chart: StateChart,
+        path_prefix: StatePath,
+        interpreter: "StateChartInterpreter",
+    ) -> None:
+        self.chart = chart
+        self.path_prefix = path_prefix + (chart.name,)
+        self.interpreter = interpreter
+        self.current: str | None = None
+        self.completed = False
+        self.child_regions: list["_RegionRuntime"] = []
+
+    # ------------------------------------------------------------------
+    def enter_initial(self) -> None:
+        self._enter(self.chart.initial_state)
+
+    def _enter(self, state_name: str) -> None:
+        state = self.chart.state(state_name)
+        self.current = state_name
+        self.child_regions = []
+        active = ActiveState(self.path_prefix + (state_name,), state)
+        self.interpreter._notify_entered(active)
+        for action in state.all_entry_actions:
+            self.interpreter._execute_action(action, active.path)
+        if state.is_composite:
+            for region in state.regions:
+                child = _RegionRuntime(
+                    region, active.path, self.interpreter
+                )
+                self.child_regions.append(child)
+                child.enter_initial()
+
+    # ------------------------------------------------------------------
+    def active_states(self) -> list[ActiveState]:
+        if self.completed or self.current is None:
+            return []
+        state = self.chart.state(self.current)
+        if state.is_composite:
+            leaves: list[ActiveState] = []
+            for child in self.child_regions:
+                leaves.extend(child.active_states())
+            return leaves
+        return [ActiveState(self.path_prefix + (self.current,), state)]
+
+    # ------------------------------------------------------------------
+    def advance(self, path: StatePath) -> bool:
+        """Advance the leaf at ``path``; returns True when handled."""
+        if self.completed or self.current is None:
+            return False
+        own_path = self.path_prefix + (self.current,)
+        state = self.chart.state(self.current)
+        if state.is_composite:
+            if path[: len(own_path)] != own_path:
+                return False
+            for child in self.child_regions:
+                if child.advance(path):
+                    break
+            else:
+                return False
+            if all(child.completed for child in self.child_regions):
+                # Join: all orthogonal regions terminated; the composite
+                # completes like an activity would.
+                self._complete_current(state)
+            return True
+        if path != own_path:
+            return False
+        self._complete_current(state)
+        return True
+
+    def _complete_current(self, state: ChartState) -> None:
+        assert self.current is not None
+        active = ActiveState(self.path_prefix + (self.current,), state)
+        event: str | None = None
+        if state.activity is not None:
+            self.interpreter._set_condition(
+                completion_event(state.activity), True
+            )
+            event = completion_event(state.activity)
+        self.interpreter._notify_exited(active)
+
+        outgoing = self.chart.outgoing(self.current)
+        if not outgoing:
+            self.current = None
+            self.completed = True
+            return
+        transition = self.interpreter._resolver.choose(
+            outgoing, event, self.interpreter.environment
+        )
+        for action in transition.rule.actions:
+            self.interpreter._execute_action(action, active.path)
+        self._enter(transition.target)
+
+
+class StateChartInterpreter:
+    """Executes one instance of a state-chart workflow specification."""
+
+    def __init__(
+        self,
+        chart: StateChart,
+        resolver: BranchResolver | None = None,
+        listener: InterpreterListener | None = None,
+        activity_starter: Callable[[str, StatePath], None] | None = None,
+    ) -> None:
+        self.chart = chart
+        self._resolver = resolver or GuardedResolver()
+        self._listener = listener or InterpreterListener()
+        self._activity_starter = activity_starter
+        self._environment: dict[str, bool] = {}
+        self._root = _RegionRuntime(chart, (), self)
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def environment(self) -> Mapping[str, bool]:
+        """Current condition-variable assignment (read-only view)."""
+        return dict(self._environment)
+
+    @property
+    def is_completed(self) -> bool:
+        """Whether the root chart has terminated."""
+        return self._root.completed
+
+    def start(self) -> None:
+        """Enter the initial state (and nested initial states)."""
+        if self._started:
+            raise ModelError("instance already started")
+        self._started = True
+        self._root.enter_initial()
+
+    def active_states(self) -> tuple[ActiveState, ...]:
+        """Currently entered leaf states, one per active region."""
+        self._require_started()
+        return tuple(self._root.active_states())
+
+    def advance(self, path: StatePath) -> None:
+        """Signal that the leaf state at ``path`` has finished.
+
+        For an activity state this means the activity completed; for a
+        routing state, that its delay elapsed.
+        """
+        self._require_started()
+        if self.is_completed:
+            raise ModelError("instance already completed")
+        if not self._root.advance(tuple(path)):
+            raise ValidationError(
+                f"no active leaf state at path {tuple(path)!r}; active: "
+                f"{[active.path for active in self.active_states()]}"
+            )
+        if self.is_completed:
+            self._listener.on_workflow_completed()
+
+    def set_condition(self, name: str, value: bool) -> None:
+        """Set a condition variable from the environment (e.g. user input)."""
+        self._set_condition(name, value)
+
+    def run_to_completion(self) -> list[str]:
+        """Drive the instance until termination, advancing leaves FIFO.
+
+        Returns the sequence of visited leaf-state names — handy for tests
+        and for generating synthetic audit trails without a simulator.
+        """
+        self._require_started()
+        visited: list[str] = []
+        while not self.is_completed:
+            active = self.active_states()
+            if not active:  # pragma: no cover - defensive
+                raise ModelError("instance stalled without active states")
+            leaf = active[0]
+            visited.append(leaf.state.name)
+            self.advance(leaf.path)
+        return visited
+
+    # ------------------------------------------------------------------
+    # Internal hooks used by region runtimes
+    # ------------------------------------------------------------------
+    def _require_started(self) -> None:
+        if not self._started:
+            raise ModelError("call start() first")
+
+    def _set_condition(self, name: str, value: bool) -> None:
+        self._environment[name] = value
+
+    def _execute_action(self, action: Action, path: StatePath) -> None:
+        if isinstance(action, StartActivity):
+            self._listener.on_activity_started(action.activity_name, path)
+            if self._activity_starter is not None:
+                self._activity_starter(action.activity_name, path)
+            return
+        if isinstance(action, SetCondition):
+            self._set_condition(action.name, action.value)
+            return
+        if isinstance(action, RaiseEvent):
+            # Events are modelled as momentary conditions: raising an event
+            # sets a same-named flag that guards can read in this step.
+            self._set_condition(action.event_name, True)
+            return
+        raise ModelError(f"unknown action type {type(action).__name__}")
+
+    def _notify_entered(self, active: ActiveState) -> None:
+        self._listener.on_state_entered(active)
+
+    def _notify_exited(self, active: ActiveState) -> None:
+        self._listener.on_state_exited(active)

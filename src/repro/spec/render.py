@@ -1,0 +1,129 @@
+"""Rendering of state charts and workflow CTMCs to Graphviz DOT.
+
+Documentation tooling: ``to_dot`` emits the top-level chart (composite
+states as clusters with their regions inside) and
+``workflow_ctmc_to_dot`` the translated Markov chain of Figure 4 —
+paste the output into Graphviz to regenerate the paper's figures for
+any workflow in the library.
+"""
+
+from __future__ import annotations
+
+from repro.core.workflow_model import WorkflowCTMC
+from repro.spec.statechart import ChartState, StateChart
+
+
+def _escape(text: str) -> str:
+    return text.replace('"', '\\"')
+
+
+def _state_label(state: ChartState) -> str:
+    if state.activity is not None:
+        return f"{state.name}\\nst!({state.activity})"
+    if state.mean_duration is not None:
+        return f"{state.name}\\n({state.mean_duration:g})"
+    return state.name
+
+
+def _render_region(
+    chart: StateChart, indent: str, lines: list[str], prefix: str
+) -> None:
+    qualified = {
+        state.name: f"{prefix}{state.name}" for state in chart.states
+    }
+    lines.append(
+        f'{indent}"{prefix}__init" '
+        "[shape=point, width=0.15, label=\"\"];"
+    )
+    lines.append(
+        f'{indent}"{prefix}__init" -> '
+        f'"{qualified[chart.initial_state]}";'
+    )
+    for state in chart.states:
+        node = qualified[state.name]
+        if state.is_composite:
+            lines.append(f'{indent}subgraph "cluster_{node}" {{')
+            lines.append(
+                f'{indent}  label="{_escape(state.name)}"; style=rounded;'
+            )
+            for region_index, region in enumerate(state.regions):
+                region_prefix = f"{node}/{region.name}#{region_index}/"
+                lines.append(
+                    f'{indent}  subgraph "cluster_{region_prefix}" {{'
+                )
+                lines.append(
+                    f'{indent}    label="{_escape(region.name)}"; '
+                    "style=dashed;"
+                )
+                _render_region(
+                    region, indent + "    ", lines, region_prefix
+                )
+                lines.append(f"{indent}  }}")
+            # Anchor node so edges to/from the composite attach somewhere.
+            lines.append(
+                f'{indent}  "{node}" [shape=plaintext, label=""];'
+            )
+            lines.append(f"{indent}}}")
+        else:
+            shape = "doublecircle" if not chart.outgoing(state.name) else "box"
+            lines.append(
+                f'{indent}"{node}" [shape={shape}, '
+                f'label="{_escape(_state_label(state))}"];'
+            )
+    for transition in chart.transitions:
+        attributes = []
+        label = str(transition.rule)
+        if transition.probability is not None:
+            label += f"\\np={transition.probability:g}"
+        attributes.append(f'label="{_escape(label)}"')
+        lines.append(
+            f'{indent}"{qualified[transition.source]}" -> '
+            f'"{qualified[transition.target]}" '
+            f"[{', '.join(attributes)}];"
+        )
+
+
+def to_dot(chart: StateChart) -> str:
+    """Render a state chart (with nested regions) as Graphviz DOT."""
+    lines = [f'digraph "{_escape(chart.name)}" {{']
+    lines.append("  rankdir=TB;")
+    lines.append('  node [fontname="Helvetica"];')
+    lines.append('  edge [fontname="Helvetica", fontsize=10];')
+    _render_region(chart, "  ", lines, "")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def workflow_ctmc_to_dot(model: WorkflowCTMC) -> str:
+    """Render the translated CTMC (Figure-4 style) as Graphviz DOT.
+
+    Nodes show the state name and mean residence time; edges the jump
+    probabilities; the artificial absorbing state is a double circle.
+    """
+    chain = model.chain
+    lines = [f'digraph "{_escape(model.definition.name)}_CTMC" {{']
+    lines.append("  rankdir=LR;")
+    lines.append('  node [shape=circle, fontname="Helvetica"];')
+    for i, name in enumerate(chain.state_names):
+        if i == chain.absorbing_state:
+            lines.append(
+                f'  "{name}" [shape=doublecircle, label="s_A"];'
+            )
+        else:
+            residence = chain.residence_times[i]
+            lines.append(
+                f'  "{name}" '
+                f'[label="{_escape(name)}\\nH={residence:g}"];'
+            )
+    p = chain.jump_probabilities
+    for i, source in enumerate(chain.state_names):
+        if i == chain.absorbing_state:
+            continue
+        for j, target in enumerate(chain.state_names):
+            if p[i, j] > 0.0:
+                lines.append(
+                    f'  "{source}" -> "{target}" '
+                    f'[label="{p[i, j]:g}"];'
+                )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,164 @@
+"""Translation of state charts into the stochastic model layer (§3.2).
+
+This is the *mapping* component of the configuration tool (Section 7.1):
+it turns a workflow specification (a state chart with probability
+annotations) into the :class:`~repro.core.workflow_model.WorkflowDefinition`
+from which the CTMC of Figure 4 is built.
+
+Mapping rules:
+
+* every top-level chart state becomes one workflow execution state;
+* a state that starts an activity becomes an activity state (residence
+  time = the activity's mean turnaround time);
+* a composite state becomes a subworkflow state whose children are the
+  recursively translated regions (parallel regions stay parallel);
+* transition probabilities come from the chart's annotations; a state
+  with a single un-annotated outgoing transition implicitly has
+  probability 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.model_types import ActivitySpec
+from repro.core.workflow_model import WorkflowDefinition, WorkflowState
+from repro.exceptions import ValidationError
+from repro.spec.statechart import ChartState, StateChart
+from repro.spec.validation import ensure_valid
+
+#: Residence time assigned to routing states that specify none.  Pure
+#: control-flow states are near-instantaneous; the CTMC still needs a
+#: positive residence time.
+DEFAULT_ROUTING_DURATION = 1e-3
+
+
+@dataclass(frozen=True)
+class ActivityRegistry:
+    """Catalogue of activity types available to the translation.
+
+    Maps activity names (as referenced by ``st!(...)`` / the ``activity``
+    shorthand) to their :class:`~repro.core.model_types.ActivitySpec`,
+    i.e. mean durations and per-server-type load vectors.
+    """
+
+    activities: Mapping[str, ActivitySpec] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        activities = dict(self.activities)
+        for name, spec in activities.items():
+            if name != spec.name:
+                raise ValidationError(
+                    f"registry key {name!r} does not match activity name "
+                    f"{spec.name!r}"
+                )
+        object.__setattr__(self, "activities", activities)
+
+    def get(self, name: str) -> ActivitySpec:
+        try:
+            return self.activities[name]
+        except KeyError:
+            raise ValidationError(
+                f"unknown activity {name!r}; registered: "
+                f"{sorted(self.activities)}"
+            ) from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self.activities
+
+
+def translate_chart(
+    chart: StateChart,
+    registry: ActivityRegistry,
+    default_routing_duration: float = DEFAULT_ROUTING_DURATION,
+    validate: bool = True,
+) -> WorkflowDefinition:
+    """Translate a (validated) state chart into a workflow definition.
+
+    Raises :class:`ValidationError` if the chart is structurally invalid,
+    references unregistered activities, or branches without probability
+    annotations.
+    """
+    if validate:
+        ensure_valid(chart)
+    if default_routing_duration <= 0.0:
+        raise ValidationError("default_routing_duration must be positive")
+
+    states = tuple(
+        _translate_state(state, registry, default_routing_duration)
+        for state in chart.states
+    )
+    transitions = _transition_probabilities(chart)
+    return WorkflowDefinition(
+        name=chart.name,
+        states=states,
+        transitions=transitions,
+        initial_state=chart.initial_state,
+    )
+
+
+def _translate_state(
+    state: ChartState,
+    registry: ActivityRegistry,
+    default_routing_duration: float,
+) -> WorkflowState:
+    if state.is_composite:
+        children = tuple(
+            translate_chart(
+                region, registry, default_routing_duration, validate=False
+            )
+            for region in state.regions
+        )
+        return WorkflowState(name=state.name, subworkflows=children)
+    if state.activity is not None:
+        return WorkflowState(
+            name=state.name,
+            activity=registry.get(state.activity),
+            mean_duration=state.mean_duration,
+        )
+    duration = (
+        state.mean_duration
+        if state.mean_duration is not None
+        else default_routing_duration
+    )
+    return WorkflowState(name=state.name, mean_duration=duration)
+
+
+def _transition_probabilities(
+    chart: StateChart,
+) -> dict[tuple[str, str], float]:
+    """Collect annotated branching probabilities per transition.
+
+    Parallel edges between the same state pair (e.g. two ECA rules for
+    different business cases with the same source and target) have their
+    probabilities summed.
+    """
+    result: dict[tuple[str, str], float] = {}
+    for state_name in chart.state_names:
+        outgoing = chart.outgoing(state_name)
+        if not outgoing:
+            continue
+        if len(outgoing) == 1 and outgoing[0].probability is None:
+            probabilities = [1.0]
+        else:
+            missing = [
+                transition
+                for transition in outgoing
+                if transition.probability is None
+            ]
+            if missing:
+                raise ValidationError(
+                    f"chart {chart.name}: state {state_name} branches "
+                    "without probability annotations; annotate every "
+                    "outgoing transition (designer estimate or calibrated "
+                    "from audit trails)"
+                )
+            probabilities = [
+                transition.probability  # type: ignore[misc]
+                for transition in outgoing
+            ]
+        for transition, probability in zip(outgoing, probabilities):
+            key = (transition.source, transition.target)
+            result[key] = result.get(key, 0.0) + probability
+    return result

@@ -1,0 +1,27 @@
+"""The configuration tool (Section 7): mapping, calibration, evaluation,
+recommendation."""
+
+from repro.tool.config_tool import ConfigurationTool, SearchAlgorithm
+from repro.tool.reconfiguration import (
+    DriftReport,
+    ParameterDrift,
+    ReconfigurationAdvisor,
+    ReconfigurationPlan,
+    detect_drift,
+)
+from repro.tool.reports import AssessmentReport, CalibrationReport
+from repro.tool.repository import WorkflowRepository, WorkflowSpecification
+
+__all__ = [
+    "AssessmentReport",
+    "CalibrationReport",
+    "ConfigurationTool",
+    "DriftReport",
+    "ParameterDrift",
+    "ReconfigurationAdvisor",
+    "ReconfigurationPlan",
+    "SearchAlgorithm",
+    "WorkflowRepository",
+    "WorkflowSpecification",
+    "detect_drift",
+]

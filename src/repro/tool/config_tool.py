@@ -1,0 +1,228 @@
+"""The configuration tool (Section 7).
+
+Wires the four components the paper describes into one façade:
+
+* **mapping** — translate the repository's workflow specifications into
+  the internal CTMC models (via :mod:`repro.spec.translator`);
+* **calibration** — adjust model parameters from monitoring statistics
+  (via :mod:`repro.monitor.calibration`);
+* **evaluation** — assess a given configuration's performance,
+  availability, and performability;
+* **recommendation** — search for a (near-)minimum-cost configuration
+  meeting specified performability goals, with optional constraints.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Mapping
+
+from repro.core.availability import AvailabilityModel, RepairPolicy
+from repro.core.configuration import (
+    ConfigurationRecommendation,
+    ReplicationConstraints,
+    branch_and_bound_configuration,
+    exhaustive_configuration,
+    greedy_configuration,
+    simulated_annealing_configuration,
+)
+from repro.core.goals import GoalEvaluator, PerformabilityGoals
+from repro.core.model_types import ServerTypeIndex, ServerTypeSpec
+from repro.core.performance import (
+    PerformanceModel,
+    SystemConfiguration,
+    Workload,
+    WorkloadItem,
+)
+from repro.core.performability import (
+    DegradedStatePolicy,
+    PerformabilityModel,
+)
+from repro.exceptions import ValidationError
+from repro.monitor.audit import AuditTrail
+from repro.monitor.calibration import (
+    calibrate_server_type,
+    estimate_arrival_rate,
+    estimate_service_times,
+    estimate_turnaround_time,
+)
+from repro.spec.translator import translate_chart
+from repro.tool.reports import AssessmentReport, CalibrationReport
+from repro.tool.repository import WorkflowRepository
+
+SearchAlgorithm = Literal[
+    "greedy", "exhaustive", "branch_and_bound", "simulated_annealing"
+]
+
+
+class ConfigurationTool:
+    """Assessment and configuration of a distributed WFMS (Section 7)."""
+
+    def __init__(
+        self,
+        server_types: ServerTypeIndex,
+        repository: WorkflowRepository,
+        repair_policy: RepairPolicy = RepairPolicy.INDEPENDENT,
+        degraded_policy: DegradedStatePolicy = DegradedStatePolicy.CONDITIONAL,
+        penalty_waiting_time: float | None = None,
+    ) -> None:
+        self.server_types = server_types
+        self.repository = repository
+        self.repair_policy = repair_policy
+        self.degraded_policy = degraded_policy
+        self.penalty_waiting_time = penalty_waiting_time
+
+    # ------------------------------------------------------------------
+    # Mapping (Section 7.1)
+    # ------------------------------------------------------------------
+    def map_workload(
+        self, arrival_rates: Mapping[str, float]
+    ) -> Workload:
+        """Translate repository specs into the model-layer workload.
+
+        ``arrival_rates`` maps workflow type names (which must be
+        registered) to their ``xi_t`` values.
+        """
+        if not arrival_rates:
+            raise ValidationError("arrival_rates must not be empty")
+        items = []
+        for name, rate in sorted(arrival_rates.items()):
+            specification = self.repository.get(name)
+            definition = translate_chart(
+                specification.chart, specification.activities
+            )
+            items.append(WorkloadItem(definition, rate))
+        return Workload(items)
+
+    def performance_model(
+        self, arrival_rates: Mapping[str, float]
+    ) -> PerformanceModel:
+        """The Section 4 model for the mapped workload."""
+        return PerformanceModel(
+            self.server_types, self.map_workload(arrival_rates)
+        )
+
+    # ------------------------------------------------------------------
+    # Calibration (Section 7.1)
+    # ------------------------------------------------------------------
+    def calibrate(
+        self, trail: AuditTrail, observation_period: float
+    ) -> CalibrationReport:
+        """Estimate model parameters from an audit trail.
+
+        Returns the measured service-time moments per server type, the
+        measured arrival rates and turnaround times per workflow type.
+        Apply the server updates with :meth:`with_calibrated_servers`.
+        """
+        estimates = estimate_service_times(trail)
+        server_updates = {
+            name: (estimate.mean, estimate.second_moment)
+            for name, estimate in estimates.items()
+        }
+        arrival_rates: dict[str, float] = {}
+        turnaround_times: dict[str, float] = {}
+        for name in trail.workflow_types():
+            try:
+                arrival_rates[name] = estimate_arrival_rate(
+                    trail, name, observation_period
+                )
+                turnaround_times[name] = estimate_turnaround_time(trail, name)
+            except ValidationError:
+                continue  # type observed only partially (no completions)
+        return CalibrationReport(
+            server_updates=server_updates,
+            arrival_rates=arrival_rates,
+            turnaround_times=turnaround_times,
+            sample_counts={
+                name: estimate.sample_count
+                for name, estimate in estimates.items()
+            },
+        )
+
+    def with_calibrated_servers(
+        self, calibration: CalibrationReport
+    ) -> "ConfigurationTool":
+        """A new tool whose server specs carry the measured moments."""
+        updated: list[ServerTypeSpec] = []
+        estimates = calibration.server_updates
+        for spec in self.server_types.specs:
+            if spec.name in estimates:
+                mean, second = estimates[spec.name]
+                updated.append(
+                    ServerTypeSpec(
+                        name=spec.name,
+                        mean_service_time=mean,
+                        second_moment_service_time=max(second, mean**2),
+                        failure_rate=spec.failure_rate,
+                        repair_rate=spec.repair_rate,
+                        cost=spec.cost,
+                        role=spec.role,
+                    )
+                )
+            else:
+                updated.append(spec)
+        return ConfigurationTool(
+            server_types=ServerTypeIndex(updated),
+            repository=self.repository,
+            repair_policy=self.repair_policy,
+            degraded_policy=self.degraded_policy,
+            penalty_waiting_time=self.penalty_waiting_time,
+        )
+
+    # ------------------------------------------------------------------
+    # Evaluation (Section 7.1)
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        configuration: SystemConfiguration,
+        arrival_rates: Mapping[str, float],
+    ) -> AssessmentReport:
+        """Assess one configuration on all three model dimensions."""
+        performance = self.performance_model(arrival_rates)
+        availability = AvailabilityModel(
+            self.server_types, configuration, policy=self.repair_policy
+        )
+        performability = PerformabilityModel(
+            performance,
+            availability,
+            policy=self.degraded_policy,
+            penalty_waiting_time=self.penalty_waiting_time,
+        )
+        return AssessmentReport(
+            configuration=configuration,
+            performance=performance.assess(configuration),
+            unavailability=availability.unavailability(),
+            downtime_hours_per_year=availability.downtime_per_year("hours"),
+            per_type_unavailability=availability.per_type_unavailability(),
+            performability=performability.expected_waiting_times(),
+        )
+
+    # ------------------------------------------------------------------
+    # Recommendation (Section 7.2)
+    # ------------------------------------------------------------------
+    def recommend(
+        self,
+        goals: PerformabilityGoals,
+        arrival_rates: Mapping[str, float],
+        constraints: ReplicationConstraints | None = None,
+        algorithm: SearchAlgorithm = "greedy",
+    ) -> ConfigurationRecommendation:
+        """Search for a (near-)minimum-cost configuration meeting the goals."""
+        evaluator = GoalEvaluator(
+            self.performance_model(arrival_rates),
+            repair_policy=self.repair_policy,
+            degraded_policy=self.degraded_policy,
+            penalty_waiting_time=self.penalty_waiting_time,
+        )
+        if algorithm == "greedy":
+            return greedy_configuration(evaluator, goals, constraints)
+        if algorithm == "exhaustive":
+            return exhaustive_configuration(evaluator, goals, constraints)
+        if algorithm == "branch_and_bound":
+            return branch_and_bound_configuration(
+                evaluator, goals, constraints
+            )
+        if algorithm == "simulated_annealing":
+            return simulated_annealing_configuration(
+                evaluator, goals, constraints
+            )
+        raise ValidationError(f"unknown search algorithm {algorithm!r}")

@@ -1,0 +1,250 @@
+"""Dynamic reconfiguration of a running WFMS (Section 7.1, last step).
+
+"It should rather be possible to reconfigure the WFMS dynamically" —
+the tool's most far-reaching mode watches an operational system through
+its monitoring data, detects when the observed workload or service
+behaviour has drifted away from the model that justified the current
+configuration, and recommends a new configuration when the goals are in
+danger (or money can be saved).
+
+The loop:
+
+1. :func:`detect_drift` — compare calibrated parameters (arrival rates,
+   service-time moments, turnaround times) against the currently assumed
+   model; report relative drifts above a threshold.
+2. :meth:`ReconfigurationAdvisor.advise` — recalibrate the tool, check
+   whether the *current* configuration still meets the goals under the
+   drifted parameters, and if not (or if it is now oversized), search
+   for a new configuration and emit a plan of replica additions and
+   removals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.configuration import ReplicationConstraints
+from repro.core.goals import GoalEvaluator, PerformabilityGoals
+from repro.core.performance import SystemConfiguration
+from repro.exceptions import ValidationError
+from repro.monitor.audit import AuditTrail
+from repro.tool.config_tool import ConfigurationTool, SearchAlgorithm
+from repro.tool.reports import CalibrationReport
+
+#: Relative deviation above which a parameter counts as drifted.
+DEFAULT_DRIFT_THRESHOLD = 0.15
+
+
+@dataclass(frozen=True)
+class ParameterDrift:
+    """One drifted parameter."""
+
+    kind: str  # "arrival_rate" | "service_time" | "service_scv"
+    subject: str  # workflow type or server type name
+    assumed: float
+    observed: float
+
+    @property
+    def relative_change(self) -> float:
+        if self.assumed == 0.0:
+            return float("inf") if self.observed != 0.0 else 0.0
+        return (self.observed - self.assumed) / self.assumed
+
+    def __str__(self) -> str:
+        return (
+            f"{self.kind} of {self.subject}: {self.assumed:.6g} -> "
+            f"{self.observed:.6g} ({self.relative_change:+.1%})"
+        )
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """All detected drifts of one calibration round."""
+
+    drifts: tuple[ParameterDrift, ...]
+    threshold: float
+
+    @property
+    def has_drift(self) -> bool:
+        return bool(self.drifts)
+
+    def format_text(self) -> str:
+        if not self.drifts:
+            return (
+                f"No parameter drift beyond {self.threshold:.0%} detected."
+            )
+        lines = [f"Parameter drift beyond {self.threshold:.0%}:"]
+        lines.extend(f"  {drift}" for drift in self.drifts)
+        return "\n".join(lines)
+
+
+def detect_drift(
+    tool: ConfigurationTool,
+    assumed_rates: Mapping[str, float],
+    calibration: CalibrationReport,
+    threshold: float = DEFAULT_DRIFT_THRESHOLD,
+) -> DriftReport:
+    """Compare calibrated parameters against the currently assumed model."""
+    if threshold <= 0.0:
+        raise ValidationError("drift threshold must be positive")
+    drifts: list[ParameterDrift] = []
+
+    for name, observed in calibration.arrival_rates.items():
+        assumed = assumed_rates.get(name)
+        if assumed is None or assumed <= 0.0:
+            continue
+        if abs(observed - assumed) / assumed > threshold:
+            drifts.append(
+                ParameterDrift("arrival_rate", name, assumed, observed)
+            )
+
+    for name, (observed_mean, observed_second) in (
+        calibration.server_updates.items()
+    ):
+        if name not in tool.server_types:
+            continue
+        spec = tool.server_types.spec(name)
+        assumed_mean = spec.mean_service_time
+        if abs(observed_mean - assumed_mean) / assumed_mean > threshold:
+            drifts.append(
+                ParameterDrift(
+                    "service_time", name, assumed_mean, observed_mean
+                )
+            )
+        assumed_scv = spec.service_time_variance / assumed_mean**2
+        observed_variance = max(
+            observed_second - observed_mean**2, 0.0
+        )
+        observed_scv = (
+            observed_variance / observed_mean**2
+            if observed_mean > 0.0 else 0.0
+        )
+        if assumed_scv > 0.0 and (
+            abs(observed_scv - assumed_scv) / assumed_scv > threshold
+        ):
+            drifts.append(
+                ParameterDrift(
+                    "service_scv", name, assumed_scv, observed_scv
+                )
+            )
+    return DriftReport(drifts=tuple(drifts), threshold=threshold)
+
+
+@dataclass(frozen=True)
+class ReconfigurationPlan:
+    """Recommended change from the current to a new configuration."""
+
+    current: SystemConfiguration
+    recommended: SystemConfiguration
+    drift: DriftReport
+    reason: str
+    #: Replica deltas per server type (positive: add, negative: remove).
+    changes: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def is_change(self) -> bool:
+        return any(delta != 0 for delta in self.changes.values())
+
+    def format_text(self) -> str:
+        lines = [self.drift.format_text(), f"Decision: {self.reason}"]
+        if self.is_change:
+            lines.append(
+                f"Reconfigure {self.current} -> {self.recommended}:"
+            )
+            for name, delta in sorted(self.changes.items()):
+                if delta > 0:
+                    lines.append(f"  add {delta} replica(s) of {name}")
+                elif delta < 0:
+                    lines.append(f"  remove {-delta} replica(s) of {name}")
+        return "\n".join(lines)
+
+
+class ReconfigurationAdvisor:
+    """Watches monitoring data and recommends reconfigurations."""
+
+    def __init__(
+        self,
+        tool: ConfigurationTool,
+        goals: PerformabilityGoals,
+        constraints: ReplicationConstraints | None = None,
+        drift_threshold: float = DEFAULT_DRIFT_THRESHOLD,
+        algorithm: SearchAlgorithm = "greedy",
+    ) -> None:
+        self.tool = tool
+        self.goals = goals
+        self.constraints = constraints or ReplicationConstraints()
+        self.drift_threshold = drift_threshold
+        self.algorithm = algorithm
+
+    def advise(
+        self,
+        current: SystemConfiguration,
+        assumed_rates: Mapping[str, float],
+        trail: AuditTrail,
+        observation_period: float,
+    ) -> ReconfigurationPlan:
+        """Analyze a monitoring window and recommend a (re)configuration.
+
+        Recalibrates from the trail, applies measured arrival rates and
+        service moments, and re-runs the goal check for the *current*
+        configuration.  A new configuration is searched when the goals
+        are violated, or when a strictly cheaper feasible configuration
+        exists (downsizing after load drops).
+        """
+        calibration = self.tool.calibrate(trail, observation_period)
+        drift = detect_drift(
+            self.tool, assumed_rates, calibration, self.drift_threshold
+        )
+        recalibrated = self.tool.with_calibrated_servers(calibration)
+        rates = dict(assumed_rates)
+        rates.update(calibration.arrival_rates)
+
+        evaluator = GoalEvaluator(
+            recalibrated.performance_model(rates),
+            repair_policy=recalibrated.repair_policy,
+            degraded_policy=recalibrated.degraded_policy,
+            penalty_waiting_time=recalibrated.penalty_waiting_time,
+        )
+        current_assessment = evaluator.assess(current, self.goals)
+        recommendation = recalibrated.recommend(
+            self.goals, rates,
+            constraints=self.constraints,
+            algorithm=self.algorithm,
+        )
+        recommended = recommendation.configuration
+
+        if current_assessment.satisfied:
+            if (recommended.cost(recalibrated.server_types)
+                    < current.cost(recalibrated.server_types)):
+                reason = (
+                    "current configuration is oversized for the observed "
+                    "load; a cheaper feasible configuration exists"
+                )
+            else:
+                recommended = current
+                reason = (
+                    "current configuration still meets all goals under "
+                    "the observed parameters"
+                )
+        else:
+            reason = (
+                "current configuration violates the goals under the "
+                "observed parameters: "
+                + "; ".join(
+                    str(violation)
+                    for violation in current_assessment.violations
+                )
+            )
+
+        changes = {
+            name: recommended.count(name) - current.count(name)
+            for name in recalibrated.server_types.names
+        }
+        return ReconfigurationPlan(
+            current=current,
+            recommended=recommended,
+            drift=drift,
+            reason=reason,
+            changes=changes,
+        )

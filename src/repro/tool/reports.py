@@ -1,0 +1,69 @@
+"""Assessment reports produced by the configuration tool."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.performance import PerformanceReport, SystemConfiguration
+from repro.core.performability import PerformabilityReport
+
+
+@dataclass(frozen=True)
+class AssessmentReport:
+    """Full assessment of one configuration: Sections 4, 5, and 6 combined."""
+
+    configuration: SystemConfiguration
+    performance: PerformanceReport
+    unavailability: float
+    downtime_hours_per_year: float
+    per_type_unavailability: dict[str, float]
+    performability: PerformabilityReport
+
+    @property
+    def is_stable(self) -> bool:
+        """No server type saturated in the failure-free configuration."""
+        return self.performance.is_stable
+
+    def format_text(self) -> str:
+        """Render the administrator-facing summary."""
+        lines = [self.performance.format_text(), ""]
+        lines.append(
+            f"Availability: system unavailability "
+            f"{self.unavailability:.3e} "
+            f"(~{self.downtime_hours_per_year:.2f} hours downtime/year)"
+        )
+        for name, value in self.per_type_unavailability.items():
+            lines.append(f"    {name:18s} type unavailability {value:.3e}")
+        lines.append("")
+        lines.append(self.performability.format_text())
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Outcome of recalibrating model parameters from monitoring data."""
+
+    #: Updated server specs (measured service-time moments).
+    server_updates: dict[str, tuple[float, float]]
+    #: Measured arrival rate per workflow type.
+    arrival_rates: dict[str, float]
+    #: Measured mean turnaround time per workflow type.
+    turnaround_times: dict[str, float]
+    #: Number of service request samples per server type.
+    sample_counts: dict[str, int]
+
+    def format_text(self) -> str:
+        lines = ["Calibration from monitoring data:"]
+        for name, (mean, second) in self.server_updates.items():
+            scv = (second - mean**2) / mean**2 if mean > 0 else math.nan
+            lines.append(
+                f"  {name:18s} b = {mean:.6f}, b(2) = {second:.6f} "
+                f"(SCV {scv:.3f}, {self.sample_counts.get(name, 0)} samples)"
+            )
+        for name, rate in self.arrival_rates.items():
+            lines.append(
+                f"  {name:18s} arrival rate {rate:.6f}, "
+                f"turnaround {self.turnaround_times.get(name, math.nan):.4f}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Workflow repository (Section 7.1).
+
+"For the mapping the tool interacts with a workflow repository where the
+specifications of the various workflow types are stored."  The repository
+holds state charts together with their activity catalogues and exposes
+them to the configuration tool's mapping component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ValidationError
+from repro.spec.statechart import StateChart
+from repro.spec.translator import ActivityRegistry
+from repro.spec.validation import ensure_valid
+
+
+@dataclass(frozen=True)
+class WorkflowSpecification:
+    """One stored workflow type: its chart and activity catalogue."""
+
+    chart: StateChart
+    activities: ActivityRegistry
+
+    @property
+    def name(self) -> str:
+        return self.chart.name
+
+
+class WorkflowRepository:
+    """Stores the workflow specifications known to the tool."""
+
+    def __init__(self) -> None:
+        self._specifications: dict[str, WorkflowSpecification] = {}
+
+    def register(
+        self, chart: StateChart, activities: ActivityRegistry
+    ) -> None:
+        """Validate and store a workflow specification.
+
+        Re-registering a name replaces the stored specification (e.g.
+        after a new workflow version is deployed).
+        """
+        ensure_valid(chart)
+        missing = chart.activities() - frozenset(activities.activities)
+        if missing:
+            raise ValidationError(
+                f"chart {chart.name} references activities missing from "
+                f"its catalogue: {sorted(missing)}"
+            )
+        self._specifications[chart.name] = WorkflowSpecification(
+            chart=chart, activities=activities
+        )
+
+    def get(self, name: str) -> WorkflowSpecification:
+        """Look up a stored specification by workflow type name."""
+        try:
+            return self._specifications[name]
+        except KeyError:
+            raise ValidationError(
+                f"unknown workflow type {name!r}; registered: "
+                f"{sorted(self._specifications)}"
+            ) from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._specifications
+
+    def __len__(self) -> int:
+        return len(self._specifications)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Registered workflow type names, sorted."""
+        return tuple(sorted(self._specifications))
+
+    def specifications(self) -> tuple[WorkflowSpecification, ...]:
+        """All stored specifications, sorted by name."""
+        return tuple(
+            self._specifications[name] for name in self.names
+        )

@@ -1,0 +1,118 @@
+"""Measurement reports of the simulated WFMS.
+
+Aggregates the per-replica collectors into the quantities the paper's
+models predict — per-server-type mean waiting times and utilizations,
+per-workflow-type turnaround times and throughput, and system
+unavailability — so that analytic predictions and simulation measurements
+can be compared side by side (the validation experiment).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.monitor.audit import AuditTrail
+
+
+@dataclass(frozen=True)
+class ServerTypeMeasurement:
+    """Measured behaviour of one server type (pooled over replicas)."""
+
+    name: str
+    replica_count: int
+    completed_requests: int
+    mean_waiting_time: float
+    waiting_time_ci95: tuple[float, float]
+    mean_service_time: float
+    second_moment_service_time: float
+    utilization: float
+    unavailability: float
+
+
+@dataclass(frozen=True)
+class WorkflowTypeMeasurement:
+    """Measured behaviour of one workflow type."""
+
+    name: str
+    completed_instances: int
+    mean_turnaround_time: float
+    turnaround_ci95: tuple[float, float]
+    throughput: float
+
+
+@dataclass(frozen=True)
+class WFMSMeasurementReport:
+    """Everything measured during one simulation run."""
+
+    observed_duration: float
+    warmup_duration: float
+    server_types: dict[str, ServerTypeMeasurement]
+    workflow_types: dict[str, WorkflowTypeMeasurement]
+    system_unavailability: float
+    trail: AuditTrail = field(repr=False, default_factory=AuditTrail)
+    #: Present when the run used worklist management (actor contention).
+    worklist: object | None = None
+
+    def format_text(self) -> str:
+        lines = [
+            f"Simulation report ({self.observed_duration:g} time units "
+            f"observed after {self.warmup_duration:g} warm-up)",
+            f"  system unavailability: {self.system_unavailability:.6e}",
+            "  Server type          replicas   requests   waiting time"
+            "   utilization   unavailability",
+        ]
+        for measurement in self.server_types.values():
+            lines.append(
+                f"    {measurement.name:18s} {measurement.replica_count:6d} "
+                f"{measurement.completed_requests:10d} "
+                f"{measurement.mean_waiting_time:14.6f} "
+                f"{measurement.utilization:12.6f} "
+                f"{measurement.unavailability:14.6e}"
+            )
+        lines.append(
+            "  Workflow type          instances   turnaround   throughput"
+        )
+        for measurement in self.workflow_types.values():
+            lines.append(
+                f"    {measurement.name:20s} "
+                f"{measurement.completed_instances:8d} "
+                f"{measurement.mean_turnaround_time:12.4f} "
+                f"{measurement.throughput:12.6f}"
+            )
+        if self.worklist is not None:
+            lines.append("  " + self.worklist.format_text().replace(
+                "\n", "\n  "
+            ))
+        return "\n".join(lines)
+
+
+def pooled_mean(counts: list[int], means: list[float]) -> float:
+    """Sample-size-weighted mean over replica-level collectors."""
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    return sum(
+        count * mean for count, mean in zip(counts, means)
+    ) / total
+
+
+def pooled_ci95(
+    counts: list[int], means: list[float], second_moments: list[float]
+) -> tuple[float, float]:
+    """Normal-approximation 95% CI of the pooled mean.
+
+    Uses the pooled raw moments; a population-variance approximation is
+    adequate for the large request counts a simulation run produces.
+    """
+    total = sum(counts)
+    if total < 2:
+        value = pooled_mean(counts, means)
+        return (value, value)
+    mean = pooled_mean(counts, means)
+    second = sum(
+        count * moment for count, moment in zip(counts, second_moments)
+    ) / total
+    variance = max(second - mean**2, 0.0)
+    half_width = 1.959963984540054 * math.sqrt(variance / total)
+    return (mean - half_width, mean + half_width)

@@ -1,0 +1,119 @@
+"""Request routing across the replicas of a server type (Section 4.4).
+
+The paper assumes service requests are spread uniformly across the
+replicas of a type, "by assigning work to servers in a round-robin or
+random (typically hashing-based) manner", with assignments typically made
+per workflow instance for locality.  All three policies are implemented;
+the pool falls back to any running replica when the preferred one is down
+(the paper's online failover), and parks requests when the whole type is
+down.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections import deque
+
+from repro.core.model_types import ServerTypeSpec
+from repro.exceptions import ValidationError
+from repro.sim.engine import Simulator
+from repro.sim.statistics import TimeWeightedStats
+from repro.wfms.servers import Server, ServiceRequest
+
+
+class RoutingPolicy(enum.Enum):
+    """How new requests are assigned to replicas."""
+
+    #: Cycle through the replicas per request.
+    ROUND_ROBIN = "round_robin"
+    #: Uniformly random replica per request.
+    RANDOM = "random"
+    #: Hash of the workflow instance id — all requests of one instance
+    #: prefer the same replica (the paper's locality-preserving policy).
+    HASH = "hash"
+
+
+class ServerPool:
+    """All replicas of one server type plus the routing logic."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        spec: ServerTypeSpec,
+        servers: list[Server],
+        policy: RoutingPolicy = RoutingPolicy.HASH,
+        rng: random.Random | None = None,
+    ) -> None:
+        if not servers:
+            raise ValidationError(
+                f"pool of {spec.name} needs at least one server"
+            )
+        self.simulator = simulator
+        self.spec = spec
+        self.servers = list(servers)
+        self.policy = policy
+        self._rng = rng if rng is not None else random.Random()
+        self._round_robin_position = 0
+        self._parked: deque[ServiceRequest] = deque()
+        self.availability = TimeWeightedStats(1.0, simulator.now)
+
+    # ------------------------------------------------------------------
+    @property
+    def any_up(self) -> bool:
+        """Whether at least one replica is running."""
+        return any(server.is_up for server in self.servers)
+
+    @property
+    def up_count(self) -> int:
+        return sum(1 for server in self.servers if server.is_up)
+
+    def submit(self, request: ServiceRequest) -> None:
+        """Route a request to a running replica, or park it."""
+        server = self._choose(request)
+        if server is None:
+            self._parked.append(request)
+            return
+        server.submit(request)
+
+    def _choose(self, request: ServiceRequest) -> Server | None:
+        up_servers = [server for server in self.servers if server.is_up]
+        if not up_servers:
+            return None
+        if self.policy is RoutingPolicy.RANDOM:
+            return self._rng.choice(up_servers)
+        if self.policy is RoutingPolicy.ROUND_ROBIN:
+            self._round_robin_position += 1
+            return up_servers[self._round_robin_position % len(up_servers)]
+        # HASH: prefer the instance's home replica; fail over to the next
+        # running one in ring order.
+        preferred = request.instance_id % len(self.servers)
+        for offset in range(len(self.servers)):
+            server = self.servers[(preferred + offset) % len(self.servers)]
+            if server.is_up:
+                return server
+        return None  # pragma: no cover - unreachable, up_servers non-empty
+
+    # ------------------------------------------------------------------
+    # Failure bookkeeping
+    # ------------------------------------------------------------------
+    def notify_state_change(self) -> None:
+        """Update availability tracking and flush parked requests.
+
+        Called by the failure injectors after every repair (and usable
+        after failures); parked requests are replayed through the router
+        as soon as a replica is running again.
+        """
+        self.availability.update(
+            1.0 if self.any_up else 0.0, self.simulator.now
+        )
+        while self._parked and self.any_up:
+            self.submit(self._parked.popleft())
+
+    def reset_statistics(self) -> None:
+        """Drop warm-up measurements on the pool and all replicas."""
+        self.availability = TimeWeightedStats(
+            1.0 if self.any_up else 0.0, self.simulator.now
+        )
+        for server in self.servers:
+            server.reset_statistics()

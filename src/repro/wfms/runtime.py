@@ -1,0 +1,501 @@
+"""The simulated distributed WFMS.
+
+This is the measurement substrate standing in for the real products and
+prototypes the authors benchmarked: a discrete-event simulation of the
+architectural model of Section 2.  Workflow instances arrive as Poisson
+processes, execute their state charts through the interpreter of
+:mod:`repro.spec.interpreter` (probabilistic branch resolution realizes
+exactly the annotated branching distribution), and every activity issues
+its Figure-1-style service requests to the replicated server pools, where
+they queue, get served, and are recorded into the audit trail.  Replicas
+fail and are repaired with the Section 5 rates.
+
+The run produces a :class:`~repro.wfms.measurement.WFMSMeasurementReport`
+directly comparable with the analytic predictions, plus an
+:class:`~repro.monitor.audit.AuditTrail` the calibration component can
+re-estimate model parameters from.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import random
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.model_types import ServerTypeIndex
+from repro.core.performance import SystemConfiguration
+from repro.exceptions import ValidationError
+from repro.monitor.audit import (
+    TERMINATION,
+    AuditTrail,
+    InstanceRecord,
+    StateVisitRecord,
+)
+from repro.sim.distributions import (
+    Deterministic,
+    Distribution,
+    Erlang,
+    Exponential,
+    distribution_for_moments,
+)
+from repro.sim.engine import Simulator
+from repro.sim.statistics import RunningStats, TimeWeightedStats
+from repro.spec.interpreter import (
+    ActiveState,
+    InterpreterListener,
+    ProbabilisticResolver,
+    StateChartInterpreter,
+    StatePath,
+)
+from repro.spec.statechart import StateChart
+from repro.spec.translator import (
+    DEFAULT_ROUTING_DURATION,
+    ActivityRegistry,
+)
+from repro.wfms.measurement import (
+    ServerTypeMeasurement,
+    WFMSMeasurementReport,
+    WorkflowTypeMeasurement,
+    pooled_ci95,
+    pooled_mean,
+)
+from repro.wfms.routing import RoutingPolicy, ServerPool
+from repro.wfms.servers import FailureInjector, Server, ServiceRequest
+
+
+class DurationSampling(enum.Enum):
+    """Distribution family for activity/state durations.
+
+    ``EXPONENTIAL`` matches the CTMC's residence-time assumption exactly;
+    the other families probe the analytic model's robustness against the
+    Markov assumption being violated.
+    """
+
+    EXPONENTIAL = "exponential"
+    DETERMINISTIC = "deterministic"
+    ERLANG_2 = "erlang2"
+
+
+@dataclass(frozen=True)
+class SimulatedWorkflowType:
+    """One workflow type offered to the simulated WFMS."""
+
+    chart: StateChart
+    activities: ActivityRegistry
+    arrival_rate: float
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate <= 0.0:
+            raise ValidationError(
+                f"workflow {self.chart.name}: arrival rate must be positive"
+            )
+
+
+class SimulatedWFMS:
+    """A running, replicated, failure-prone WFMS in simulation."""
+
+    def __init__(
+        self,
+        server_types: ServerTypeIndex,
+        configuration: SystemConfiguration,
+        workflow_types: list[SimulatedWorkflowType],
+        seed: int = 0,
+        routing_policy: RoutingPolicy = RoutingPolicy.HASH,
+        duration_sampling: DurationSampling = DurationSampling.EXPONENTIAL,
+        inject_failures: bool = True,
+        repair_distributions: Mapping[str, Distribution] | None = None,
+        default_routing_duration: float = DEFAULT_ROUTING_DURATION,
+        organization=None,
+        activity_roles: Mapping[str, str] | None = None,
+        worklist_policy=None,
+    ) -> None:
+        if not workflow_types:
+            raise ValidationError("at least one workflow type is required")
+        names = [wft.chart.name for wft in workflow_types]
+        if len(set(names)) != len(names):
+            raise ValidationError(f"duplicate workflow types in {names}")
+        self.server_types = server_types
+        self.configuration = configuration
+        self.workflow_types = list(workflow_types)
+        self.duration_sampling = duration_sampling
+        self.default_routing_duration = default_routing_duration
+
+        self.simulator = Simulator()
+        self.trail = AuditTrail()
+        # Independent random streams keep the comparison across runs with
+        # different configurations as tight as possible.
+        self._arrival_rng = random.Random(seed)
+        self._branch_rng = random.Random(seed + 1)
+        self._duration_rng = random.Random(seed + 2)
+        self._service_rng = random.Random(seed + 3)
+        self._failure_rng = random.Random(seed + 4)
+        self._load_rng = random.Random(seed + 5)
+
+        self.pools: dict[str, ServerPool] = {}
+        self._injectors: list[FailureInjector] = []
+        repair_distributions = dict(repair_distributions or {})
+        for spec in server_types.specs:
+            count = configuration.count(spec.name)
+            if count < 1:
+                raise ValidationError(
+                    f"configuration must include at least one replica of "
+                    f"{spec.name}"
+                )
+            service_distribution = distribution_for_moments(
+                spec.mean_service_time, spec.second_moment_service_time
+            )
+            servers = [
+                Server(
+                    simulator=self.simulator,
+                    name=f"{spec.name}#{replica}",
+                    spec=spec,
+                    service_distribution=service_distribution,
+                    rng=self._service_rng,
+                    trail=self.trail,
+                )
+                for replica in range(count)
+            ]
+            pool = ServerPool(
+                simulator=self.simulator,
+                spec=spec,
+                servers=servers,
+                policy=routing_policy,
+                rng=self._load_rng,
+            )
+            self.pools[spec.name] = pool
+            if inject_failures and spec.failure_rate > 0.0:
+                for server in servers:
+                    self._injectors.append(
+                        FailureInjector(
+                            simulator=self.simulator,
+                            server=server,
+                            rng=self._failure_rng,
+                            repair_distribution=repair_distributions.get(
+                                spec.name
+                            ),
+                            on_failure=self._on_server_state_change,
+                            on_repair=self._on_server_state_change,
+                        )
+                    )
+
+        # Optional worklist management for interactive activities: when
+        # an organization is supplied, interactive activities compete for
+        # actors instead of completing after their nominal duration —
+        # surfacing the human-contention effect the paper's analytic
+        # models deliberately exclude.
+        self.worklist = None
+        if organization is not None:
+            from repro.org.worklist import (
+                AssignmentPolicy,
+                SimulatedWorklist,
+            )
+
+            self.worklist = SimulatedWorklist(
+                simulator=self.simulator,
+                organization=organization,
+                activity_roles=activity_roles,
+                policy=(worklist_policy if worklist_policy is not None
+                        else AssignmentPolicy.LEAST_LOADED),
+                rng=random.Random(seed + 6),
+            )
+
+        self._next_instance_id = 0
+        self._active_instances = 0
+        self._turnarounds: dict[str, RunningStats] = {
+            name: RunningStats() for name in names
+        }
+        self._completed: dict[str, int] = {name: 0 for name in names}
+        self._system_up = TimeWeightedStats(1.0, 0.0)
+        self._collect_from = 0.0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Failure bookkeeping
+    # ------------------------------------------------------------------
+    def _on_server_state_change(self, server: Server) -> None:
+        pool = self.pools[server.spec.name]
+        pool.notify_state_change()
+        self._system_up.update(
+            1.0 if all(p.any_up for p in self.pools.values()) else 0.0,
+            self.simulator.now,
+        )
+
+    # ------------------------------------------------------------------
+    # Workflow arrivals and execution
+    # ------------------------------------------------------------------
+    def _schedule_arrival(self, workflow_type: SimulatedWorkflowType) -> None:
+        delay = self._arrival_rng.expovariate(workflow_type.arrival_rate)
+        self.simulator.schedule(delay, self._arrive, workflow_type)
+
+    def _arrive(self, workflow_type: SimulatedWorkflowType) -> None:
+        self._start_instance(workflow_type)
+        self._schedule_arrival(workflow_type)
+
+    def _start_instance(self, workflow_type: SimulatedWorkflowType) -> None:
+        instance_id = self._next_instance_id
+        self._next_instance_id += 1
+        self._active_instances += 1
+        runtime = _InstanceRuntime(self, workflow_type, instance_id)
+        runtime.start()
+
+    def sample_duration(self, mean: float) -> float:
+        """Sample a state/activity duration of the configured family."""
+        if self.duration_sampling is DurationSampling.EXPONENTIAL:
+            return Exponential(mean).sample(self._duration_rng)
+        if self.duration_sampling is DurationSampling.DETERMINISTIC:
+            return Deterministic(mean).sample(self._duration_rng)
+        return Erlang(2, mean).sample(self._duration_rng)
+
+    def submit_request(self, server_type: str, instance_id: int) -> None:
+        """Issue one service request to a server type's pool."""
+        pool = self.pools.get(server_type)
+        if pool is None:
+            raise ValidationError(f"unknown server type {server_type!r}")
+        pool.submit(
+            ServiceRequest(
+                server_type=server_type,
+                instance_id=instance_id,
+                submitted_at=self.simulator.now,
+            )
+        )
+
+    def integer_load(self, expected_requests: float) -> int:
+        """Randomized rounding: the mean equals the fractional load."""
+        whole = int(math.floor(expected_requests))
+        fraction = expected_requests - whole
+        if fraction > 0.0 and self._load_rng.random() < fraction:
+            whole += 1
+        return whole
+
+    # ------------------------------------------------------------------
+    # Running and reporting
+    # ------------------------------------------------------------------
+    def run(
+        self, duration: float, warmup: float = 0.0
+    ) -> WFMSMeasurementReport:
+        """Run for ``warmup + duration`` and report the post-warm-up window."""
+        if duration <= 0.0:
+            raise ValidationError("duration must be positive")
+        if warmup < 0.0:
+            raise ValidationError("warmup must be >= 0")
+        if self._started:
+            raise ValidationError("this WFMS instance was already run")
+        self._started = True
+        for workflow_type in self.workflow_types:
+            self._schedule_arrival(workflow_type)
+        for injector in self._injectors:
+            injector.start()
+        if warmup > 0.0:
+            self.simulator.run_until(warmup)
+            self._reset_statistics()
+        self._collect_from = self.simulator.now
+        self.simulator.run_until(warmup + duration)
+        return self._build_report(duration, warmup)
+
+    def _reset_statistics(self) -> None:
+        now = self.simulator.now
+        for pool in self.pools.values():
+            pool.reset_statistics()
+        for name in self._turnarounds:
+            self._turnarounds[name] = RunningStats()
+            self._completed[name] = 0
+        self._system_up = TimeWeightedStats(
+            1.0 if all(p.any_up for p in self.pools.values()) else 0.0, now
+        )
+        self.trail.state_visits.clear()
+        self.trail.service_requests.clear()
+        self.trail.instances.clear()
+
+    def _build_report(
+        self, duration: float, warmup: float
+    ) -> WFMSMeasurementReport:
+        now = self.simulator.now
+        server_measurements: dict[str, ServerTypeMeasurement] = {}
+        for name, pool in self.pools.items():
+            counts = [s.statistics.waiting_times.count for s in pool.servers]
+            means = [s.statistics.waiting_times.mean for s in pool.servers]
+            seconds = [
+                s.statistics.waiting_times.second_moment
+                for s in pool.servers
+            ]
+            service_counts = [
+                s.statistics.service_times.count for s in pool.servers
+            ]
+            service_means = [
+                s.statistics.service_times.mean for s in pool.servers
+            ]
+            service_seconds = [
+                s.statistics.service_times.second_moment
+                for s in pool.servers
+            ]
+            utilization = pooled_mean(
+                [1] * len(pool.servers),
+                [s.statistics.busy.time_average(now) for s in pool.servers],
+            )
+            server_measurements[name] = ServerTypeMeasurement(
+                name=name,
+                replica_count=len(pool.servers),
+                completed_requests=sum(counts),
+                mean_waiting_time=pooled_mean(counts, means),
+                waiting_time_ci95=pooled_ci95(counts, means, seconds),
+                mean_service_time=pooled_mean(service_counts, service_means),
+                second_moment_service_time=pooled_mean(
+                    service_counts, service_seconds
+                ),
+                utilization=utilization,
+                unavailability=1.0 - pool.availability.time_average(now),
+            )
+        workflow_measurements: dict[str, WorkflowTypeMeasurement] = {}
+        for workflow_type in self.workflow_types:
+            name = workflow_type.chart.name
+            stats = self._turnarounds[name]
+            workflow_measurements[name] = WorkflowTypeMeasurement(
+                name=name,
+                completed_instances=self._completed[name],
+                mean_turnaround_time=stats.mean,
+                turnaround_ci95=stats.confidence_interval_95(),
+                throughput=self._completed[name] / duration,
+            )
+        return WFMSMeasurementReport(
+            observed_duration=duration,
+            warmup_duration=warmup,
+            server_types=server_measurements,
+            workflow_types=workflow_measurements,
+            system_unavailability=1.0 - self._system_up.time_average(now),
+            trail=self.trail,
+            worklist=(
+                self.worklist.report() if self.worklist is not None
+                else None
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Instance completion hook
+    # ------------------------------------------------------------------
+    def _instance_completed(
+        self, workflow_name: str, started_at: float, instance_id: int
+    ) -> None:
+        self._active_instances -= 1
+        now = self.simulator.now
+        if started_at >= self._collect_from:
+            self._turnarounds[workflow_name].add(now - started_at)
+            self._completed[workflow_name] += 1
+            self.trail.record_instance(
+                InstanceRecord(
+                    instance_id=instance_id,
+                    workflow_type=workflow_name,
+                    started_at=started_at,
+                    completed_at=now,
+                )
+            )
+
+
+class _InstanceRuntime(InterpreterListener):
+    """Drives one workflow instance through the simulation clock."""
+
+    def __init__(
+        self,
+        wfms: SimulatedWFMS,
+        workflow_type: SimulatedWorkflowType,
+        instance_id: int,
+    ) -> None:
+        self.wfms = wfms
+        self.workflow_type = workflow_type
+        self.instance_id = instance_id
+        self.started_at = wfms.simulator.now
+        self.interpreter = StateChartInterpreter(
+            workflow_type.chart,
+            resolver=ProbabilisticResolver(wfms._branch_rng),
+            listener=self,
+        )
+        # Top-level audit tracking: (state name, entered at).
+        self._top_level: tuple[str, float] | None = None
+
+    def start(self) -> None:
+        self.interpreter.start()
+
+    # ------------------------------------------------------------------
+    # InterpreterListener callbacks
+    # ------------------------------------------------------------------
+    def on_state_entered(self, active: ActiveState) -> None:
+        if len(active.path) == 2:
+            self._record_top_level_transition(active.state.name)
+        if active.state.is_composite:
+            return  # leaves of the regions drive the composite
+        self._process_leaf(active)
+
+    def on_workflow_completed(self) -> None:
+        self._record_top_level_transition(TERMINATION)
+        self.wfms._instance_completed(
+            self.workflow_type.chart.name, self.started_at, self.instance_id
+        )
+
+    # ------------------------------------------------------------------
+    def _record_top_level_transition(self, next_state: str) -> None:
+        now = self.wfms.simulator.now
+        if (self._top_level is not None
+                and self._top_level[1] >= self.wfms._collect_from):
+            state, entered_at = self._top_level
+            self.wfms.trail.record_state_visit(
+                StateVisitRecord(
+                    instance_id=self.instance_id,
+                    workflow_type=self.workflow_type.chart.name,
+                    state=state,
+                    entered_at=entered_at,
+                    left_at=now,
+                    next_state=next_state,
+                )
+            )
+        self._top_level = (
+            None if next_state == TERMINATION else (next_state, now)
+        )
+
+    def _process_leaf(self, active: ActiveState) -> None:
+        state = active.state
+        if state.activity is not None:
+            activity = self.workflow_type.activities.get(state.activity)
+            mean_duration = (
+                state.mean_duration
+                if state.mean_duration is not None
+                else activity.mean_duration
+            )
+            duration = self.wfms.sample_duration(mean_duration)
+            self._issue_requests(activity.loads, duration)
+            if activity.interactive and self.wfms.worklist is not None:
+                # Actor-contended completion: the state is left when the
+                # assigned actor finishes the work item.
+                path = active.path
+                self.wfms.worklist.submit(
+                    activity.name,
+                    self.instance_id,
+                    duration,
+                    on_complete=lambda item, p=path: self._advance(p),
+                )
+                return
+        else:
+            mean_duration = (
+                state.mean_duration
+                if state.mean_duration is not None
+                else self.wfms.default_routing_duration
+            )
+            duration = self.wfms.sample_duration(mean_duration)
+        self.wfms.simulator.schedule(duration, self._advance, active.path)
+
+    def _issue_requests(
+        self, loads: Mapping[str, float], duration: float
+    ) -> None:
+        """Spread the activity's requests uniformly over its duration."""
+        for server_type, expected in loads.items():
+            for _ in range(self.wfms.integer_load(expected)):
+                offset = self.wfms._load_rng.uniform(0.0, duration)
+                self.wfms.simulator.schedule(
+                    offset,
+                    self.wfms.submit_request,
+                    server_type,
+                    self.instance_id,
+                )
+
+    def _advance(self, path: StatePath) -> None:
+        self.interpreter.advance(path)

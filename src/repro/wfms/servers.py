@@ -1,0 +1,233 @@
+"""Simulated servers: FCFS replicas with failures and repairs.
+
+Each server replica is a single FCFS station (matching the M/G/1
+abstraction of Section 4.4) that can *fail*: a failure preempts the
+request in service (it is re-served in full after repair — retry
+semantics) and halts the queue until the repair completes.  Failure and
+repair processes are injected per replica with the type's
+``lambda_x`` / ``mu_x`` rates, mirroring the availability model of
+Section 5.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.model_types import ServerTypeSpec
+from repro.exceptions import ValidationError
+from repro.monitor.audit import AuditTrail, ServiceRequestRecord
+from repro.sim.distributions import Distribution, Exponential
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.statistics import RunningStats, TimeWeightedStats
+
+
+@dataclass
+class ServiceRequest:
+    """One service request travelling to a server replica."""
+
+    server_type: str
+    instance_id: int
+    submitted_at: float
+    started_at: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.submitted_at < 0.0:
+            raise ValidationError("submitted_at must be >= 0")
+
+
+@dataclass
+class ServerStatistics:
+    """Measurement collectors of one server replica."""
+
+    waiting_times: RunningStats = field(default_factory=RunningStats)
+    service_times: RunningStats = field(default_factory=RunningStats)
+    busy: TimeWeightedStats = field(
+        default_factory=lambda: TimeWeightedStats(0.0)
+    )
+    up: TimeWeightedStats = field(
+        default_factory=lambda: TimeWeightedStats(1.0)
+    )
+    completed_requests: int = 0
+
+
+class Server:
+    """One replica of a server type: FCFS queue, one service unit."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        name: str,
+        spec: ServerTypeSpec,
+        service_distribution: Distribution,
+        rng: random.Random,
+        trail: AuditTrail | None = None,
+    ) -> None:
+        self.simulator = simulator
+        self.name = name
+        self.spec = spec
+        self.service_distribution = service_distribution
+        self._rng = rng
+        self._trail = trail
+        self._queue: deque[ServiceRequest] = deque()
+        self._current: ServiceRequest | None = None
+        self._completion: EventHandle | None = None
+        self.is_up = True
+        self.statistics = ServerStatistics(
+            busy=TimeWeightedStats(0.0, simulator.now),
+            up=TimeWeightedStats(1.0, simulator.now),
+        )
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting (excluding the one in service)."""
+        return len(self._queue)
+
+    @property
+    def is_busy(self) -> bool:
+        return self._current is not None
+
+    def submit(self, request: ServiceRequest) -> None:
+        """Enqueue a request; service starts immediately when idle."""
+        self._queue.append(request)
+        self._try_start_next()
+
+    def _try_start_next(self) -> None:
+        if not self.is_up or self._current is not None or not self._queue:
+            return
+        request = self._queue.popleft()
+        request.started_at = self.simulator.now
+        self._current = request
+        self.statistics.busy.update(1.0, self.simulator.now)
+        service_time = self.service_distribution.sample(self._rng)
+        self._completion = self.simulator.schedule(
+            service_time, self._complete, request, service_time
+        )
+
+    def _complete(
+        self, request: ServiceRequest, service_time: float
+    ) -> None:
+        now = self.simulator.now
+        self._current = None
+        self._completion = None
+        self.statistics.busy.update(0.0, now)
+        assert request.started_at is not None
+        self.statistics.waiting_times.add(
+            request.started_at - request.submitted_at
+        )
+        self.statistics.service_times.add(service_time)
+        self.statistics.completed_requests += 1
+        if self._trail is not None:
+            self._trail.record_service_request(
+                ServiceRequestRecord(
+                    server_type=request.server_type,
+                    server_name=self.name,
+                    submitted_at=request.submitted_at,
+                    started_at=request.started_at,
+                    completed_at=now,
+                    instance_id=request.instance_id,
+                )
+            )
+        self._try_start_next()
+
+    # ------------------------------------------------------------------
+    # Failure / repair
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Take the replica down; the request in service is re-queued."""
+        if not self.is_up:
+            return
+        self.is_up = False
+        now = self.simulator.now
+        self.statistics.up.update(0.0, now)
+        if self._completion is not None:
+            self._completion.cancel()
+            self._completion = None
+        if self._current is not None:
+            # Retry semantics: the preempted request returns to the head
+            # of the queue and is served from scratch after the repair.
+            self._current.started_at = None
+            self._queue.appendleft(self._current)
+            self._current = None
+            self.statistics.busy.update(0.0, now)
+
+    def repair(self) -> None:
+        """Bring the replica back up and resume service."""
+        if self.is_up:
+            return
+        self.is_up = True
+        self.statistics.up.update(1.0, self.simulator.now)
+        self._try_start_next()
+
+    def reset_statistics(self) -> None:
+        """Drop warm-up measurements; time-weighted stats restart now."""
+        now = self.simulator.now
+        self.statistics = ServerStatistics(
+            busy=TimeWeightedStats(
+                1.0 if self.is_busy else 0.0, now
+            ),
+            up=TimeWeightedStats(1.0 if self.is_up else 0.0, now),
+        )
+
+
+class FailureInjector:
+    """Drives the failure/repair process of one server replica.
+
+    Times to failure are exponential with the spec's ``lambda_x`` (only
+    while the server is up, matching the availability CTMC in which only
+    running replicas fail); repair durations default to exponential with
+    mean ``1/mu_x`` but accept any :class:`Distribution` — enabling the
+    non-exponential (phase-type) experiments of Section 5.1.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        server: Server,
+        rng: random.Random,
+        repair_distribution: Distribution | None = None,
+        on_failure=None,
+        on_repair=None,
+    ) -> None:
+        spec = server.spec
+        if spec.failure_rate <= 0.0:
+            raise ValidationError(
+                f"{server.name}: failure injection needs a positive "
+                "failure rate"
+            )
+        self.simulator = simulator
+        self.server = server
+        self._rng = rng
+        self._time_to_failure = Exponential(1.0 / spec.failure_rate)
+        self._repair_distribution = (
+            repair_distribution
+            if repair_distribution is not None
+            else Exponential(spec.mean_time_to_repair)
+        )
+        self._on_failure = on_failure
+        self._on_repair = on_repair
+
+    def start(self) -> None:
+        """Arm the first failure timer."""
+        self._schedule_failure()
+
+    def _schedule_failure(self) -> None:
+        delay = self._time_to_failure.sample(self._rng)
+        self.simulator.schedule(delay, self._fire_failure)
+
+    def _fire_failure(self) -> None:
+        self.server.fail()
+        if self._on_failure is not None:
+            self._on_failure(self.server)
+        repair_time = self._repair_distribution.sample(self._rng)
+        self.simulator.schedule(repair_time, self._fire_repair)
+
+    def _fire_repair(self) -> None:
+        self.server.repair()
+        if self._on_repair is not None:
+            self._on_repair(self.server)
+        self._schedule_failure()

@@ -1,0 +1,79 @@
+"""Ready-made example workflows.
+
+* :mod:`repro.workflows.ecommerce` — the paper's electronic purchase (EP)
+  workflow of Figures 3 and 4, with parallel notify/delivery subworkflows
+  and the invoice reminder loop.
+* :mod:`repro.workflows.order_processing` — a flat, TPC-C-flavoured
+  high-throughput pipeline with a rejection branch and payment retries.
+* :mod:`repro.workflows.insurance` — a long-running claim-handling
+  process with a documents loop and a parallel assessment phase.
+* :mod:`repro.workflows.loan` — a loan approval spread over the extended
+  five-type server landscape.
+
+All workflows share the server-type landscape and per-activity request
+counts of :mod:`repro.workflows.common` (Figure 1 / Section 5.2).
+"""
+
+from repro.workflows.common import (
+    APPLICATION_SERVER,
+    APPLICATION_SERVER_2,
+    COMMUNICATION_SERVER,
+    WORKFLOW_ENGINE,
+    WORKFLOW_ENGINE_2,
+    automated_activity,
+    extended_server_types,
+    interactive_activity,
+    standard_server_types,
+)
+from repro.workflows.ecommerce import (
+    ecommerce_activities,
+    ecommerce_chart,
+    ecommerce_workflow,
+)
+from repro.workflows.insurance import (
+    insurance_activities,
+    insurance_chart,
+    insurance_workflow,
+)
+from repro.workflows.loan import (
+    loan_activities,
+    loan_chart,
+    loan_workflow,
+)
+from repro.workflows.order_processing import (
+    order_processing_activities,
+    order_processing_chart,
+    order_processing_workflow,
+)
+from repro.workflows.travel import (
+    travel_activities,
+    travel_chart,
+    travel_workflow,
+)
+
+__all__ = [
+    "APPLICATION_SERVER",
+    "APPLICATION_SERVER_2",
+    "COMMUNICATION_SERVER",
+    "WORKFLOW_ENGINE",
+    "WORKFLOW_ENGINE_2",
+    "automated_activity",
+    "ecommerce_activities",
+    "ecommerce_chart",
+    "ecommerce_workflow",
+    "extended_server_types",
+    "insurance_activities",
+    "insurance_chart",
+    "insurance_workflow",
+    "interactive_activity",
+    "loan_activities",
+    "loan_chart",
+    "loan_workflow",
+    "order_processing_activities",
+    "order_processing_chart",
+    "order_processing_workflow",
+    "standard_server_types",
+    "travel_activities",
+    "travel_chart",
+    "travel_workflow",
+]

@@ -1,0 +1,152 @@
+"""Shared building blocks of the example workflow library.
+
+Centralizes the server-type landscape (the architectural model of
+Figure 2 with the failure/repair rates of the Section 5.2 example) and
+the canonical per-activity request counts of Figure 1, so that every
+example workflow loads the same server types consistently.
+
+**Time unit: minutes** throughout the example library.
+"""
+
+from __future__ import annotations
+
+from repro.core.model_types import (
+    ActivitySpec,
+    ServerRole,
+    ServerTypeIndex,
+    ServerTypeSpec,
+)
+
+# ----------------------------------------------------------------------
+# Server type names
+# ----------------------------------------------------------------------
+COMMUNICATION_SERVER = "comm-server"
+WORKFLOW_ENGINE = "wf-engine"
+APPLICATION_SERVER = "app-server"
+WORKFLOW_ENGINE_2 = "wf-engine-2"
+APPLICATION_SERVER_2 = "app-server-2"
+
+# Failure rates of the Section 5.2 example (per minute): one failure per
+# month / week / day, and a mean time to repair of 10 minutes for all.
+FAILURE_RATE_COMM = 1.0 / 43200.0
+FAILURE_RATE_ENGINE = 1.0 / 10080.0
+FAILURE_RATE_APP = 1.0 / 1440.0
+REPAIR_RATE = 1.0 / 10.0
+
+# Mean service times per service request (minutes).  The paper collects
+# these from runtime statistics; here they are documented constants chosen
+# so that a moderately loaded department-scale workload (a few workflow
+# arrivals per minute) drives utilizations into the interesting 0.3-0.9
+# band.  Second moments default to the exponential value.
+SERVICE_TIME_COMM = 0.02
+SERVICE_TIME_ENGINE = 0.05
+SERVICE_TIME_APP = 0.15
+
+# Canonical request counts per activity execution, read off the sequence
+# diagram of Figure 1: an automated activity induces 3 requests at its
+# workflow engine, 2 at the communication server, and 3 at its application
+# server; an interactive activity runs on a client and skips the
+# application server.
+AUTOMATED_REQUESTS = {
+    WORKFLOW_ENGINE: 3.0,
+    COMMUNICATION_SERVER: 2.0,
+    APPLICATION_SERVER: 3.0,
+}
+INTERACTIVE_REQUESTS = {
+    WORKFLOW_ENGINE: 3.0,
+    COMMUNICATION_SERVER: 2.0,
+}
+
+
+def standard_server_types() -> ServerTypeIndex:
+    """The paper's three-type landscape (Figure 2, Section 5.2 rates)."""
+    return ServerTypeIndex(
+        [
+            ServerTypeSpec(
+                name=COMMUNICATION_SERVER,
+                mean_service_time=SERVICE_TIME_COMM,
+                failure_rate=FAILURE_RATE_COMM,
+                repair_rate=REPAIR_RATE,
+                role=ServerRole.COMMUNICATION_SERVER,
+            ),
+            ServerTypeSpec(
+                name=WORKFLOW_ENGINE,
+                mean_service_time=SERVICE_TIME_ENGINE,
+                failure_rate=FAILURE_RATE_ENGINE,
+                repair_rate=REPAIR_RATE,
+                role=ServerRole.WORKFLOW_ENGINE,
+            ),
+            ServerTypeSpec(
+                name=APPLICATION_SERVER,
+                mean_service_time=SERVICE_TIME_APP,
+                failure_rate=FAILURE_RATE_APP,
+                repair_rate=REPAIR_RATE,
+                role=ServerRole.APPLICATION_SERVER,
+            ),
+        ]
+    )
+
+
+def extended_server_types() -> ServerTypeIndex:
+    """A five-type landscape: two engine types and two application types.
+
+    Matches Figure 2's general picture (m workflow engine types, n
+    application server types, one communication server type) for
+    experiments with richer load-partitioning decisions.
+    """
+    base = standard_server_types()
+    return ServerTypeIndex(
+        list(base.specs)
+        + [
+            ServerTypeSpec(
+                name=WORKFLOW_ENGINE_2,
+                mean_service_time=SERVICE_TIME_ENGINE,
+                failure_rate=FAILURE_RATE_ENGINE,
+                repair_rate=REPAIR_RATE,
+                role=ServerRole.WORKFLOW_ENGINE,
+            ),
+            ServerTypeSpec(
+                name=APPLICATION_SERVER_2,
+                mean_service_time=SERVICE_TIME_APP,
+                failure_rate=FAILURE_RATE_APP,
+                repair_rate=REPAIR_RATE,
+                role=ServerRole.APPLICATION_SERVER,
+            ),
+        ]
+    )
+
+
+def automated_activity(
+    name: str,
+    mean_duration: float,
+    engine: str = WORKFLOW_ENGINE,
+    app_server: str = APPLICATION_SERVER,
+) -> ActivitySpec:
+    """An automated activity with the Figure-1 request counts (3/2/3)."""
+    return ActivitySpec(
+        name=name,
+        mean_duration=mean_duration,
+        loads={
+            engine: AUTOMATED_REQUESTS[WORKFLOW_ENGINE],
+            COMMUNICATION_SERVER: AUTOMATED_REQUESTS[COMMUNICATION_SERVER],
+            app_server: AUTOMATED_REQUESTS[APPLICATION_SERVER],
+        },
+        interactive=False,
+    )
+
+
+def interactive_activity(
+    name: str,
+    mean_duration: float,
+    engine: str = WORKFLOW_ENGINE,
+) -> ActivitySpec:
+    """An interactive activity (client-executed; no application server)."""
+    return ActivitySpec(
+        name=name,
+        mean_duration=mean_duration,
+        loads={
+            engine: INTERACTIVE_REQUESTS[WORKFLOW_ENGINE],
+            COMMUNICATION_SERVER: INTERACTIVE_REQUESTS[COMMUNICATION_SERVER],
+        },
+        interactive=True,
+    )

@@ -1,0 +1,185 @@
+"""The paper's electronic purchase (EP) workflow (Figures 3 and 4).
+
+A simplified e-commerce scenario similar to TPC-C, combining multiple
+transaction types into one workflow with the full spectrum of control
+flow: a branching split after ``NewOrder`` (pay by credit card or not), a
+possible early termination on credit-card problems, the nested top-level
+state ``Shipment_S`` spawning the two orthogonal/parallel subworkflows
+``Notify_SC`` and ``Delivery_SC``, a join on their termination, a second
+payment-mode split, a reminder *loop* for unpaid invoices, and the final
+state ``EP_EXIT_S``.
+
+The paper prints the chart's structure (Figure 3) and states that the
+CTMC of Figure 4 has seven execution states plus the absorbing state; the
+figure's transition probabilities and residence times are explicitly
+"fictitious for mere illustration" and not printed in the text, so the
+values below are this reproduction's documented choices.  They are chosen
+to be *internally consistent*: the probability of paying by credit card
+given that shipment is reached equals
+``P(card) * P(card ok) / (P(card) * P(card ok) + P(no card))``.
+"""
+
+from __future__ import annotations
+
+from repro.core.model_types import ActivitySpec
+from repro.core.workflow_model import WorkflowDefinition
+from repro.spec.builder import StateChartBuilder
+from repro.spec.events import Not, Var
+from repro.spec.statechart import StateChart
+from repro.spec.translator import ActivityRegistry, translate_chart
+from repro.workflows.common import (
+    automated_activity,
+    interactive_activity,
+)
+
+# ----------------------------------------------------------------------
+# Branching probabilities (documented reproduction choices)
+# ----------------------------------------------------------------------
+#: Probability that the customer pays by credit card.
+P_PAY_BY_CARD = 0.6
+#: Probability that the credit card check finds a problem (terminating
+#: the workflow early).
+P_CARD_PROBLEM = 0.1
+#: Probability that an invoice remains unpaid and a reminder is sent
+#: (the loop of Figure 3).
+P_REMINDER = 0.3
+#: Probability that delivery finds the article out of stock.
+P_OUT_OF_STOCK = 0.2
+
+#: Probability of the credit-card branch after shipment, conditioned on
+#: reaching shipment at all (kept consistent with the first split).
+P_CARD_AFTER_SHIPMENT = (
+    P_PAY_BY_CARD * (1.0 - P_CARD_PROBLEM)
+    / (P_PAY_BY_CARD * (1.0 - P_CARD_PROBLEM) + (1.0 - P_PAY_BY_CARD))
+)
+
+# Mean activity durations in minutes (documented reproduction choices).
+DURATION_NEW_ORDER = 10.0
+DURATION_CREDIT_CARD_CHECK = 1.0
+DURATION_PREPARE_NOTIFICATION = 0.5
+DURATION_SEND_NOTIFICATION = 0.5
+DURATION_CHECK_STOCK = 1.0
+DURATION_REORDER = 120.0
+DURATION_SHIP = 30.0
+DURATION_UPDATE_BILLING = 1.0
+DURATION_CREDIT_CARD_PAYMENT = 1.0
+DURATION_INVOICE_PAYMENT = 30.0
+DURATION_SEND_REMINDER = 2.0
+DURATION_EXIT = 0.1
+
+
+def ecommerce_activities() -> ActivityRegistry:
+    """Activity catalogue of the EP workflow (Figure-1 request counts)."""
+    activities: list[ActivitySpec] = [
+        interactive_activity("NewOrder", DURATION_NEW_ORDER),
+        automated_activity("CreditCardCheck", DURATION_CREDIT_CARD_CHECK),
+        automated_activity(
+            "PrepareNotification", DURATION_PREPARE_NOTIFICATION
+        ),
+        automated_activity("SendNotification", DURATION_SEND_NOTIFICATION),
+        automated_activity("CheckStock", DURATION_CHECK_STOCK),
+        automated_activity("Reorder", DURATION_REORDER),
+        interactive_activity("Ship", DURATION_SHIP),
+        automated_activity("UpdateBilling", DURATION_UPDATE_BILLING),
+        automated_activity(
+            "CreditCardPayment", DURATION_CREDIT_CARD_PAYMENT
+        ),
+        interactive_activity("InvoicePayment", DURATION_INVOICE_PAYMENT),
+        automated_activity("SendReminder", DURATION_SEND_REMINDER),
+    ]
+    return ActivityRegistry({spec.name: spec for spec in activities})
+
+
+def notify_subchart() -> StateChart:
+    """``Notify_SC``: prepare and send the customer notification."""
+    return (
+        StateChartBuilder("Notify_SC")
+        .activity_state("PrepareNotification")
+        .activity_state("SendNotification")
+        .initial("PrepareNotification")
+        .transition("PrepareNotification", "SendNotification",
+                    event="PrepareNotification_DONE")
+        .build()
+    )
+
+
+def delivery_subchart() -> StateChart:
+    """``Delivery_SC``: stock check, optional reorder, shipping, billing."""
+    return (
+        StateChartBuilder("Delivery_SC")
+        .activity_state("CheckStock")
+        .activity_state("Reorder")
+        .activity_state("Ship")
+        .activity_state("UpdateBilling")
+        .initial("CheckStock")
+        .transition("CheckStock", "Ship", event="CheckStock_DONE",
+                    guard=Var("InStock"),
+                    probability=1.0 - P_OUT_OF_STOCK)
+        .transition("CheckStock", "Reorder", event="CheckStock_DONE",
+                    guard=Not(Var("InStock")),
+                    probability=P_OUT_OF_STOCK)
+        .transition("Reorder", "Ship", event="Reorder_DONE")
+        .transition("Ship", "UpdateBilling", event="Ship_DONE")
+        .build()
+    )
+
+
+def ecommerce_chart() -> StateChart:
+    """The top-level EP state chart (Figure 3).
+
+    Seven top-level states — ``NewOrder``, ``CreditCardCheck``,
+    ``Shipment_S`` (hosting the two parallel subworkflows),
+    ``CreditCardPayment``, ``InvoicePayment``, ``SendReminder``,
+    ``EP_EXIT_S`` — matching Figure 4's "seven further states" besides
+    the absorbing state.
+    """
+    return (
+        StateChartBuilder("EP")
+        .activity_state("NewOrder")
+        .activity_state("CreditCardCheck")
+        .nested_state("Shipment_S", notify_subchart(), delivery_subchart())
+        .activity_state("CreditCardPayment")
+        .activity_state("InvoicePayment")
+        .activity_state("SendReminder")
+        .routing_state("EP_EXIT_S", mean_duration=DURATION_EXIT)
+        .initial("NewOrder")
+        .transition("NewOrder", "CreditCardCheck",
+                    event="NewOrder_DONE", guard=Var("PayByCreditCard"),
+                    probability=P_PAY_BY_CARD)
+        .transition("NewOrder", "Shipment_S",
+                    event="NewOrder_DONE",
+                    guard=Not(Var("PayByCreditCard")),
+                    probability=1.0 - P_PAY_BY_CARD)
+        .transition("CreditCardCheck", "EP_EXIT_S",
+                    event="CreditCardCheck_DONE",
+                    guard=Var("CardProblem"),
+                    probability=P_CARD_PROBLEM)
+        .transition("CreditCardCheck", "Shipment_S",
+                    event="CreditCardCheck_DONE",
+                    guard=Not(Var("CardProblem")),
+                    probability=1.0 - P_CARD_PROBLEM)
+        .transition("Shipment_S", "CreditCardPayment",
+                    guard=Var("PayByCreditCard"),
+                    probability=P_CARD_AFTER_SHIPMENT)
+        .transition("Shipment_S", "InvoicePayment",
+                    guard=Not(Var("PayByCreditCard")),
+                    probability=1.0 - P_CARD_AFTER_SHIPMENT)
+        .transition("CreditCardPayment", "EP_EXIT_S",
+                    event="CreditCardPayment_DONE")
+        .transition("InvoicePayment", "EP_EXIT_S",
+                    event="InvoicePayment_DONE",
+                    guard=Var("InvoicePaid"),
+                    probability=1.0 - P_REMINDER)
+        .transition("InvoicePayment", "SendReminder",
+                    event="InvoicePayment_DONE",
+                    guard=Not(Var("InvoicePaid")),
+                    probability=P_REMINDER)
+        .transition("SendReminder", "InvoicePayment",
+                    event="SendReminder_DONE")
+        .build()
+    )
+
+
+def ecommerce_workflow() -> WorkflowDefinition:
+    """The EP workflow translated into the model layer (Figure 4)."""
+    return translate_chart(ecommerce_chart(), ecommerce_activities())

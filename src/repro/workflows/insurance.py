@@ -1,0 +1,122 @@
+"""An insurance claim-handling workflow.
+
+Long-running, document-heavy, with a resubmission loop and a parallel
+assessment phase — the "enterprise-wide business process" archetype of
+the paper's introduction (the second author's affiliation being a bank is
+no accident).  Used in benchmark mixes to stress turnaround-time-driven
+load (Little's law keeps many instances concurrently active).
+"""
+
+from __future__ import annotations
+
+from repro.core.workflow_model import WorkflowDefinition
+from repro.spec.builder import StateChartBuilder
+from repro.spec.events import Not, Var
+from repro.spec.statechart import StateChart
+from repro.spec.translator import ActivityRegistry, translate_chart
+from repro.workflows.common import automated_activity, interactive_activity
+
+#: Probability that submitted documents are incomplete (loop back).
+P_DOCUMENTS_MISSING = 0.25
+#: Probability that the claim is approved after assessment.
+P_APPROVE = 0.7
+
+DURATION_REGISTER = 15.0
+DURATION_CHECK_COVERAGE = 2.0
+DURATION_REQUEST_DOCUMENTS = 240.0
+DURATION_DAMAGE_INSPECTION = 90.0
+DURATION_WITNESS_REVIEW = 60.0
+DURATION_FRAUD_SCORING = 5.0
+DURATION_DECIDE = 30.0
+DURATION_PAY = 3.0
+DURATION_REJECT_LETTER = 10.0
+DURATION_CLOSE = 0.5
+
+
+def insurance_activities() -> ActivityRegistry:
+    """Activity catalogue of the claim-handling workflow."""
+    activities = [
+        interactive_activity("RegisterClaim", DURATION_REGISTER),
+        automated_activity("CheckCoverage", DURATION_CHECK_COVERAGE),
+        interactive_activity(
+            "RequestDocuments", DURATION_REQUEST_DOCUMENTS
+        ),
+        interactive_activity(
+            "DamageInspection", DURATION_DAMAGE_INSPECTION
+        ),
+        interactive_activity("WitnessReview", DURATION_WITNESS_REVIEW),
+        automated_activity("FraudScoring", DURATION_FRAUD_SCORING),
+        interactive_activity("DecideClaim", DURATION_DECIDE),
+        automated_activity("PayClaim", DURATION_PAY),
+        automated_activity("RejectLetter", DURATION_REJECT_LETTER),
+        automated_activity("CloseClaim", DURATION_CLOSE),
+    ]
+    return ActivityRegistry({spec.name: spec for spec in activities})
+
+
+def inspection_subchart() -> StateChart:
+    """Physical assessment: damage inspection, then witness review."""
+    return (
+        StateChartBuilder("Inspection_SC")
+        .activity_state("DamageInspection")
+        .activity_state("WitnessReview")
+        .initial("DamageInspection")
+        .transition("DamageInspection", "WitnessReview",
+                    event="DamageInspection_DONE")
+        .build()
+    )
+
+
+def fraud_subchart() -> StateChart:
+    """Automated fraud scoring, running in parallel to the inspection."""
+    return (
+        StateChartBuilder("Fraud_SC")
+        .activity_state("FraudScoring")
+        .initial("FraudScoring")
+        .build()
+    )
+
+
+def insurance_chart() -> StateChart:
+    """Register -> coverage check (documents loop) -> parallel assessment
+    -> decision -> pay or reject -> close."""
+    return (
+        StateChartBuilder("InsuranceClaim")
+        .activity_state("RegisterClaim")
+        .activity_state("CheckCoverage")
+        .activity_state("RequestDocuments")
+        .nested_state("Assessment_S", inspection_subchart(), fraud_subchart())
+        .activity_state("DecideClaim")
+        .activity_state("PayClaim")
+        .activity_state("RejectLetter")
+        .activity_state("CloseClaim")
+        .initial("RegisterClaim")
+        .transition("RegisterClaim", "CheckCoverage",
+                    event="RegisterClaim_DONE")
+        .transition("CheckCoverage", "RequestDocuments",
+                    event="CheckCoverage_DONE",
+                    guard=Var("DocumentsMissing"),
+                    probability=P_DOCUMENTS_MISSING)
+        .transition("CheckCoverage", "Assessment_S",
+                    event="CheckCoverage_DONE",
+                    guard=Not(Var("DocumentsMissing")),
+                    probability=1.0 - P_DOCUMENTS_MISSING)
+        .transition("RequestDocuments", "CheckCoverage",
+                    event="RequestDocuments_DONE")
+        .transition("Assessment_S", "DecideClaim")
+        .transition("DecideClaim", "PayClaim",
+                    event="DecideClaim_DONE", guard=Var("Approved"),
+                    probability=P_APPROVE)
+        .transition("DecideClaim", "RejectLetter",
+                    event="DecideClaim_DONE", guard=Not(Var("Approved")),
+                    probability=1.0 - P_APPROVE)
+        .transition("PayClaim", "CloseClaim", event="PayClaim_DONE")
+        .transition("RejectLetter", "CloseClaim",
+                    event="RejectLetter_DONE")
+        .build()
+    )
+
+
+def insurance_workflow() -> WorkflowDefinition:
+    """The claim-handling workflow translated into the model layer."""
+    return translate_chart(insurance_chart(), insurance_activities())

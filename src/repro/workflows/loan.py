@@ -1,0 +1,126 @@
+"""A loan-approval workflow on the extended server landscape.
+
+Unlike the other examples, this workflow spreads its activities over
+*two* workflow engine types and *two* application server types (the
+``m`` engines / ``n`` application servers of Figure 2): the credit-check
+subworkflow runs on the second engine/application pair, modelling a
+separate organizational unit.  Exercises configurations where the
+critical server type differs per workflow type.
+"""
+
+from __future__ import annotations
+
+from repro.core.workflow_model import WorkflowDefinition
+from repro.spec.builder import StateChartBuilder
+from repro.spec.events import Not, Var
+from repro.spec.statechart import StateChart
+from repro.spec.translator import ActivityRegistry, translate_chart
+from repro.workflows.common import (
+    APPLICATION_SERVER_2,
+    WORKFLOW_ENGINE_2,
+    automated_activity,
+    interactive_activity,
+)
+
+#: Probability that the application is approved directly.
+P_APPROVE = 0.55
+#: Probability that the application is escalated for a senior review
+#: (loop through an additional review state).
+P_ESCALATE = 0.25
+
+DURATION_APPLICATION = 20.0
+DURATION_SCORING = 1.0
+DURATION_CREDIT_BUREAU = 10.0
+DURATION_COLLATERAL = 45.0
+DURATION_DECISION = 15.0
+DURATION_SENIOR_REVIEW = 120.0
+DURATION_SIGNING = 60.0
+DURATION_DISBURSE = 2.0
+DURATION_CLOSE = 0.5
+
+
+def loan_activities() -> ActivityRegistry:
+    """Activity catalogue; credit activities live on the second pair."""
+    activities = [
+        interactive_activity("LoanApplication", DURATION_APPLICATION),
+        automated_activity("Scoring", DURATION_SCORING),
+        automated_activity(
+            "CreditBureauQuery",
+            DURATION_CREDIT_BUREAU,
+            engine=WORKFLOW_ENGINE_2,
+            app_server=APPLICATION_SERVER_2,
+        ),
+        interactive_activity(
+            "CollateralAssessment",
+            DURATION_COLLATERAL,
+            engine=WORKFLOW_ENGINE_2,
+        ),
+        interactive_activity("LoanDecision", DURATION_DECISION),
+        interactive_activity("SeniorReview", DURATION_SENIOR_REVIEW),
+        interactive_activity("Signing", DURATION_SIGNING),
+        automated_activity("Disburse", DURATION_DISBURSE),
+        automated_activity("CloseFile", DURATION_CLOSE),
+    ]
+    return ActivityRegistry({spec.name: spec for spec in activities})
+
+
+def credit_check_subchart() -> StateChart:
+    """External credit bureau query (second engine/application pair)."""
+    return (
+        StateChartBuilder("CreditCheck_SC")
+        .activity_state("CreditBureauQuery")
+        .initial("CreditBureauQuery")
+        .build()
+    )
+
+
+def risk_subchart() -> StateChart:
+    """In-house scoring followed by collateral assessment."""
+    return (
+        StateChartBuilder("Risk_SC")
+        .activity_state("Scoring")
+        .activity_state("CollateralAssessment")
+        .initial("Scoring")
+        .transition("Scoring", "CollateralAssessment",
+                    event="Scoring_DONE")
+        .build()
+    )
+
+
+def loan_chart() -> StateChart:
+    """Application -> parallel checks -> decision (approve / reject /
+    escalate loop) -> signing -> disbursement -> close."""
+    return (
+        StateChartBuilder("LoanApproval")
+        .activity_state("LoanApplication")
+        .nested_state("Checks_S", credit_check_subchart(), risk_subchart())
+        .activity_state("LoanDecision")
+        .activity_state("SeniorReview")
+        .activity_state("Signing")
+        .activity_state("Disburse")
+        .activity_state("CloseFile")
+        .initial("LoanApplication")
+        .transition("LoanApplication", "Checks_S",
+                    event="LoanApplication_DONE")
+        .transition("Checks_S", "LoanDecision")
+        .transition("LoanDecision", "Signing",
+                    event="LoanDecision_DONE", guard=Var("Approved"),
+                    probability=P_APPROVE)
+        .transition("LoanDecision", "SeniorReview",
+                    event="LoanDecision_DONE", guard=Var("Escalated"),
+                    probability=P_ESCALATE)
+        .transition("LoanDecision", "CloseFile",
+                    event="LoanDecision_DONE",
+                    guard=Not(Var("Approved")),
+                    probability=1.0 - P_APPROVE - P_ESCALATE)
+        .transition("SeniorReview", "LoanDecision",
+                    event="SeniorReview_DONE")
+        .transition("Signing", "Disburse", event="Signing_DONE")
+        .transition("Disburse", "CloseFile", event="Disburse_DONE")
+        .build()
+    )
+
+
+def loan_workflow() -> WorkflowDefinition:
+    """The loan-approval workflow translated into the model layer."""
+    return translate_chart(loan_chart(), loan_activities())

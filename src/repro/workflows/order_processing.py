@@ -1,0 +1,90 @@
+"""A TPC-C-flavoured order-processing workflow.
+
+The paper's introduction motivates WFMS configurations with high-volume
+enterprise workloads; this workflow complements the EP example with a
+flat, high-throughput order pipeline (no nesting) featuring a rejection
+branch and a payment-retry loop.  It is the second workflow type in the
+benchmark mixes, so that the aggregated load of Section 4.3 exercises
+multiple workflow types with different arrival rates.
+"""
+
+from __future__ import annotations
+
+from repro.core.workflow_model import WorkflowDefinition
+from repro.spec.builder import StateChartBuilder
+from repro.spec.events import Not, Var
+from repro.spec.statechart import StateChart
+from repro.spec.translator import ActivityRegistry, translate_chart
+from repro.workflows.common import automated_activity, interactive_activity
+
+#: Probability that validation rejects the order outright.
+P_REJECT = 0.05
+#: Probability that the payment attempt fails and is retried.
+P_PAYMENT_RETRY = 0.1
+
+DURATION_RECEIVE = 3.0
+DURATION_VALIDATE = 0.5
+DURATION_PAYMENT = 2.0
+DURATION_PACK = 15.0
+DURATION_SHIP_ORDER = 10.0
+DURATION_ARCHIVE = 0.2
+
+
+def order_processing_activities() -> ActivityRegistry:
+    """Activity catalogue of the order-processing workflow."""
+    activities = [
+        interactive_activity("ReceiveOrder", DURATION_RECEIVE),
+        automated_activity("ValidateOrder", DURATION_VALIDATE),
+        automated_activity("ProcessPayment", DURATION_PAYMENT),
+        interactive_activity("PackOrder", DURATION_PACK),
+        automated_activity("ShipOrder", DURATION_SHIP_ORDER),
+        automated_activity("ArchiveOrder", DURATION_ARCHIVE),
+    ]
+    return ActivityRegistry({spec.name: spec for spec in activities})
+
+
+def order_processing_chart() -> StateChart:
+    """Receive -> validate -> (reject | pay -> pack -> ship) -> archive."""
+    return (
+        StateChartBuilder("OrderProcessing")
+        .activity_state("ReceiveOrder")
+        .activity_state("ValidateOrder")
+        .activity_state("ProcessPayment")
+        .activity_state("PackOrder")
+        .activity_state("ShipOrder")
+        .activity_state("ArchiveOrder")
+        .initial("ReceiveOrder")
+        .transition("ReceiveOrder", "ValidateOrder",
+                    event="ReceiveOrder_DONE")
+        .transition("ValidateOrder", "ArchiveOrder",
+                    event="ValidateOrder_DONE", guard=Var("OrderRejected"),
+                    probability=P_REJECT)
+        .transition("ValidateOrder", "ProcessPayment",
+                    event="ValidateOrder_DONE",
+                    guard=Not(Var("OrderRejected")),
+                    probability=1.0 - P_REJECT)
+        .transition("ProcessPayment", "ProcessPayment",
+                    event="ProcessPayment_DONE",
+                    guard=Var("PaymentFailed"),
+                    probability=P_PAYMENT_RETRY)
+        .transition("ProcessPayment", "PackOrder",
+                    event="ProcessPayment_DONE",
+                    guard=Not(Var("PaymentFailed")),
+                    probability=1.0 - P_PAYMENT_RETRY)
+        .transition("PackOrder", "ShipOrder", event="PackOrder_DONE")
+        .transition("ShipOrder", "ArchiveOrder", event="ShipOrder_DONE")
+        .build()
+    )
+
+
+def order_processing_workflow() -> WorkflowDefinition:
+    """The order-processing workflow translated into the model layer.
+
+    Note the payment self-loop: the translation keeps it, and the CTMC
+    construction folds it into the state's residence time via the
+    geometric-sojourn transform (see
+    :func:`repro.core.ctmc.remove_self_loops`).
+    """
+    return translate_chart(
+        order_processing_chart(), order_processing_activities()
+    )

@@ -1,0 +1,133 @@
+"""A cross-organization travel-booking workflow.
+
+The paper's abstract motivates WFMSs "geared for the orchestration of
+enterprise-wide or even 'virtual-enterprise'-style business processes
+across multiple organizations"; this workflow models that setting: three
+*parallel* bookings (flight, hotel, rental car) handled by different
+organizations, a confirmation step, and a cancellation/compensation
+branch that undoes the bookings when the customer rejects the offer —
+the widest parallel join in the example library.
+"""
+
+from __future__ import annotations
+
+from repro.core.workflow_model import WorkflowDefinition
+from repro.spec.builder import StateChartBuilder
+from repro.spec.events import Not, Var
+from repro.spec.statechart import StateChart
+from repro.spec.translator import ActivityRegistry, translate_chart
+from repro.workflows.common import automated_activity, interactive_activity
+
+#: Probability that the customer accepts the combined offer.
+P_ACCEPT = 0.8
+#: Probability that a hotel needs a manual room negotiation round.
+P_NEGOTIATE = 0.15
+
+DURATION_REQUEST = 15.0
+DURATION_FLIGHT_SEARCH = 2.0
+DURATION_FLIGHT_BOOK = 1.0
+DURATION_HOTEL_SEARCH = 3.0
+DURATION_NEGOTIATE = 60.0
+DURATION_HOTEL_BOOK = 1.0
+DURATION_CAR_BOOK = 2.0
+DURATION_CONFIRM = 30.0
+DURATION_INVOICE = 2.0
+DURATION_CANCEL = 5.0
+DURATION_CLOSE = 0.2
+
+
+def travel_activities() -> ActivityRegistry:
+    """Activity catalogue of the travel-booking workflow."""
+    activities = [
+        interactive_activity("TravelRequest", DURATION_REQUEST),
+        automated_activity("FlightSearch", DURATION_FLIGHT_SEARCH),
+        automated_activity("FlightBooking", DURATION_FLIGHT_BOOK),
+        automated_activity("HotelSearch", DURATION_HOTEL_SEARCH),
+        interactive_activity("RoomNegotiation", DURATION_NEGOTIATE),
+        automated_activity("HotelBooking", DURATION_HOTEL_BOOK),
+        automated_activity("CarBooking", DURATION_CAR_BOOK),
+        interactive_activity("ConfirmOffer", DURATION_CONFIRM),
+        automated_activity("SendInvoice", DURATION_INVOICE),
+        automated_activity("CancelBookings", DURATION_CANCEL),
+        automated_activity("CloseTrip", DURATION_CLOSE),
+    ]
+    return ActivityRegistry({spec.name: spec for spec in activities})
+
+
+def flight_subchart() -> StateChart:
+    """Airline organization: search, then book."""
+    return (
+        StateChartBuilder("Flight_SC")
+        .activity_state("FlightSearch")
+        .activity_state("FlightBooking")
+        .initial("FlightSearch")
+        .transition("FlightSearch", "FlightBooking",
+                    event="FlightSearch_DONE")
+        .build()
+    )
+
+
+def hotel_subchart() -> StateChart:
+    """Hotel chain: search, optional negotiation round, booking."""
+    return (
+        StateChartBuilder("Hotel_SC")
+        .activity_state("HotelSearch")
+        .activity_state("RoomNegotiation")
+        .activity_state("HotelBooking")
+        .initial("HotelSearch")
+        .transition("HotelSearch", "RoomNegotiation",
+                    event="HotelSearch_DONE", guard=Var("NeedsNegotiation"),
+                    probability=P_NEGOTIATE)
+        .transition("HotelSearch", "HotelBooking",
+                    event="HotelSearch_DONE",
+                    guard=Not(Var("NeedsNegotiation")),
+                    probability=1.0 - P_NEGOTIATE)
+        .transition("RoomNegotiation", "HotelBooking",
+                    event="RoomNegotiation_DONE")
+        .build()
+    )
+
+
+def car_subchart() -> StateChart:
+    """Car rental agency: a single automated booking."""
+    return (
+        StateChartBuilder("Car_SC")
+        .activity_state("CarBooking")
+        .initial("CarBooking")
+        .build()
+    )
+
+
+def travel_chart() -> StateChart:
+    """Request -> three parallel bookings -> confirm -> invoice/cancel."""
+    return (
+        StateChartBuilder("TravelBooking")
+        .activity_state("TravelRequest")
+        .nested_state(
+            "Bookings_S", flight_subchart(), hotel_subchart(), car_subchart()
+        )
+        .activity_state("ConfirmOffer")
+        .activity_state("SendInvoice")
+        .activity_state("CancelBookings")
+        .activity_state("CloseTrip")
+        .initial("TravelRequest")
+        .transition("TravelRequest", "Bookings_S",
+                    event="TravelRequest_DONE")
+        .transition("Bookings_S", "ConfirmOffer")
+        .transition("ConfirmOffer", "SendInvoice",
+                    event="ConfirmOffer_DONE", guard=Var("OfferAccepted"),
+                    probability=P_ACCEPT)
+        .transition("ConfirmOffer", "CancelBookings",
+                    event="ConfirmOffer_DONE",
+                    guard=Not(Var("OfferAccepted")),
+                    probability=1.0 - P_ACCEPT)
+        .transition("SendInvoice", "CloseTrip", event="SendInvoice_DONE")
+        .transition("CancelBookings", "CloseTrip",
+                    event="CancelBookings_DONE")
+        .build()
+    )
+
+
+def travel_workflow() -> WorkflowDefinition:
+    """The travel-booking workflow translated into the model layer."""
+    return translate_chart(travel_chart(), travel_activities())

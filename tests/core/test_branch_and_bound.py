@@ -1,0 +1,177 @@
+"""Tests for the branch-and-bound configuration search and the per-type
+availability goals extension."""
+
+import pytest
+
+from repro.core.configuration import (
+    ReplicationConstraints,
+    branch_and_bound_configuration,
+    exhaustive_configuration,
+    greedy_configuration,
+)
+from repro.core.goals import GoalEvaluator, PerformabilityGoals
+from repro.core.model_types import ActivitySpec, ServerTypeIndex, ServerTypeSpec
+from repro.core.performance import (
+    PerformanceModel,
+    Workload,
+    WorkloadItem,
+)
+from repro.core.workflow_model import WorkflowDefinition, WorkflowState
+from repro.exceptions import InfeasibleConfigurationError, ValidationError
+
+
+def make_evaluator(arrival_rate=0.8):
+    types = ServerTypeIndex(
+        [
+            ServerTypeSpec("comm", 0.05, failure_rate=1 / 43200,
+                           repair_rate=0.1),
+            ServerTypeSpec("engine", 0.1, failure_rate=1 / 10080,
+                           repair_rate=0.1),
+            ServerTypeSpec("app", 0.3, failure_rate=1 / 1440,
+                           repair_rate=0.1),
+        ]
+    )
+    activity = ActivitySpec(
+        "act", 5.0, loads={"comm": 2.0, "engine": 3.0, "app": 3.0}
+    )
+    workflow = WorkflowDefinition(
+        name="wf",
+        states=(WorkflowState("only", activity=activity),),
+        transitions={},
+        initial_state="only",
+    )
+    performance = PerformanceModel(
+        types, Workload([WorkloadItem(workflow, arrival_rate)])
+    )
+    return GoalEvaluator(performance)
+
+
+GOALS = PerformabilityGoals(max_waiting_time=0.2, max_unavailability=1e-5)
+
+CONSTRAINTS = ReplicationConstraints(
+    maximum={"comm": 4, "engine": 4, "app": 5}, max_total_servers=13
+)
+
+
+class TestBranchAndBound:
+    def test_matches_exhaustive_optimum(self):
+        bnb = branch_and_bound_configuration(
+            make_evaluator(), GOALS, CONSTRAINTS
+        )
+        exhaustive = exhaustive_configuration(
+            make_evaluator(), GOALS, CONSTRAINTS
+        )
+        assert bnb.cost == exhaustive.cost
+        assert bnb.assessment.satisfied
+        assert bnb.algorithm == "branch_and_bound"
+
+    def test_uses_fewer_evaluations_than_exhaustive(self):
+        bnb = branch_and_bound_configuration(
+            make_evaluator(), GOALS, CONSTRAINTS
+        )
+        exhaustive = exhaustive_configuration(
+            make_evaluator(), GOALS, CONSTRAINTS
+        )
+        assert bnb.evaluations < exhaustive.evaluations
+
+    def test_matches_optimum_across_goal_grid(self):
+        grid = [
+            PerformabilityGoals(max_waiting_time=0.5,
+                                max_unavailability=1e-4),
+            PerformabilityGoals(max_waiting_time=0.1,
+                                max_unavailability=1e-6),
+            PerformabilityGoals(max_unavailability=1e-7),
+            PerformabilityGoals(max_waiting_time=0.3),
+        ]
+        for goals in grid:
+            bnb = branch_and_bound_configuration(
+                make_evaluator(), goals, CONSTRAINTS
+            )
+            exhaustive = exhaustive_configuration(
+                make_evaluator(), goals, CONSTRAINTS
+            )
+            assert bnb.cost == exhaustive.cost
+
+    def test_respects_constraints(self):
+        constraints = ReplicationConstraints(
+            fixed={"comm": 2}, maximum={"engine": 4, "app": 6},
+            max_total_servers=13,
+        )
+        recommendation = branch_and_bound_configuration(
+            make_evaluator(), GOALS, constraints
+        )
+        assert recommendation.configuration.count("comm") == 2
+
+    def test_infeasible_bounds_raise_without_evaluations(self):
+        evaluator = make_evaluator(arrival_rate=5.0)
+        constraints = ReplicationConstraints(max_total_servers=3)
+        with pytest.raises(InfeasibleConfigurationError):
+            branch_and_bound_configuration(evaluator, GOALS, constraints)
+        # The analytic lower bounds alone prove infeasibility here.
+        assert evaluator.evaluation_count == 0
+
+    def test_lower_bounds_prune_aggressively(self):
+        # Tight goals force high lower bounds, so branch-and-bound should
+        # start near the optimum.
+        goals = PerformabilityGoals(
+            max_waiting_time=0.05, max_unavailability=1e-7
+        )
+        bnb = branch_and_bound_configuration(
+            make_evaluator(), goals,
+            ReplicationConstraints(max_total_servers=20),
+        )
+        assert bnb.assessment.satisfied
+        assert bnb.evaluations <= 10
+
+
+class TestPerTypeAvailabilityGoals:
+    def test_goal_validation(self):
+        with pytest.raises(ValidationError):
+            PerformabilityGoals(max_unavailability_per_type={"app": 0.0})
+        goals = PerformabilityGoals(
+            max_unavailability_per_type={"app": 1e-6}
+        )
+        assert goals.has_availability_goal
+        assert goals.type_unavailability_threshold("app") == 1e-6
+        assert goals.type_unavailability_threshold("comm") == float("inf")
+
+    def test_violation_reported_per_type(self):
+        evaluator = make_evaluator()
+        goals = PerformabilityGoals(
+            max_unavailability_per_type={"app": 1e-9}
+        )
+        from repro.core.performance import SystemConfiguration
+
+        assessment = evaluator.assess(
+            SystemConfiguration({"comm": 1, "engine": 1, "app": 1}), goals
+        )
+        kinds = {(v.kind, v.server_type) for v in assessment.violations}
+        assert ("type_unavailability", "app") in kinds
+        assert not assessment.availability_satisfied
+        assert "unavailability of app" in str(assessment.violations[0])
+
+    def test_greedy_targets_the_constrained_type(self):
+        evaluator = make_evaluator()
+        # Only the *reliable* comm type carries a per-type goal; greedy
+        # must replicate comm even though app fails more often.
+        goals = PerformabilityGoals(
+            max_unavailability_per_type={"comm": 1e-8}
+        )
+        recommendation = greedy_configuration(evaluator, goals)
+        assert recommendation.assessment.satisfied
+        assert recommendation.configuration.count("comm") > 1
+        assert recommendation.configuration.count("app") == 1
+
+    def test_branch_and_bound_honours_per_type_goal(self):
+        goals = PerformabilityGoals(
+            max_unavailability_per_type={"comm": 1e-8}
+        )
+        bnb = branch_and_bound_configuration(
+            make_evaluator(), goals,
+            ReplicationConstraints(max_total_servers=16),
+        )
+        exhaustive = exhaustive_configuration(
+            make_evaluator(), goals, CONSTRAINTS
+        )
+        assert bnb.cost == exhaustive.cost
+        assert bnb.assessment.satisfied

@@ -1,0 +1,220 @@
+"""Tests for the configuration search (Section 7.2)."""
+
+import pytest
+
+from repro.core.configuration import (
+    ReplicationConstraints,
+    exhaustive_configuration,
+    greedy_configuration,
+    simulated_annealing_configuration,
+)
+from repro.core.goals import GoalEvaluator, PerformabilityGoals
+from repro.core.model_types import ActivitySpec, ServerTypeIndex, ServerTypeSpec
+from repro.core.performance import (
+    PerformanceModel,
+    SystemConfiguration,
+    Workload,
+    WorkloadItem,
+)
+from repro.core.workflow_model import WorkflowDefinition, WorkflowState
+from repro.exceptions import InfeasibleConfigurationError, ValidationError
+
+
+def make_evaluator(arrival_rate=0.8):
+    types = ServerTypeIndex(
+        [
+            ServerTypeSpec("comm", 0.05, failure_rate=1 / 43200, repair_rate=0.1),
+            ServerTypeSpec("engine", 0.1, failure_rate=1 / 10080, repair_rate=0.1),
+            ServerTypeSpec("app", 0.3, failure_rate=1 / 1440, repair_rate=0.1),
+        ]
+    )
+    activity = ActivitySpec(
+        "act", 5.0, loads={"comm": 2.0, "engine": 3.0, "app": 3.0}
+    )
+    workflow = WorkflowDefinition(
+        name="wf",
+        states=(WorkflowState("only", activity=activity),),
+        transitions={},
+        initial_state="only",
+    )
+    performance = PerformanceModel(
+        types, Workload([WorkloadItem(workflow, arrival_rate)])
+    )
+    return GoalEvaluator(performance)
+
+
+GOALS = PerformabilityGoals(max_waiting_time=0.2, max_unavailability=1e-5)
+
+
+class TestConstraints:
+    def test_bounds_defaults(self):
+        constraints = ReplicationConstraints()
+        assert constraints.lower_bound("x") == 1
+        assert constraints.upper_bound("x") == constraints.max_total_servers
+
+    def test_fixed_pins_both_bounds(self):
+        constraints = ReplicationConstraints(fixed={"comm": 2})
+        assert constraints.lower_bound("comm") == 2
+        assert constraints.upper_bound("comm") == 2
+
+    def test_fixed_conflicting_with_bounds_rejected(self):
+        with pytest.raises(ValidationError):
+            ReplicationConstraints(fixed={"x": 1}, minimum={"x": 2})
+        with pytest.raises(ValidationError):
+            ReplicationConstraints(fixed={"x": 5}, maximum={"x": 2})
+
+    def test_admits_checks_total(self):
+        constraints = ReplicationConstraints(max_total_servers=3)
+        assert constraints.admits(SystemConfiguration({"a": 1, "b": 2}))
+        assert not constraints.admits(SystemConfiguration({"a": 2, "b": 2}))
+
+    def test_can_add_respects_per_type_maximum(self):
+        constraints = ReplicationConstraints(maximum={"a": 1})
+        configuration = SystemConfiguration({"a": 1, "b": 1})
+        assert not constraints.can_add(configuration, "a")
+        assert constraints.can_add(configuration, "b")
+
+
+class TestGreedy:
+    def test_reaches_feasible_configuration(self):
+        evaluator = make_evaluator()
+        recommendation = greedy_configuration(evaluator, GOALS)
+        assert recommendation.assessment.satisfied
+        assert recommendation.algorithm == "greedy"
+
+    def test_final_step_in_trace_is_satisfied(self):
+        evaluator = make_evaluator()
+        recommendation = greedy_configuration(evaluator, GOALS)
+        assert recommendation.trace[-1].satisfied
+        assert not recommendation.trace[0].satisfied or len(
+            recommendation.trace
+        ) == 1
+
+    def test_trace_grows_one_server_at_a_time(self):
+        evaluator = make_evaluator()
+        recommendation = greedy_configuration(evaluator, GOALS)
+        totals = [
+            step.configuration.total_servers
+            for step in recommendation.trace
+        ]
+        assert totals == sorted(totals)
+        assert all(b - a == 1 for a, b in zip(totals, totals[1:]))
+
+    def test_matches_exhaustive_cost_on_small_problem(self):
+        greedy = greedy_configuration(make_evaluator(), GOALS)
+        exhaustive = exhaustive_configuration(
+            make_evaluator(),
+            GOALS,
+            ReplicationConstraints(maximum={"comm": 4, "engine": 4, "app": 4},
+                                   max_total_servers=12),
+        )
+        # The paper claims near-minimum cost; on this single-workflow
+        # problem greedy should land within one server of the optimum.
+        assert greedy.cost <= exhaustive.cost + 1.0
+
+    def test_infeasible_constraints_raise_with_best_found(self):
+        evaluator = make_evaluator(arrival_rate=5.0)
+        constraints = ReplicationConstraints(max_total_servers=3)
+        with pytest.raises(InfeasibleConfigurationError) as excinfo:
+            greedy_configuration(evaluator, GOALS, constraints)
+        assert excinfo.value.best_found is not None
+        assert not excinfo.value.best_found.assessment.satisfied
+
+    def test_respects_fixed_type(self):
+        evaluator = make_evaluator()
+        constraints = ReplicationConstraints(
+            fixed={"comm": 2}, max_total_servers=20
+        )
+        recommendation = greedy_configuration(evaluator, GOALS, constraints)
+        assert recommendation.configuration.count("comm") == 2
+
+    def test_availability_only_goal(self):
+        evaluator = make_evaluator()
+        goals = PerformabilityGoals(max_unavailability=1e-6)
+        recommendation = greedy_configuration(evaluator, goals)
+        assert recommendation.assessment.satisfied
+        # The least reliable type (app) needs the most replicas.
+        configuration = recommendation.configuration
+        assert configuration.count("app") >= configuration.count("comm")
+
+    def test_invalid_initial_configuration_rejected(self):
+        evaluator = make_evaluator()
+        constraints = ReplicationConstraints(minimum={"comm": 2})
+        with pytest.raises(ValidationError):
+            greedy_configuration(
+                evaluator,
+                GOALS,
+                constraints,
+                initial=SystemConfiguration(
+                    {"comm": 1, "engine": 1, "app": 1}
+                ),
+            )
+
+
+class TestExhaustive:
+    def test_returns_minimum_cost(self):
+        evaluator = make_evaluator()
+        constraints = ReplicationConstraints(
+            maximum={"comm": 3, "engine": 3, "app": 4},
+            max_total_servers=10,
+        )
+        recommendation = exhaustive_configuration(
+            evaluator, GOALS, constraints
+        )
+        assert recommendation.assessment.satisfied
+        # Every cheaper configuration must violate the goals.
+        cheaper_satisfied = []
+        for comm in range(1, 4):
+            for engine in range(1, 4):
+                for app in range(1, 5):
+                    configuration = SystemConfiguration(
+                        {"comm": comm, "engine": engine, "app": app}
+                    )
+                    if (configuration.cost(evaluator.server_types)
+                            < recommendation.cost):
+                        assessment = evaluator.assess(configuration, GOALS)
+                        cheaper_satisfied.append(assessment.satisfied)
+        assert not any(cheaper_satisfied)
+
+    def test_infeasible_raises(self):
+        evaluator = make_evaluator(arrival_rate=5.0)
+        constraints = ReplicationConstraints(max_total_servers=3)
+        with pytest.raises(InfeasibleConfigurationError):
+            exhaustive_configuration(evaluator, GOALS, constraints)
+
+
+class TestSimulatedAnnealing:
+    def test_finds_feasible_configuration(self):
+        evaluator = make_evaluator()
+        recommendation = simulated_annealing_configuration(
+            evaluator, GOALS,
+            ReplicationConstraints(max_total_servers=16),
+            iterations=300, seed=1,
+        )
+        assert recommendation.assessment.satisfied
+
+    def test_deterministic_for_fixed_seed(self):
+        results = [
+            simulated_annealing_configuration(
+                make_evaluator(), GOALS,
+                ReplicationConstraints(max_total_servers=16),
+                iterations=200, seed=42,
+            ).configuration
+            for _ in range(2)
+        ]
+        assert results[0] == results[1]
+
+    def test_cost_close_to_exhaustive(self):
+        exhaustive = exhaustive_configuration(
+            make_evaluator(), GOALS,
+            ReplicationConstraints(
+                maximum={"comm": 4, "engine": 4, "app": 4},
+                max_total_servers=12,
+            ),
+        )
+        annealed = simulated_annealing_configuration(
+            make_evaluator(), GOALS,
+            ReplicationConstraints(max_total_servers=16),
+            iterations=400, seed=3,
+        )
+        assert annealed.cost <= exhaustive.cost + 2.0

@@ -1,0 +1,147 @@
+"""Tests for performability goals and their evaluation (Section 7.1)."""
+
+import math
+
+import pytest
+
+from repro.core.goals import GoalEvaluator, PerformabilityGoals
+from repro.core.model_types import ActivitySpec, ServerTypeIndex, ServerTypeSpec
+from repro.core.performance import (
+    PerformanceModel,
+    SystemConfiguration,
+    Workload,
+    WorkloadItem,
+)
+from repro.core.workflow_model import WorkflowDefinition, WorkflowState
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def evaluator():
+    types = ServerTypeIndex(
+        [
+            ServerTypeSpec(
+                "fast", 0.05, failure_rate=0.001, repair_rate=0.1
+            ),
+            ServerTypeSpec(
+                "slow", 0.3, failure_rate=0.01, repair_rate=0.1
+            ),
+        ]
+    )
+    activity = ActivitySpec(
+        "act", 5.0, loads={"fast": 3.0, "slow": 2.0}
+    )
+    workflow = WorkflowDefinition(
+        name="wf",
+        states=(WorkflowState("only", activity=activity),),
+        transitions={},
+        initial_state="only",
+    )
+    performance = PerformanceModel(
+        types, Workload([WorkloadItem(workflow, 0.8)])
+    )
+    return GoalEvaluator(performance)
+
+
+class TestGoalValidation:
+    def test_requires_at_least_one_goal(self):
+        with pytest.raises(ValidationError):
+            PerformabilityGoals()
+
+    def test_thresholds_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            PerformabilityGoals(max_waiting_time=0.0)
+        with pytest.raises(ValidationError):
+            PerformabilityGoals(max_waiting_times_per_type={"x": -1.0})
+
+    def test_unavailability_in_unit_interval(self):
+        with pytest.raises(ValidationError):
+            PerformabilityGoals(max_unavailability=1.0)
+        with pytest.raises(ValidationError):
+            PerformabilityGoals(max_unavailability=0.0)
+
+    def test_per_type_threshold_overrides_global(self):
+        goals = PerformabilityGoals(
+            max_waiting_time=1.0,
+            max_waiting_times_per_type={"slow": 5.0},
+        )
+        assert goals.waiting_time_threshold("slow") == 5.0
+        assert goals.waiting_time_threshold("fast") == 1.0
+
+    def test_unconstrained_type_is_infinite(self):
+        goals = PerformabilityGoals(
+            max_waiting_times_per_type={"slow": 5.0}
+        )
+        assert math.isinf(goals.waiting_time_threshold("fast"))
+
+    def test_goal_kind_flags(self):
+        availability_only = PerformabilityGoals(max_unavailability=0.01)
+        assert availability_only.has_availability_goal
+        assert not availability_only.has_performance_goal
+        perf_only = PerformabilityGoals(max_waiting_time=1.0)
+        assert perf_only.has_performance_goal
+        assert not perf_only.has_availability_goal
+
+
+class TestAssessment:
+    def test_generous_goals_satisfied(self, evaluator):
+        goals = PerformabilityGoals(
+            max_waiting_time=1e6, max_unavailability=0.9
+        )
+        assessment = evaluator.assess(
+            SystemConfiguration({"fast": 1, "slow": 2}), goals
+        )
+        assert assessment.satisfied
+        assert not assessment.violations
+
+    def test_tight_waiting_goal_violated(self, evaluator):
+        goals = PerformabilityGoals(max_waiting_time=1e-9)
+        assessment = evaluator.assess(
+            SystemConfiguration({"fast": 1, "slow": 2}), goals
+        )
+        assert not assessment.satisfied
+        assert not assessment.performance_satisfied
+        assert assessment.availability_satisfied  # no availability goal
+        kinds = {violation.kind for violation in assessment.violations}
+        assert kinds == {"waiting_time"}
+
+    def test_tight_availability_goal_violated(self, evaluator):
+        goals = PerformabilityGoals(max_unavailability=1e-12)
+        assessment = evaluator.assess(
+            SystemConfiguration({"fast": 1, "slow": 1}), goals
+        )
+        assert not assessment.availability_satisfied
+        assert assessment.performance_satisfied
+
+    def test_violation_records_actual_and_threshold(self, evaluator):
+        goals = PerformabilityGoals(max_unavailability=1e-12)
+        assessment = evaluator.assess(
+            SystemConfiguration({"fast": 1, "slow": 1}), goals
+        )
+        violation = assessment.violations[0]
+        assert violation.kind == "unavailability"
+        assert violation.actual > violation.threshold
+        assert "unavailability" in str(violation)
+
+    def test_availability_only_goal_skips_performability(self, evaluator):
+        goals = PerformabilityGoals(max_unavailability=0.5)
+        assessment = evaluator.assess(
+            SystemConfiguration({"fast": 1, "slow": 1}), goals
+        )
+        assert assessment.performability is None
+
+    def test_per_type_unavailability_reported(self, evaluator):
+        goals = PerformabilityGoals(max_unavailability=0.5)
+        assessment = evaluator.assess(
+            SystemConfiguration({"fast": 1, "slow": 1}), goals
+        )
+        assert set(assessment.per_type_unavailability) == {"fast", "slow"}
+
+    def test_evaluation_cache(self, evaluator):
+        goals = PerformabilityGoals(max_waiting_time=1.0)
+        configuration = SystemConfiguration({"fast": 1, "slow": 2})
+        first = evaluator.assess(configuration, goals)
+        count = evaluator.evaluation_count
+        second = evaluator.assess(configuration, goals)
+        assert second is first
+        assert evaluator.evaluation_count == count

@@ -1,0 +1,110 @@
+"""Tests for the heterogeneous-computer extension (Section 4.4 remark)."""
+
+import math
+
+import pytest
+
+from repro.core.model_types import ActivitySpec, ServerTypeIndex, ServerTypeSpec
+from repro.core.performance import (
+    Computer,
+    PerformanceModel,
+    Workload,
+    WorkloadItem,
+)
+from repro.core.workflow_model import WorkflowDefinition, WorkflowState
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def model():
+    types = ServerTypeIndex(
+        [
+            ServerTypeSpec("engine", mean_service_time=0.1),
+            ServerTypeSpec("app", mean_service_time=0.3),
+        ]
+    )
+    activity = ActivitySpec(
+        "act", 5.0, loads={"engine": 3.0, "app": 2.0}
+    )
+    workflow = WorkflowDefinition(
+        name="wf",
+        states=(WorkflowState("only", activity=activity),),
+        transitions={},
+        initial_state="only",
+    )
+    return PerformanceModel(
+        types, Workload([WorkloadItem(workflow, 0.6)])
+    )
+
+
+class TestSpeedFactors:
+    def test_unit_speed_matches_homogeneous_model(self, model):
+        homogeneous = model.waiting_times_colocated(
+            [Computer("c1", ("engine",)), Computer("c2", ("app",))]
+        )
+        explicit = model.waiting_times_colocated(
+            [
+                Computer("c1", ("engine",), speed_factor=1.0),
+                Computer("c2", ("app",), speed_factor=1.0),
+            ]
+        )
+        assert homogeneous == explicit
+
+    def test_faster_computer_waits_less(self, model):
+        slow = model.waiting_times_colocated(
+            [Computer("c1", ("engine",)), Computer("c2", ("app",))]
+        )
+        fast = model.waiting_times_colocated(
+            [
+                Computer("c1", ("engine",), speed_factor=2.0),
+                Computer("c2", ("app",), speed_factor=2.0),
+            ]
+        )
+        assert fast["engine"] < slow["engine"]
+        assert fast["app"] < slow["app"]
+
+    def test_speedup_matches_scaled_mg1(self, model):
+        # A computer k times faster behaves like a server whose service
+        # moments are (b/k, b2/k^2): check against the direct formula.
+        from repro.queueing import mg1_mean_waiting_time
+
+        result = model.waiting_times_colocated(
+            [
+                Computer("c1", ("engine",), speed_factor=2.0),
+                Computer("c2", ("app",)),
+            ]
+        )
+        arrival = model.total_request_rates()[0]  # engine stream
+        spec = model.server_types.spec("engine")
+        expected = mg1_mean_waiting_time(
+            arrival,
+            spec.mean_service_time / 2.0,
+            spec.second_moment_service_time / 4.0,
+        )
+        assert result["engine"] == pytest.approx(expected)
+
+    def test_fast_shared_host_can_beat_slow_dedicated_hosts(self, model):
+        # Consolidation onto one much faster machine can win.
+        slow_dedicated = model.waiting_times_colocated(
+            [Computer("c1", ("engine",)), Computer("c2", ("app",))]
+        )
+        fast_shared = model.waiting_times_colocated(
+            [Computer("big", ("engine", "app"), speed_factor=4.0)]
+        )
+        assert fast_shared["app"] < slow_dedicated["app"]
+
+    def test_slow_computer_can_saturate(self, model):
+        result = model.waiting_times_colocated(
+            [
+                Computer("c1", ("engine",), speed_factor=0.1),
+                Computer("c2", ("app",)),
+            ]
+        )
+        # Engine load 1.8 req/min at b = 1.0 effective: saturated.
+        assert math.isinf(result["engine"])
+
+    def test_invalid_speed_factor_rejected(self):
+        with pytest.raises(ValidationError):
+            Computer("c1", ("engine",), speed_factor=0.0)
+        with pytest.raises(ValidationError):
+            Computer("c1", ("engine",), speed_factor=-1.0)

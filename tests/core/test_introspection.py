@@ -1,0 +1,110 @@
+"""Tests for model-introspection helpers: load breakdown and
+replication sensitivity."""
+
+import pytest
+
+from repro.core.availability import AvailabilityModel
+from repro.core.model_types import ActivitySpec, ServerTypeIndex, ServerTypeSpec
+from repro.core.performance import (
+    PerformanceModel,
+    SystemConfiguration,
+    Workload,
+    WorkloadItem,
+)
+from repro.core.workflow_model import WorkflowDefinition, WorkflowState
+
+
+def single_activity_workflow(name, loads, duration=5.0):
+    activity = ActivitySpec(f"{name}-act", duration, loads=loads)
+    return WorkflowDefinition(
+        name=name,
+        states=(WorkflowState("only", activity=activity),),
+        transitions={},
+        initial_state="only",
+    )
+
+
+@pytest.fixture
+def model():
+    types = ServerTypeIndex(
+        [
+            ServerTypeSpec("engine", 0.05),
+            ServerTypeSpec("app", 0.2),
+            ServerTypeSpec("idle", 0.1),
+        ]
+    )
+    workload = Workload(
+        [
+            WorkloadItem(
+                single_activity_workflow(
+                    "heavy", {"engine": 4.0, "app": 2.0}
+                ),
+                0.5,
+            ),
+            WorkloadItem(
+                single_activity_workflow("light", {"engine": 1.0}),
+                1.0,
+            ),
+        ]
+    )
+    return PerformanceModel(types, workload)
+
+
+class TestLoadBreakdown:
+    def test_shares_sum_to_one(self, model):
+        breakdown = model.load_breakdown()
+        for name in ("engine", "app"):
+            assert sum(breakdown[name].values()) == pytest.approx(1.0)
+
+    def test_hand_computed_shares(self, model):
+        breakdown = model.load_breakdown()
+        # engine: heavy 0.5*4 = 2, light 1*1 = 1 -> shares 2/3, 1/3.
+        assert breakdown["engine"]["heavy"] == pytest.approx(2.0 / 3.0)
+        assert breakdown["engine"]["light"] == pytest.approx(1.0 / 3.0)
+        # app: only heavy contributes.
+        assert breakdown["app"] == {"heavy": 1.0}
+
+    def test_unloaded_type_is_empty(self, model):
+        assert model.load_breakdown()["idle"] == {}
+
+
+class TestReplicationSensitivity:
+    def _model(self, counts):
+        types = ServerTypeIndex(
+            [
+                ServerTypeSpec("stable", 1.0, failure_rate=1 / 43200,
+                               repair_rate=0.1),
+                ServerTypeSpec("flaky", 1.0, failure_rate=1 / 1440,
+                               repair_rate=0.1),
+            ]
+        )
+        return AvailabilityModel(
+            types, SystemConfiguration(dict(zip(
+                ("stable", "flaky"), counts
+            )))
+        )
+
+    def test_sensitivity_is_positive(self):
+        sensitivity = self._model((1, 1)).replication_sensitivity()
+        assert all(value > 0.0 for value in sensitivity.values())
+
+    def test_flakiest_type_has_largest_sensitivity(self):
+        sensitivity = self._model((1, 1)).replication_sensitivity()
+        assert sensitivity["flaky"] > sensitivity["stable"]
+
+    def test_matches_direct_recomputation(self):
+        model = self._model((2, 2))
+        sensitivity = model.replication_sensitivity()
+        grown = self._model((2, 3))
+        direct = model.unavailability() - grown.unavailability()
+        assert sensitivity["flaky"] == pytest.approx(direct, rel=1e-9)
+
+    def test_greedy_choice_agrees_with_sensitivity(self):
+        # The type with the larger sensitivity is the per-type
+        # unavailability leader — the greedy availability criterion.
+        model = self._model((2, 2))
+        sensitivity = model.replication_sensitivity()
+        per_type = model.per_type_unavailability()
+        best_by_sensitivity = max(sensitivity, key=sensitivity.get)
+        best_by_unavailability = max(per_type, key=per_type.get)
+        assert best_by_sensitivity == best_by_unavailability

@@ -1,0 +1,100 @@
+"""Tests for the Markov reward models."""
+
+import numpy as np
+import pytest
+
+from repro.core.ctmc import AbsorbingCTMC, ErgodicCTMC
+from repro.core.markov_reward import (
+    AbsorptionRewardModel,
+    SteadyStateRewardModel,
+)
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def chain():
+    """s0 -> s1 -> absorbed with residence times 2 and 3."""
+    p = np.array(
+        [
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+            [0.0, 0.0, 1.0],
+        ]
+    )
+    return AbsorbingCTMC(p, np.array([2.0, 3.0, np.inf]))
+
+
+@pytest.fixture
+def ergodic():
+    """Symmetric two-state chain: pi = (1/2, 1/2)."""
+    return ErgodicCTMC(np.array([[-1.0, 1.0], [1.0, -1.0]]))
+
+
+class TestAbsorptionRewardModel:
+    def test_per_visit_rewards(self, chain):
+        model = AbsorptionRewardModel(
+            chain, per_visit_rewards=np.array([5.0, 7.0, 0.0])
+        )
+        assert model.expected_reward() == pytest.approx(12.0)
+
+    def test_per_time_rewards(self, chain):
+        # Earn 1 per time unit in s0 and 2 per time unit in s1.
+        model = AbsorptionRewardModel(
+            chain, per_time_rewards=np.array([1.0, 2.0, 0.0])
+        )
+        assert model.expected_reward() == pytest.approx(2.0 + 6.0)
+
+    def test_combined_rewards(self, chain):
+        model = AbsorptionRewardModel(
+            chain,
+            per_visit_rewards=np.array([1.0, 1.0, 0.0]),
+            per_time_rewards=np.array([1.0, 0.0, 0.0]),
+        )
+        assert model.expected_reward() == pytest.approx(2.0 + 2.0)
+
+    def test_matrix_rewards(self, chain):
+        loads = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
+        model = AbsorptionRewardModel(chain, per_visit_rewards=loads)
+        np.testing.assert_allclose(model.expected_reward(), [1.0, 1.0])
+
+    def test_requires_some_reward(self, chain):
+        with pytest.raises(ValidationError):
+            AbsorptionRewardModel(chain)
+
+    def test_shape_validation(self, chain):
+        with pytest.raises(ValidationError):
+            AbsorptionRewardModel(
+                chain, per_visit_rewards=np.ones(2)
+            )
+
+
+class TestSteadyStateRewardModel:
+    def test_scalar_rewards(self, ergodic):
+        model = SteadyStateRewardModel(ergodic, np.array([0.0, 10.0]))
+        assert model.expected_reward() == pytest.approx(5.0)
+
+    def test_vector_rewards(self, ergodic):
+        rewards = np.array([[0.0, 10.0], [4.0, 0.0]])
+        model = SteadyStateRewardModel(ergodic, rewards)
+        np.testing.assert_allclose(model.expected_reward(), [5.0, 2.0])
+
+    def test_conditional_reward(self, ergodic):
+        model = SteadyStateRewardModel(ergodic, np.array([3.0, 10.0]))
+        conditional = model.conditional_expected_reward(
+            np.array([True, False])
+        )
+        assert conditional == pytest.approx(3.0)
+
+    def test_conditional_on_zero_mass_rejected(self, ergodic):
+        model = SteadyStateRewardModel(ergodic, np.array([3.0, 10.0]))
+        with pytest.raises(ValidationError):
+            model.conditional_expected_reward(np.array([False, False]))
+
+    def test_condition_shape_validated(self, ergodic):
+        model = SteadyStateRewardModel(ergodic, np.array([3.0, 10.0]))
+        with pytest.raises(ValidationError):
+            model.conditional_expected_reward(np.array([True]))
+
+    def test_reward_shape_validated(self, ergodic):
+        with pytest.raises(ValidationError):
+            SteadyStateRewardModel(ergodic, np.ones(3))

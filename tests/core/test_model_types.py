@@ -1,0 +1,124 @@
+"""Tests for the architectural-model types (Section 2)."""
+
+import math
+
+import pytest
+
+from repro.core.model_types import (
+    ActivitySpec,
+    ServerRole,
+    ServerTypeIndex,
+    ServerTypeSpec,
+)
+from repro.exceptions import ValidationError
+
+
+class TestServerTypeSpec:
+    def test_second_moment_defaults_to_exponential(self):
+        spec = ServerTypeSpec("db", mean_service_time=0.5)
+        assert spec.second_moment_service_time == pytest.approx(0.5)
+
+    def test_explicit_second_moment_kept(self):
+        spec = ServerTypeSpec(
+            "db", mean_service_time=1.0, second_moment_service_time=1.5
+        )
+        assert spec.second_moment_service_time == 1.5
+        assert spec.service_time_variance == pytest.approx(0.5)
+
+    def test_rejects_impossible_second_moment(self):
+        with pytest.raises(ValidationError):
+            ServerTypeSpec(
+                "db", mean_service_time=1.0, second_moment_service_time=0.5
+            )
+
+    def test_mtbf_and_mttr(self):
+        spec = ServerTypeSpec(
+            "db", 1.0, failure_rate=0.01, repair_rate=0.5
+        )
+        assert spec.mean_time_to_failure == pytest.approx(100.0)
+        assert spec.mean_time_to_repair == pytest.approx(2.0)
+
+    def test_failure_free_type(self):
+        spec = ServerTypeSpec("db", 1.0)
+        assert math.isinf(spec.mean_time_to_failure)
+        assert spec.single_server_availability == 1.0
+
+    def test_single_server_availability_closed_form(self):
+        spec = ServerTypeSpec("db", 1.0, failure_rate=1.0, repair_rate=3.0)
+        assert spec.single_server_availability == pytest.approx(0.75)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"name": "", "mean_service_time": 1.0},
+            {"name": "x", "mean_service_time": 0.0},
+            {"name": "x", "mean_service_time": 1.0, "failure_rate": -1.0},
+            {"name": "x", "mean_service_time": 1.0, "repair_rate": 0.0},
+            {"name": "x", "mean_service_time": 1.0, "cost": 0.0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            ServerTypeSpec(**kwargs)
+
+
+class TestActivitySpec:
+    def test_load_lookup_defaults_to_zero(self):
+        spec = ActivitySpec("a", 2.0, loads={"engine": 3.0})
+        assert spec.load_on("engine") == 3.0
+        assert spec.load_on("unknown") == 0.0
+
+    def test_rejects_negative_load(self):
+        with pytest.raises(ValidationError):
+            ActivitySpec("a", 1.0, loads={"engine": -1.0})
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ValidationError):
+            ActivitySpec("a", 0.0)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValidationError):
+            ActivitySpec("", 1.0)
+
+
+class TestServerTypeIndex:
+    def _index(self):
+        return ServerTypeIndex(
+            [
+                ServerTypeSpec("comm", 0.1, role=ServerRole.COMMUNICATION_SERVER),
+                ServerTypeSpec("engine", 0.2, role=ServerRole.WORKFLOW_ENGINE),
+            ]
+        )
+
+    def test_order_preserved(self):
+        index = self._index()
+        assert index.names == ("comm", "engine")
+        assert index.position("engine") == 1
+
+    def test_spec_lookup(self):
+        index = self._index()
+        assert index.spec("comm").mean_service_time == 0.1
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValidationError):
+            self._index().position("db")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValidationError):
+            ServerTypeIndex(
+                [ServerTypeSpec("a", 1.0), ServerTypeSpec("a", 2.0)]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            ServerTypeIndex([])
+
+    def test_contains_and_len(self):
+        index = self._index()
+        assert "comm" in index
+        assert "db" not in index
+        assert len(index) == 2
+
+    def test_equality_and_hash(self):
+        assert self._index() == self._index()
+        assert hash(self._index()) == hash(self._index())

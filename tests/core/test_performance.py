@@ -1,0 +1,260 @@
+"""Tests for the Section 4 performance model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.model_types import ActivitySpec, ServerTypeIndex, ServerTypeSpec
+from repro.core.performance import (
+    Computer,
+    PerformanceModel,
+    SystemConfiguration,
+    Workload,
+    WorkloadItem,
+)
+from repro.core.workflow_model import WorkflowDefinition, WorkflowState
+from repro.exceptions import ValidationError
+from repro.queueing import mg1_mean_waiting_time
+
+
+@pytest.fixture
+def server_types():
+    return ServerTypeIndex(
+        [
+            ServerTypeSpec("comm", mean_service_time=0.05),
+            ServerTypeSpec("engine", mean_service_time=0.1),
+        ]
+    )
+
+
+def simple_workflow(name="wf", duration=10.0, comm=4.0, engine=2.0):
+    activity = ActivitySpec(
+        f"{name}-act", mean_duration=duration,
+        loads={"comm": comm, "engine": engine},
+    )
+    return WorkflowDefinition(
+        name=name,
+        states=(WorkflowState("only", activity=activity),),
+        transitions={},
+        initial_state="only",
+    )
+
+
+@pytest.fixture
+def model(server_types):
+    workload = Workload(
+        [
+            WorkloadItem(simple_workflow("wf1", 10.0, 4.0, 2.0), 0.5),
+            WorkloadItem(simple_workflow("wf2", 20.0, 1.0, 6.0), 0.25),
+        ]
+    )
+    return PerformanceModel(server_types, workload)
+
+
+class TestWorkload:
+    def test_duplicate_types_rejected(self):
+        wf = simple_workflow()
+        with pytest.raises(ValidationError):
+            Workload([WorkloadItem(wf, 1.0), WorkloadItem(wf, 2.0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            Workload([])
+
+    def test_total_arrival_rate(self, model):
+        assert model.workload.total_arrival_rate == pytest.approx(0.75)
+
+    def test_scaled(self, model):
+        doubled = model.workload.scaled(2.0)
+        assert doubled.total_arrival_rate == pytest.approx(1.5)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValidationError):
+            WorkloadItem(simple_workflow(), -0.1)
+
+
+class TestSystemConfiguration:
+    def test_total_and_cost(self, server_types):
+        config = SystemConfiguration({"comm": 2, "engine": 3})
+        assert config.total_servers == 5
+        assert config.cost(server_types) == pytest.approx(5.0)
+
+    def test_cost_weights(self):
+        index = ServerTypeIndex(
+            [
+                ServerTypeSpec("cheap", 0.1, cost=1.0),
+                ServerTypeSpec("pricey", 0.1, cost=4.0),
+            ]
+        )
+        config = SystemConfiguration({"cheap": 2, "pricey": 1})
+        assert config.cost(index) == pytest.approx(6.0)
+
+    def test_vector_ordering(self, server_types):
+        config = SystemConfiguration({"engine": 3, "comm": 2})
+        np.testing.assert_array_equal(
+            config.as_vector(server_types), [2, 3]
+        )
+
+    def test_with_added_replica(self):
+        config = SystemConfiguration({"comm": 1})
+        grown = config.with_added_replica("comm")
+        assert grown.count("comm") == 2
+        assert config.count("comm") == 1  # original untouched
+
+    def test_rejects_negative_or_fractional(self):
+        with pytest.raises(ValidationError):
+            SystemConfiguration({"comm": -1})
+        with pytest.raises(ValidationError):
+            SystemConfiguration({"comm": 1.5})
+
+    def test_uniform_factory(self, server_types):
+        config = SystemConfiguration.uniform(server_types, 2)
+        assert config.replicas == {"comm": 2, "engine": 2}
+
+
+class TestLoadAggregation:
+    def test_total_request_rates(self, model):
+        # l_comm = 0.5 * 4 + 0.25 * 1 = 2.25; l_engine = 0.5*2 + 0.25*6 = 2.5
+        np.testing.assert_allclose(
+            model.total_request_rates(), [2.25, 2.5]
+        )
+
+    def test_per_server_rates_divide_by_replicas(self, model):
+        config = SystemConfiguration({"comm": 3, "engine": 2})
+        np.testing.assert_allclose(
+            model.per_server_request_rates(config), [0.75, 1.25]
+        )
+
+    def test_zero_replicas_with_load_is_infinite(self, model):
+        config = SystemConfiguration({"comm": 0, "engine": 1})
+        rates = model.per_server_request_rates(config)
+        assert math.isinf(rates[0])
+
+    def test_utilizations(self, model):
+        config = SystemConfiguration({"comm": 1, "engine": 1})
+        np.testing.assert_allclose(
+            model.utilizations(config), [2.25 * 0.05, 2.5 * 0.1]
+        )
+
+    def test_active_instances_littles_law(self, model):
+        assert model.active_instances("wf1") == pytest.approx(0.5 * 10.0)
+
+    def test_unknown_workflow_rejected(self, model):
+        with pytest.raises(ValidationError):
+            model.turnaround_time("nope")
+
+
+class TestThroughput:
+    def test_bottleneck_identification(self, model):
+        config = SystemConfiguration({"comm": 1, "engine": 1})
+        report = model.max_sustainable_throughput(config)
+        # engine: capacity 10 req/u vs 2.5 -> headroom 4;
+        # comm: capacity 20 vs 2.25 -> headroom 8.9 => engine first.
+        assert report.bottleneck == "engine"
+        assert report.headroom == pytest.approx(4.0)
+        assert report.max_workflow_throughput == pytest.approx(3.0)
+
+    def test_replicating_bottleneck_raises_throughput(self, model):
+        one = model.max_sustainable_throughput(
+            SystemConfiguration({"comm": 1, "engine": 1})
+        )
+        two = model.max_sustainable_throughput(
+            SystemConfiguration({"comm": 1, "engine": 2})
+        )
+        assert two.max_workflow_throughput > one.max_workflow_throughput
+
+    def test_bottleneck_shifts_after_replication(self, model):
+        report = model.max_sustainable_throughput(
+            SystemConfiguration({"comm": 1, "engine": 4})
+        )
+        assert report.bottleneck == "comm"
+
+
+class TestWaitingTimes:
+    def test_matches_mg1_formula(self, model, server_types):
+        config = SystemConfiguration({"comm": 1, "engine": 2})
+        waits = model.waiting_times(config)
+        spec = server_types.spec("comm")
+        expected = mg1_mean_waiting_time(
+            2.25, spec.mean_service_time, spec.second_moment_service_time
+        )
+        assert waits[0] == pytest.approx(expected)
+
+    def test_saturated_type_reports_infinity(self, server_types):
+        workload = Workload(
+            [WorkloadItem(simple_workflow("w", 10.0, 50.0, 1.0), 1.0)]
+        )
+        model = PerformanceModel(server_types, workload)
+        waits = model.waiting_times(SystemConfiguration({"comm": 1, "engine": 1}))
+        assert math.isinf(waits[0])  # 50 req/u * 0.05 = 2.5 utilization
+
+    def test_zero_replica_type_is_infinite(self, model):
+        waits = model.waiting_times(
+            SystemConfiguration({"comm": 0, "engine": 1})
+        )
+        assert math.isinf(waits[0])
+
+    def test_more_replicas_reduce_waiting(self, model):
+        one = model.waiting_times(SystemConfiguration({"comm": 1, "engine": 1}))
+        two = model.waiting_times(SystemConfiguration({"comm": 2, "engine": 2}))
+        assert np.all(two < one)
+
+
+class TestColocation:
+    def test_dedicated_computers_match_plain_model(self, model):
+        computers = [
+            Computer("c1", ("comm",)),
+            Computer("c2", ("engine",)),
+        ]
+        colocated = model.waiting_times_colocated(computers)
+        plain = model.waiting_times(
+            SystemConfiguration({"comm": 1, "engine": 1})
+        )
+        assert colocated["comm"] == pytest.approx(plain[0])
+        assert colocated["engine"] == pytest.approx(plain[1])
+
+    def test_shared_computer_pools_streams(self, model, server_types):
+        colocated = model.waiting_times_colocated(
+            [Computer("c1", ("comm", "engine"))]
+        )
+        # Both types see the same queue, hence the same waiting time.
+        assert colocated["comm"] == pytest.approx(colocated["engine"])
+        # Pooled utilization 2.25*0.05 + 2.5*0.1 = 0.3625 < 1: finite wait.
+        assert math.isfinite(colocated["comm"])
+
+    def test_unhosted_loaded_type_is_infinite(self, model):
+        colocated = model.waiting_times_colocated(
+            [Computer("c1", ("comm",))]
+        )
+        assert math.isinf(colocated["engine"])
+
+    def test_unknown_hosted_type_rejected(self, model):
+        with pytest.raises(ValidationError):
+            model.waiting_times_colocated([Computer("c1", ("gpu",))])
+
+    def test_duplicate_computer_names_rejected(self, model):
+        with pytest.raises(ValidationError):
+            model.waiting_times_colocated(
+                [Computer("c1", ("comm",)), Computer("c1", ("engine",))]
+            )
+
+
+class TestAssessment:
+    def test_report_fields_consistent(self, model):
+        config = SystemConfiguration({"comm": 2, "engine": 2})
+        report = model.assess(config)
+        assert report.is_stable
+        assert report.turnaround_times["wf1"] == pytest.approx(10.0)
+        assert report.requests_per_instance["wf2"]["engine"] == pytest.approx(6.0)
+        assert report.max_waiting_time == max(report.waiting_times.values())
+        assert "Performance assessment" in report.format_text()
+
+    def test_unstable_configuration_flagged(self, server_types):
+        workload = Workload(
+            [WorkloadItem(simple_workflow("w", 10.0, 50.0, 1.0), 1.0)]
+        )
+        model = PerformanceModel(server_types, workload)
+        report = model.assess(SystemConfiguration({"comm": 1, "engine": 1}))
+        assert not report.is_stable
+        assert "inf" in report.format_text()

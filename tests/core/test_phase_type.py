@@ -1,0 +1,132 @@
+"""Tests for phase-type distributions and the repair expansion (§5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.availability import RepairPolicy, ServerPoolAvailability
+from repro.core.model_types import ServerTypeSpec
+from repro.core.phase_type import (
+    PhaseTypeDistribution,
+    PhaseTypeRepairPool,
+    erlang_phase,
+    exponential_phase,
+    hyperexponential_phase,
+)
+from repro.exceptions import ValidationError
+
+
+class TestPhaseTypeDistribution:
+    def test_exponential_moments(self):
+        distribution = exponential_phase(2.0)
+        assert distribution.mean == pytest.approx(0.5)
+        assert distribution.moment(2) == pytest.approx(2.0 * 0.5**2)
+        assert distribution.squared_coefficient_of_variation == pytest.approx(1.0)
+
+    def test_erlang_moments(self):
+        distribution = erlang_phase(4, mean=2.0)
+        assert distribution.mean == pytest.approx(2.0)
+        assert distribution.squared_coefficient_of_variation == pytest.approx(0.25)
+        assert distribution.variance == pytest.approx(2.0**2 / 4)
+
+    def test_hyperexponential_moments(self):
+        distribution = hyperexponential_phase(
+            np.array([0.4, 0.6]), np.array([2.0, 0.5])
+        )
+        mean = 0.4 / 2.0 + 0.6 / 0.5
+        assert distribution.mean == pytest.approx(mean)
+        assert distribution.squared_coefficient_of_variation > 1.0
+
+    def test_exit_rates(self):
+        distribution = erlang_phase(2, mean=1.0)
+        # Only the last stage exits (rate 2 / mean = 2.0 each stage).
+        np.testing.assert_allclose(distribution.exit_rates, [0.0, 2.0])
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            PhaseTypeDistribution(np.array([0.5, 0.4]), -np.eye(2))
+        with pytest.raises(ValidationError):
+            PhaseTypeDistribution(np.array([1.0]), np.array([[1.0]]))
+        with pytest.raises(ValidationError):
+            erlang_phase(0, 1.0)
+        with pytest.raises(ValidationError):
+            exponential_phase(0.0)
+
+    def test_moment_order_validation(self):
+        with pytest.raises(ValidationError):
+            exponential_phase(1.0).moment(0)
+
+
+class TestPhaseTypeRepairPool:
+    def _spec(self, failure_rate=0.1, repair_rate=1.0):
+        return ServerTypeSpec(
+            "x", 1.0, failure_rate=failure_rate, repair_rate=repair_rate
+        )
+
+    def test_exponential_phase_matches_single_crew_pool(self):
+        # A 1-phase exponential repair must reproduce the plain
+        # single-crew birth-death model exactly.
+        spec = self._spec(0.2, 0.8)
+        for count in (1, 2, 3):
+            phase_pool = PhaseTypeRepairPool(
+                spec, count, exponential_phase(spec.repair_rate)
+            )
+            plain_pool = ServerPoolAvailability(
+                spec, count, policy=RepairPolicy.SINGLE_CREW
+            )
+            assert phase_pool.unavailability == pytest.approx(
+                plain_pool.unavailability, rel=1e-9
+            )
+
+    def test_generator_rows_sum_to_zero(self):
+        pool = PhaseTypeRepairPool(
+            self._spec(), 3, erlang_phase(3, mean=2.0)
+        )
+        q = pool.generator_matrix()
+        np.testing.assert_allclose(q.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_running_distribution_normalizes(self):
+        pool = PhaseTypeRepairPool(
+            self._spec(), 2, erlang_phase(2, mean=1.0)
+        )
+        marginal = pool.running_distribution()
+        assert marginal.sum() == pytest.approx(1.0)
+        assert marginal.shape == (3,)
+
+    def test_erlang_repair_changes_unavailability(self):
+        # Same mean repair time, different variability: with more than
+        # one replica the repair-time distribution matters.
+        spec = self._spec(0.5, 1.0)
+        exponential = PhaseTypeRepairPool(
+            spec, 2, exponential_phase(spec.repair_rate)
+        )
+        erlang = PhaseTypeRepairPool(spec, 2, erlang_phase(8, mean=1.0))
+        assert erlang.unavailability != pytest.approx(
+            exponential.unavailability, rel=1e-3
+        )
+
+    def test_means_matter_more_than_shape_for_single_replica(self):
+        # For Y = 1 the pool alternates up/down; unavailability depends
+        # only on the mean repair time, not its distribution.
+        spec = self._spec(0.5, 1.0)
+        exponential = PhaseTypeRepairPool(
+            spec, 1, exponential_phase(1.0)
+        )
+        erlang = PhaseTypeRepairPool(spec, 1, erlang_phase(6, mean=1.0))
+        assert erlang.unavailability == pytest.approx(
+            exponential.unavailability, rel=1e-9
+        )
+
+    def test_availability_is_complement(self):
+        pool = PhaseTypeRepairPool(
+            self._spec(), 2, erlang_phase(2, mean=0.5)
+        )
+        assert pool.availability == pytest.approx(1.0 - pool.unavailability)
+
+    def test_requires_positive_failure_rate(self):
+        spec = ServerTypeSpec("x", 1.0)  # failure-free
+        with pytest.raises(ValidationError):
+            PhaseTypeRepairPool(spec, 1, exponential_phase(1.0))
+
+    def test_requires_at_least_one_replica(self):
+        with pytest.raises(ValidationError):
+            PhaseTypeRepairPool(self._spec(), 0, exponential_phase(1.0))

@@ -1,0 +1,99 @@
+"""Tests for the sparse steady-state path of the availability model."""
+
+import numpy as np
+import pytest
+
+from repro.core.availability import AvailabilityModel
+from repro.core.linalg import steady_state_distribution_sparse
+from repro.core.model_types import ServerTypeIndex, ServerTypeSpec
+from repro.core.performance import SystemConfiguration
+from repro.exceptions import ValidationError
+
+
+def make_model(counts, failure=0.05, repair=0.5):
+    names = [f"t{i}" for i in range(len(counts))]
+    types = ServerTypeIndex(
+        [
+            ServerTypeSpec(
+                name, 1.0,
+                failure_rate=failure * (i + 1),
+                repair_rate=repair,
+            )
+            for i, name in enumerate(names)
+        ]
+    )
+    return AvailabilityModel(
+        types, SystemConfiguration(dict(zip(names, counts)))
+    )
+
+
+class TestSparseSolver:
+    def test_two_state_chain(self):
+        # 0 -> 1 at rate 2, 1 -> 0 at rate 1: pi = (1/3, 2/3).
+        pi = steady_state_distribution_sparse(
+            rows=[0, 1], columns=[1, 0], rates=[2.0, 1.0], num_states=2
+        )
+        np.testing.assert_allclose(pi, [1.0 / 3.0, 2.0 / 3.0], atol=1e-12)
+
+    def test_duplicate_triplets_summed(self):
+        pi = steady_state_distribution_sparse(
+            rows=[0, 0, 1], columns=[1, 1, 0], rates=[1.0, 1.0, 1.0],
+            num_states=2,
+        )
+        np.testing.assert_allclose(pi, [1.0 / 3.0, 2.0 / 3.0], atol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            steady_state_distribution_sparse([0], [0], [1.0], 2)
+        with pytest.raises(ValidationError):
+            steady_state_distribution_sparse([0], [5], [1.0], 2)
+        with pytest.raises(ValidationError):
+            steady_state_distribution_sparse([0], [1], [-1.0], 2)
+        with pytest.raises(ValidationError):
+            steady_state_distribution_sparse([0, 1], [1], [1.0], 2)
+
+
+class TestAvailabilitySparsePath:
+    def test_sparse_matches_dense_small(self):
+        model = make_model((2, 3))
+        dense = model.steady_state(method="direct")
+        sparse_result = model.steady_state(method="sparse")
+        np.testing.assert_allclose(sparse_result, dense, atol=1e-10)
+
+    def test_triplets_match_dense_generator(self):
+        model = make_model((2, 2))
+        rows, columns, rates = model.generator_triplets()
+        dense = model.generator_matrix()
+        rebuilt = np.zeros_like(dense)
+        for r, c, rate in zip(rows, columns, rates):
+            rebuilt[r, c] += rate
+        np.fill_diagonal(rebuilt, -rebuilt.sum(axis=1))
+        np.testing.assert_allclose(rebuilt, dense, atol=1e-12)
+
+    def test_auto_uses_sparse_for_large_spaces(self):
+        # (9, 9, 9) -> 1000 states: beyond the dense threshold but quick
+        # with the sparse LU.
+        model = make_model((9, 9, 9))
+        assert model.num_states == 1000
+        joint = model.unavailability("joint")  # auto -> sparse
+        product = model.unavailability("product")
+        assert joint == pytest.approx(product, rel=1e-8)
+
+    def test_sparse_joint_matches_product_with_single_crew(self):
+        from repro.core.availability import RepairPolicy
+
+        names = ("a", "b")
+        types = ServerTypeIndex(
+            [
+                ServerTypeSpec("a", 1.0, failure_rate=0.2, repair_rate=0.5),
+                ServerTypeSpec("b", 1.0, failure_rate=0.4, repair_rate=0.5),
+            ]
+        )
+        model = AvailabilityModel(
+            types,
+            SystemConfiguration(dict(zip(names, (3, 4)))),
+            policy=RepairPolicy.SINGLE_CREW,
+        )
+        assert model.unavailability(
+            "joint", solve_method="sparse"
+        ) == pytest.approx(model.unavailability("product"), rel=1e-8)

@@ -1,0 +1,223 @@
+"""Tests for the transient (uniformization) analysis extension."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.core.availability import AvailabilityModel
+from repro.core.ctmc import AbsorbingCTMC, ErgodicCTMC
+from repro.core.model_types import ServerTypeIndex, ServerTypeSpec
+from repro.core.performance import SystemConfiguration
+from repro.core.transient import (
+    first_passage_quantile,
+    poisson_weights,
+    transient_distribution,
+)
+from repro.core.workflow_model import build_workflow_ctmc
+from repro.exceptions import ValidationError
+from repro.workflows import ecommerce_workflow, standard_server_types
+
+
+class TestPoissonWeights:
+    @pytest.mark.parametrize("mean", [0.1, 1.0, 7.3, 120.0, 25_000.0])
+    def test_weights_normalize_and_match_moments(self, mean):
+        k_min, weights = poisson_weights(mean)
+        assert weights.sum() == pytest.approx(1.0)
+        ks = np.arange(k_min, k_min + len(weights))
+        assert float(weights @ ks) == pytest.approx(mean, rel=1e-6)
+
+    def test_zero_mean(self):
+        k_min, weights = poisson_weights(0.0)
+        assert k_min == 0
+        np.testing.assert_array_equal(weights, [1.0])
+
+    def test_matches_scipy_pmf(self):
+        from scipy.stats import poisson
+
+        mean = 12.5
+        k_min, weights = poisson_weights(mean)
+        ks = np.arange(k_min, k_min + len(weights))
+        np.testing.assert_allclose(
+            weights, poisson.pmf(ks, mean), atol=1e-10
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            poisson_weights(-1.0)
+        with pytest.raises(ValidationError):
+            poisson_weights(1.0, tolerance=0.0)
+
+
+class TestTransientDistribution:
+    def test_two_state_closed_form(self):
+        # d pi/dt with rates a=2 (0->1), b=1 (1->0):
+        # pi_1(t) = a/(a+b) (1 - e^{-(a+b)t}) starting in state 0.
+        a, b = 2.0, 1.0
+        q = np.array([[-a, a], [b, -b]])
+        for t in (0.0, 0.1, 0.5, 2.0, 10.0):
+            pi_t = transient_distribution(q, np.array([1.0, 0.0]), t)
+            expected = a / (a + b) * (1.0 - math.exp(-(a + b) * t))
+            assert pi_t[1] == pytest.approx(expected, abs=1e-10)
+
+    def test_matches_matrix_exponential(self):
+        rng = np.random.default_rng(17)
+        rates = rng.uniform(0.1, 2.0, size=(5, 5))
+        np.fill_diagonal(rates, 0.0)
+        q = rates - np.diag(rates.sum(axis=1))
+        pi0 = np.array([1.0, 0.0, 0.0, 0.0, 0.0])
+        for t in (0.3, 1.7, 6.0):
+            uniformized = transient_distribution(q, pi0, t)
+            exact = pi0 @ expm(q * t)
+            np.testing.assert_allclose(uniformized, exact, atol=1e-9)
+
+    def test_converges_to_steady_state(self):
+        q = np.array([[-1.0, 1.0], [3.0, -3.0]])
+        chain = ErgodicCTMC(q)
+        late = chain.transient_state_probabilities([1.0, 0.0], 100.0)
+        np.testing.assert_allclose(late, chain.steady_state(), atol=1e-9)
+
+    def test_time_zero_returns_initial(self):
+        q = np.array([[-1.0, 1.0], [3.0, -3.0]])
+        pi0 = np.array([0.25, 0.75])
+        np.testing.assert_array_equal(
+            transient_distribution(q, pi0, 0.0), pi0
+        )
+
+    def test_validation(self):
+        q = np.array([[-1.0, 1.0], [3.0, -3.0]])
+        with pytest.raises(ValidationError):
+            transient_distribution(q, np.array([1.0, 0.0]), -1.0)
+        with pytest.raises(ValidationError):
+            transient_distribution(q, np.array([0.5, 0.2]), 1.0)
+        with pytest.raises(ValidationError):
+            transient_distribution(q, np.array([1.0, 0.0, 0.0]), 1.0)
+
+
+class TestTurnaroundDistribution:
+    def _exponential_chain(self, mean=2.0):
+        p = np.array([[0.0, 1.0], [0.0, 1.0]])
+        return AbsorbingCTMC(p, np.array([mean, np.inf]))
+
+    def _erlang_chain(self, stage_mean=1.5):
+        p = np.array(
+            [
+                [0.0, 1.0, 0.0],
+                [0.0, 0.0, 1.0],
+                [0.0, 0.0, 1.0],
+            ]
+        )
+        return AbsorbingCTMC(p, np.array([stage_mean, stage_mean, np.inf]))
+
+    def test_exponential_cdf(self):
+        chain = self._exponential_chain(2.0)
+        times = np.array([0.0, 1.0, 2.0, 5.0])
+        cdf = chain.turnaround_cdf(times)
+        expected = 1.0 - np.exp(-times / 2.0)
+        np.testing.assert_allclose(cdf, expected, atol=1e-9)
+
+    def test_erlang_cdf(self):
+        from scipy.stats import gamma
+
+        chain = self._erlang_chain(1.5)
+        times = np.array([0.5, 2.0, 6.0])
+        cdf = chain.turnaround_cdf(times)
+        expected = gamma.cdf(times, a=2, scale=1.5)
+        np.testing.assert_allclose(cdf, expected, atol=1e-9)
+
+    def test_cdf_monotone(self):
+        chain = self._erlang_chain()
+        times = np.linspace(0.0, 10.0, 25)
+        cdf = chain.turnaround_cdf(times)
+        assert np.all(np.diff(cdf) >= -1e-12)
+
+    def test_exponential_quantiles(self):
+        chain = self._exponential_chain(2.0)
+        median = chain.turnaround_quantile(0.5)
+        assert median == pytest.approx(2.0 * math.log(2.0), rel=1e-4)
+        p95 = chain.turnaround_quantile(0.95)
+        assert p95 == pytest.approx(-2.0 * math.log(0.05), rel=1e-4)
+
+    def test_quantile_bounds_validated(self):
+        chain = self._exponential_chain()
+        with pytest.raises(ValidationError):
+            chain.turnaround_quantile(0.0)
+        with pytest.raises(ValidationError):
+            chain.turnaround_quantile(1.0)
+
+    def test_quantile_probability_round_trip(self):
+        chain = self._erlang_chain()
+        q = chain.turnaround_quantile(0.9)
+        cdf = chain.turnaround_cdf(np.array([q]))[0]
+        assert cdf == pytest.approx(0.9, abs=1e-4)
+
+    def test_ep_workflow_percentiles(self):
+        model = build_workflow_ctmc(
+            ecommerce_workflow(), standard_server_types()
+        )
+        median = model.turnaround_quantile(0.5)
+        p95 = model.turnaround_quantile(0.95)
+        mean = model.turnaround_time()
+        # Right-skewed distribution: median < mean < p95.
+        assert median < mean < p95
+
+    def test_quantile_helper_validation(self):
+        chain = self._exponential_chain()
+        with pytest.raises(ValidationError):
+            first_passage_quantile(
+                chain.generator_matrix(), 0, 1, 0.5, upper_bound_hint=0.0
+            )
+
+
+class TestTransientAvailability:
+    @pytest.fixture
+    def model(self):
+        types = ServerTypeIndex(
+            [
+                ServerTypeSpec("a", 1.0, failure_rate=0.05,
+                               repair_rate=0.5),
+                ServerTypeSpec("b", 1.0, failure_rate=0.1,
+                               repair_rate=0.5),
+            ]
+        )
+        return AvailabilityModel(
+            types, SystemConfiguration({"a": 2, "b": 2})
+        )
+
+    def test_starts_fully_available(self, model):
+        assert model.transient_unavailability(0.0) == 0.0
+
+    def test_converges_to_steady_state(self, model):
+        transient = model.transient_unavailability(500.0)
+        assert transient == pytest.approx(
+            model.unavailability("joint"), rel=1e-6
+        )
+
+    def test_monotone_rampup_from_full_state(self, model):
+        values = [
+            model.transient_unavailability(t) for t in (1.0, 5.0, 25.0)
+        ]
+        assert values[0] < values[1] <= values[2] + 1e-12
+
+    def test_recovery_from_degraded_start(self, model):
+        # Starting with type b fully down, unavailability begins at 1
+        # and decays towards the steady state.
+        degraded = (2, 0)
+        early = model.transient_unavailability(0.0, degraded)
+        later = model.transient_unavailability(20.0, degraded)
+        assert early == pytest.approx(1.0)
+        assert later < 0.1
+
+    def test_expected_downtime_long_horizon(self, model):
+        horizon = 2000.0
+        downtime = model.expected_downtime(horizon, grid_points=80)
+        assert downtime == pytest.approx(
+            model.unavailability() * horizon, rel=0.05
+        )
+
+    def test_expected_downtime_validation(self, model):
+        with pytest.raises(ValidationError):
+            model.expected_downtime(0.0)
+        with pytest.raises(ValidationError):
+            model.expected_downtime(10.0, grid_points=1)

@@ -1,0 +1,166 @@
+"""Integration: the full configuration-tool loop of Section 7.
+
+map (repository -> models) -> run the simulated WFMS -> calibrate from
+the audit trail -> re-evaluate -> recommend.  This is the "analysis and
+assessment of an operational system all the way to ... automatically
+recommending a reconfiguration" spectrum the paper describes.
+"""
+
+import pytest
+
+from repro.core.goals import PerformabilityGoals
+from repro.core.performance import SystemConfiguration
+from repro.monitor.calibration import (
+    calibrate_flat_workflow,
+    estimate_transition_probabilities,
+    estimate_turnaround_time,
+)
+from repro.tool import ConfigurationTool, WorkflowRepository
+from repro.wfms import RoutingPolicy, SimulatedWFMS, SimulatedWorkflowType
+from repro.workflows import (
+    ecommerce_activities,
+    ecommerce_chart,
+    ecommerce_workflow,
+    order_processing_activities,
+    order_processing_chart,
+    standard_server_types,
+)
+from repro.workflows.ecommerce import P_PAY_BY_CARD
+
+
+@pytest.fixture(scope="module")
+def operational_run():
+    """A 'production' run of the simulated WFMS producing monitoring data."""
+    types = standard_server_types()
+    configuration = SystemConfiguration(
+        {"comm-server": 1, "wf-engine": 2, "app-server": 3}
+    )
+    wfms = SimulatedWFMS(
+        server_types=types,
+        configuration=configuration,
+        workflow_types=[
+            SimulatedWorkflowType(
+                ecommerce_chart(), ecommerce_activities(), 0.4
+            ),
+            SimulatedWorkflowType(
+                order_processing_chart(), order_processing_activities(), 0.2
+            ),
+        ],
+        seed=31,
+        routing_policy=RoutingPolicy.ROUND_ROBIN,
+        inject_failures=False,
+    )
+    report = wfms.run(duration=20_000.0, warmup=1_000.0)
+    return types, configuration, report
+
+
+@pytest.fixture(scope="module")
+def tool():
+    repository = WorkflowRepository()
+    repository.register(ecommerce_chart(), ecommerce_activities())
+    repository.register(
+        order_processing_chart(), order_processing_activities()
+    )
+    return ConfigurationTool(standard_server_types(), repository)
+
+
+RATES = {"EP": 0.4, "OrderProcessing": 0.2}
+
+
+class TestMapEvaluateRecommend:
+    def test_evaluate_operational_configuration(self, tool):
+        report = tool.evaluate(
+            SystemConfiguration(
+                {"comm-server": 1, "wf-engine": 2, "app-server": 3}
+            ),
+            RATES,
+        )
+        assert report.is_stable
+        assert report.performance.throughput.bottleneck == "app-server"
+
+    def test_recommendation_meets_goals(self, tool):
+        goals = PerformabilityGoals(
+            max_waiting_time=0.25, max_unavailability=1e-5
+        )
+        recommendation = tool.recommend(goals, RATES)
+        assessment = recommendation.assessment
+        assert assessment.satisfied
+        assert assessment.performability.max_expected_waiting_time <= 0.25
+        assert assessment.unavailability <= 1e-5
+
+    def test_tighter_goals_cost_more(self, tool):
+        loose = tool.recommend(
+            PerformabilityGoals(max_waiting_time=0.5,
+                                max_unavailability=1e-4),
+            RATES,
+        )
+        tight = tool.recommend(
+            PerformabilityGoals(max_waiting_time=0.05,
+                                max_unavailability=1e-7),
+            RATES,
+        )
+        assert tight.cost > loose.cost
+
+
+class TestCalibrationRoundTrip:
+    def test_service_moments_recovered(self, operational_run, tool):
+        types, _, report = operational_run
+        calibration = tool.calibrate(report.trail, observation_period=20_000.0)
+        for name in types.names:
+            mean, _ = calibration.server_updates[name]
+            assert mean == pytest.approx(
+                types.spec(name).mean_service_time, rel=0.05
+            )
+
+    def test_arrival_rates_recovered(self, operational_run, tool):
+        _, _, report = operational_run
+        calibration = tool.calibrate(report.trail, observation_period=20_000.0)
+        assert calibration.arrival_rates["EP"] == pytest.approx(0.4, rel=0.1)
+        assert calibration.arrival_rates["OrderProcessing"] == pytest.approx(
+            0.2, rel=0.15
+        )
+
+    def test_branching_probabilities_recovered(self, operational_run):
+        _, _, report = operational_run
+        probabilities = estimate_transition_probabilities(report.trail, "EP")
+        assert probabilities[
+            ("NewOrder", "CreditCardCheck")
+        ] == pytest.approx(P_PAY_BY_CARD, abs=0.05)
+
+    def test_recalibrated_flat_workflow_matches_measured_turnaround(
+        self, operational_run
+    ):
+        types, _, report = operational_run
+        definition = calibrate_flat_workflow(report.trail, "EP", "NewOrder")
+        from repro.core.workflow_model import build_workflow_ctmc
+
+        model = build_workflow_ctmc(definition, types)
+        measured = estimate_turnaround_time(report.trail, "EP")
+        assert model.turnaround_time() == pytest.approx(measured, rel=0.05)
+
+    def test_calibrated_tool_predictions_stay_consistent(
+        self, operational_run, tool
+    ):
+        _, configuration, report = operational_run
+        calibration = tool.calibrate(report.trail, observation_period=20_000.0)
+        recalibrated = tool.with_calibrated_servers(calibration)
+        before = tool.evaluate(configuration, RATES)
+        after = recalibrated.evaluate(configuration, RATES)
+        # Measured moments are close to the design-time ones, so the
+        # assessments must agree closely too.
+        for name in tool.server_types.names:
+            assert after.performance.utilizations[name] == pytest.approx(
+                before.performance.utilizations[name], rel=0.1
+            )
+
+    def test_analytic_turnaround_matches_reference_model(
+        self, operational_run
+    ):
+        types, _, report = operational_run
+        from repro.core.workflow_model import build_workflow_ctmc
+
+        reference = build_workflow_ctmc(ecommerce_workflow(), types)
+        measured = estimate_turnaround_time(report.trail, "EP")
+        assert measured == pytest.approx(
+            reference.turnaround_time(), rel=0.05
+        )

@@ -1,0 +1,150 @@
+"""Tests for JSON round trips of state charts."""
+
+import json
+import random
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.io.chart_serialization import (
+    action_from_dict,
+    action_to_dict,
+    chart_from_dict,
+    chart_to_dict,
+    guard_from_dict,
+    guard_to_dict,
+    load_chart,
+    rule_from_dict,
+    rule_to_dict,
+    save_chart,
+)
+from repro.spec.events import (
+    And,
+    ECARule,
+    Not,
+    Or,
+    RaiseEvent,
+    SetCondition,
+    StartActivity,
+    TrueGuard,
+    Var,
+)
+from repro.spec.interpreter import ProbabilisticResolver, StateChartInterpreter
+from repro.spec.validation import IssueLevel, validate_chart
+from repro.workflows import (
+    ecommerce_chart,
+    insurance_chart,
+    loan_chart,
+    order_processing_chart,
+    travel_chart,
+)
+
+ALL_CHARTS = [
+    ecommerce_chart,
+    order_processing_chart,
+    insurance_chart,
+    loan_chart,
+    travel_chart,
+]
+
+
+class TestGuardRoundTrip:
+    @pytest.mark.parametrize(
+        "guard",
+        [
+            TrueGuard(),
+            Var("PayByCreditCard"),
+            Not(Var("x")),
+            And(Var("a"), Not(Var("b"))),
+            Or(Var("a"), And(Var("b"), Var("c"))),
+            Not(Or(Var("a"), Not(And(Var("b"), TrueGuard())))),
+        ],
+    )
+    def test_round_trip(self, guard):
+        restored = guard_from_dict(guard_to_dict(guard))
+        assert restored == guard
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValidationError):
+            guard_from_dict({"type": "xor"})
+
+
+class TestActionAndRuleRoundTrip:
+    @pytest.mark.parametrize(
+        "action",
+        [
+            StartActivity("NewOrder"),
+            SetCondition("Paid", True),
+            SetCondition("Paid", False),
+            RaiseEvent("Timeout"),
+        ],
+    )
+    def test_action_round_trip(self, action):
+        assert action_from_dict(action_to_dict(action)) == action
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValidationError):
+            action_from_dict({"type": "explode"})
+
+    def test_rule_round_trip(self):
+        rule = ECARule(
+            event="X_DONE",
+            guard=And(Var("a"), Not(Var("b"))),
+            actions=(SetCondition("c", True), RaiseEvent("e")),
+        )
+        assert rule_from_dict(rule_to_dict(rule)) == rule
+
+    def test_empty_rule_round_trip(self):
+        rule = ECARule()
+        assert rule_from_dict(rule_to_dict(rule)) == rule
+
+
+class TestChartRoundTrip:
+    @pytest.mark.parametrize("factory", ALL_CHARTS)
+    def test_structural_round_trip(self, factory):
+        original = factory()
+        restored = chart_from_dict(chart_to_dict(original))
+        assert restored == original
+
+    @pytest.mark.parametrize("factory", ALL_CHARTS)
+    def test_restored_chart_still_validates(self, factory):
+        restored = chart_from_dict(chart_to_dict(factory()))
+        errors = [
+            issue for issue in validate_chart(restored)
+            if issue.level is IssueLevel.ERROR
+        ]
+        assert not errors
+
+    def test_restored_chart_is_executable(self):
+        restored = chart_from_dict(chart_to_dict(ecommerce_chart()))
+        interpreter = StateChartInterpreter(
+            restored, resolver=ProbabilisticResolver(random.Random(3))
+        )
+        interpreter.start()
+        trace = interpreter.run_to_completion()
+        assert trace[-1] == "EP_EXIT_S"
+
+    def test_json_serializable(self):
+        json.dumps(chart_to_dict(travel_chart()))
+
+    def test_missing_key_rejected(self):
+        data = chart_to_dict(ecommerce_chart())
+        del data["initial_state"]
+        with pytest.raises(ValidationError, match="missing key"):
+            chart_from_dict(data)
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "ep.json"
+        save_chart(ecommerce_chart(), path)
+        restored = load_chart(path)
+        assert restored == ecommerce_chart()
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError, match="not found"):
+            load_chart(tmp_path / "nope.json")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ValidationError, match="invalid JSON"):
+            load_chart(path)

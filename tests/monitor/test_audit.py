@@ -1,0 +1,85 @@
+"""Tests for audit trail records and queries."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.monitor.audit import (
+    TERMINATION,
+    AuditTrail,
+    InstanceRecord,
+    ServiceRequestRecord,
+    StateVisitRecord,
+)
+
+
+def visit(instance=1, workflow="wf", state="a", enter=0.0, leave=1.0,
+          next_state="b"):
+    return StateVisitRecord(
+        instance_id=instance, workflow_type=workflow, state=state,
+        entered_at=enter, left_at=leave, next_state=next_state,
+    )
+
+
+class TestRecords:
+    def test_residence_time(self):
+        assert visit(enter=2.0, leave=5.5).residence_time == pytest.approx(3.5)
+
+    def test_visit_timestamps_validated(self):
+        with pytest.raises(ValidationError):
+            visit(enter=5.0, leave=4.0)
+
+    def test_request_derived_times(self):
+        record = ServiceRequestRecord(
+            server_type="srv", server_name="srv#0",
+            submitted_at=1.0, started_at=3.0, completed_at=4.5,
+        )
+        assert record.waiting_time == pytest.approx(2.0)
+        assert record.service_time == pytest.approx(1.5)
+
+    def test_request_timestamps_validated(self):
+        with pytest.raises(ValidationError):
+            ServiceRequestRecord(
+                server_type="s", server_name="s#0",
+                submitted_at=2.0, started_at=1.0, completed_at=3.0,
+            )
+
+    def test_instance_turnaround(self):
+        record = InstanceRecord(1, "wf", started_at=10.0, completed_at=25.0)
+        assert record.turnaround_time == pytest.approx(15.0)
+
+    def test_instance_timestamps_validated(self):
+        with pytest.raises(ValidationError):
+            InstanceRecord(1, "wf", started_at=10.0, completed_at=5.0)
+
+
+class TestTrailQueries:
+    def _trail(self):
+        trail = AuditTrail()
+        trail.record_state_visit(visit(workflow="alpha", state="a"))
+        trail.record_state_visit(visit(workflow="beta", state="x"))
+        trail.record_instance(InstanceRecord(1, "alpha", 0.0, 3.0))
+        trail.record_service_request(
+            ServiceRequestRecord("srv", "srv#0", 0.0, 0.0, 1.0)
+        )
+        return trail
+
+    def test_workflow_types(self):
+        assert self._trail().workflow_types() == {"alpha", "beta"}
+
+    def test_filtered_iterators(self):
+        trail = self._trail()
+        assert [r.state for r in trail.visits_of("alpha")] == ["a"]
+        assert len(list(trail.instances_of("alpha"))) == 1
+        assert len(list(trail.instances_of("beta"))) == 0
+        assert len(list(trail.requests_of("srv"))) == 1
+        assert len(list(trail.requests_of("other"))) == 0
+
+    def test_merge_combines_without_mutating(self):
+        first, second = self._trail(), self._trail()
+        merged = first.merge([second])
+        assert len(merged.state_visits) == 4
+        assert len(first.state_visits) == 2
+
+    def test_termination_marker_distinct_from_states(self):
+        record = visit(next_state=TERMINATION)
+        assert record.next_state == TERMINATION

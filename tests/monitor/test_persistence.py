@@ -1,0 +1,155 @@
+"""Tests for JSON Lines persistence of audit trails."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.monitor.audit import (
+    AuditTrail,
+    InstanceRecord,
+    ServiceRequestRecord,
+    StateVisitRecord,
+)
+from repro.monitor.persistence import (
+    load_trail,
+    merge_trail_files,
+    save_trail,
+)
+
+
+def sample_trail() -> AuditTrail:
+    trail = AuditTrail()
+    trail.record_state_visit(
+        StateVisitRecord(
+            instance_id=1, workflow_type="wf", state="a",
+            entered_at=0.0, left_at=2.0, next_state="b",
+        )
+    )
+    trail.record_service_request(
+        ServiceRequestRecord(
+            server_type="srv", server_name="srv#0",
+            submitted_at=0.5, started_at=0.7, completed_at=1.1,
+        )
+    )
+    trail.record_instance(
+        InstanceRecord(
+            instance_id=1, workflow_type="wf",
+            started_at=0.0, completed_at=3.0,
+        )
+    )
+    return trail
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "trail.jsonl"
+        count = save_trail(sample_trail(), path)
+        assert count == 3
+        restored = load_trail(path)
+        assert restored.state_visits == sample_trail().state_visits
+        assert restored.service_requests == sample_trail().service_requests
+        assert restored.instances == sample_trail().instances
+
+    def test_file_is_json_lines(self, tmp_path):
+        path = tmp_path / "trail.jsonl"
+        save_trail(sample_trail(), path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        kinds = {json.loads(line)["kind"] for line in lines}
+        assert kinds == {"state_visit", "service_request", "instance"}
+
+    def test_empty_trail(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert save_trail(AuditTrail(), path) == 0
+        restored = load_trail(path)
+        assert not restored.state_visits
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "trail.jsonl"
+        save_trail(sample_trail(), path)
+        path.write_text(path.read_text() + "\n\n")
+        restored = load_trail(path)
+        assert len(restored.instances) == 1
+
+
+class TestSimulationTrailRoundTrip:
+    def test_calibration_survives_persistence(self, tmp_path):
+        from repro.core.performance import SystemConfiguration
+        from repro.monitor.calibration import estimate_service_times
+        from repro.wfms import SimulatedWFMS, SimulatedWorkflowType
+        from repro.workflows import (
+            ecommerce_activities,
+            ecommerce_chart,
+            standard_server_types,
+        )
+
+        wfms = SimulatedWFMS(
+            standard_server_types(),
+            SystemConfiguration(
+                {"comm-server": 1, "wf-engine": 1, "app-server": 2}
+            ),
+            [SimulatedWorkflowType(
+                ecommerce_chart(), ecommerce_activities(), 0.2
+            )],
+            seed=5,
+            inject_failures=False,
+        )
+        report = wfms.run(duration=2000.0, warmup=100.0)
+        path = tmp_path / "production.jsonl"
+        save_trail(report.trail, path)
+        restored = load_trail(path)
+        original = estimate_service_times(report.trail)
+        recovered = estimate_service_times(restored)
+        for name in original:
+            assert recovered[name].mean == pytest.approx(
+                original[name].mean
+            )
+            assert recovered[name].sample_count == (
+                original[name].sample_count
+            )
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError, match="not found"):
+            load_trail(tmp_path / "nope.jsonl")
+
+    def test_invalid_json_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{broken\n")
+        with pytest.raises(ValidationError, match="invalid JSON"):
+            load_trail(path)
+
+    def test_unknown_kind(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"kind": "mystery"}) + "\n")
+        with pytest.raises(ValidationError, match="unknown record kind"):
+            load_trail(path)
+
+    def test_malformed_record_fields(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"kind": "instance", "instance_id": 1}) + "\n"
+        )
+        with pytest.raises(ValidationError, match="malformed"):
+            load_trail(path)
+
+    def test_non_object_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ValidationError, match="JSON object"):
+            load_trail(path)
+
+
+class TestMerge:
+    def test_merge_files(self, tmp_path):
+        first = tmp_path / "one.jsonl"
+        second = tmp_path / "two.jsonl"
+        merged = tmp_path / "all.jsonl"
+        save_trail(sample_trail(), first)
+        save_trail(sample_trail(), second)
+        count = merge_trail_files([first, second], merged)
+        assert count == 6
+        restored = load_trail(merged)
+        assert len(restored.instances) == 2

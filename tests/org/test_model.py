@@ -1,0 +1,105 @@
+"""Tests for the organizational model."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.org.model import Actor, Organization, OrgUnit, Role
+
+
+def sample_organization() -> Organization:
+    return Organization(
+        actors=[
+            Actor("alice", roles=frozenset({"clerk", "manager"})),
+            Actor("bob", roles=frozenset({"clerk"})),
+            Actor("carol", roles=frozenset({"assessor"}), efficiency=1.5),
+        ],
+        units=[
+            OrgUnit("claims", actor_names=("alice", "bob")),
+            OrgUnit("assessment", actor_names=("carol",), parent="claims"),
+        ],
+        roles=[Role("clerk"), Role("manager"), Role("assessor")],
+    )
+
+
+class TestActors:
+    def test_role_membership(self):
+        organization = sample_organization()
+        assert organization.actor("alice").has_role("manager")
+        assert not organization.actor("bob").has_role("manager")
+
+    def test_actors_with_role(self):
+        organization = sample_organization()
+        names = [a.name for a in organization.actors_with_role("clerk")]
+        assert names == ["alice", "bob"]
+        assert organization.actors_with_role("nobody") == ()
+
+    def test_efficiency_validated(self):
+        with pytest.raises(ValidationError):
+            Actor("slow", efficiency=0.0)
+
+    def test_unknown_actor_lookup(self):
+        with pytest.raises(ValidationError):
+            sample_organization().actor("dave")
+
+
+class TestRolesAndValidation:
+    def test_undeclared_role_rejected(self):
+        with pytest.raises(ValidationError, match="undeclared roles"):
+            Organization(
+                actors=[Actor("x", roles=frozenset({"ghost"}))],
+                roles=[Role("clerk")],
+            )
+
+    def test_roles_optional(self):
+        # Without a declared role catalogue anything goes.
+        Organization(actors=[Actor("x", roles=frozenset({"anything"}))])
+
+    def test_empty_organization_rejected(self):
+        with pytest.raises(ValidationError):
+            Organization(actors=[])
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(ValidationError):
+            Role("")
+        with pytest.raises(ValidationError):
+            Actor("")
+        with pytest.raises(ValidationError):
+            OrgUnit("")
+
+
+class TestUnits:
+    def test_unit_members(self):
+        organization = sample_organization()
+        members = organization.actors_of_unit(
+            "claims", include_subunits=False
+        )
+        assert [m.name for m in members] == ["alice", "bob"]
+
+    def test_subunit_members_included(self):
+        organization = sample_organization()
+        members = organization.actors_of_unit("claims")
+        assert [m.name for m in members] == ["alice", "bob", "carol"]
+
+    def test_unknown_member_rejected(self):
+        with pytest.raises(ValidationError, match="unknown actor"):
+            Organization(
+                actors=[Actor("a")],
+                units=[OrgUnit("u", actor_names=("ghost",))],
+            )
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(ValidationError, match="unknown parent"):
+            Organization(
+                actors=[Actor("a")],
+                units=[OrgUnit("u", parent="ghost")],
+            )
+
+    def test_unit_cycle_rejected(self):
+        with pytest.raises(ValidationError, match="cycle"):
+            Organization(
+                actors=[Actor("a")],
+                units=[
+                    OrgUnit("u", parent="v"),
+                    OrgUnit("v", parent="u"),
+                ],
+            )

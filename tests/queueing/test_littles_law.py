@@ -1,0 +1,42 @@
+"""Tests for Little's law helpers (Section 4.3)."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.queueing import mean_population, mean_response_time, throughput
+
+
+class TestLittlesLaw:
+    def test_population(self):
+        assert mean_population(2.0, 5.0) == pytest.approx(10.0)
+
+    def test_response_time(self):
+        assert mean_response_time(10.0, 2.0) == pytest.approx(5.0)
+
+    def test_throughput(self):
+        assert throughput(10.0, 5.0) == pytest.approx(2.0)
+
+    def test_three_way_consistency(self):
+        arrival, time_in_system = 0.7, 12.0
+        population = mean_population(arrival, time_in_system)
+        assert mean_response_time(population, arrival) == pytest.approx(
+            time_in_system
+        )
+        assert throughput(population, time_in_system) == pytest.approx(
+            arrival
+        )
+
+    @pytest.mark.parametrize(
+        "function, args",
+        [
+            (mean_population, (-1.0, 1.0)),
+            (mean_population, (1.0, -1.0)),
+            (mean_response_time, (-1.0, 1.0)),
+            (mean_response_time, (1.0, 0.0)),
+            (throughput, (-1.0, 1.0)),
+            (throughput, (1.0, 0.0)),
+        ],
+    )
+    def test_validation(self, function, args):
+        with pytest.raises(ValidationError):
+            function(*args)

@@ -1,0 +1,128 @@
+"""Tests for the M/G/1 formulas (Section 4.4)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import SaturationError, ValidationError
+from repro.queueing import (
+    mg1_mean_queue_length,
+    mg1_mean_response_time,
+    mg1_mean_waiting_time,
+    mg1_metrics,
+    mm1_mean_waiting_time,
+    pooled_service_moments,
+)
+
+
+class TestWaitingTime:
+    def test_mm1_special_case(self):
+        # Exponential service: M/G/1 collapses to M/M/1.
+        arrival, mean = 0.5, 1.0
+        assert mg1_mean_waiting_time(arrival, mean) == pytest.approx(
+            mm1_mean_waiting_time(arrival, 1.0 / mean)
+        )
+
+    def test_deterministic_service_halves_mm1_waiting(self):
+        # M/D/1 waits exactly half as long as M/M/1 at equal utilization.
+        arrival, mean = 0.5, 1.0
+        md1 = mg1_mean_waiting_time(arrival, mean, mean**2)
+        mm1 = mg1_mean_waiting_time(arrival, mean)
+        assert md1 == pytest.approx(mm1 / 2.0)
+
+    def test_hand_computed_value(self):
+        # lambda=2, b=0.25 (rho=0.5), b2=0.2: w = 2*0.2/(2*0.5) = 0.4.
+        assert mg1_mean_waiting_time(2.0, 0.25, 0.2) == pytest.approx(0.4)
+
+    def test_zero_arrivals_no_waiting(self):
+        assert mg1_mean_waiting_time(0.0, 1.0) == 0.0
+
+    def test_saturation_returns_infinity(self):
+        assert math.isinf(mg1_mean_waiting_time(2.0, 1.0))
+
+    def test_saturation_strict_raises(self):
+        with pytest.raises(SaturationError):
+            mg1_mean_waiting_time(2.0, 1.0, strict=True)
+
+    def test_waiting_grows_with_variability(self):
+        low = mg1_mean_waiting_time(0.5, 1.0, 1.0)  # deterministic
+        mid = mg1_mean_waiting_time(0.5, 1.0, 2.0)  # exponential
+        high = mg1_mean_waiting_time(0.5, 1.0, 8.0)  # bursty
+        assert low < mid < high
+
+    def test_waiting_explodes_near_saturation(self):
+        moderate = mg1_mean_waiting_time(0.5, 1.0)
+        heavy = mg1_mean_waiting_time(0.99, 1.0)
+        assert heavy > 50 * moderate
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"arrival_rate": -1.0, "mean_service_time": 1.0},
+            {"arrival_rate": 1.0, "mean_service_time": 0.0},
+            {
+                "arrival_rate": 1.0,
+                "mean_service_time": 1.0,
+                "second_moment_service_time": 0.5,
+            },
+        ],
+    )
+    def test_input_validation(self, kwargs):
+        with pytest.raises(ValidationError):
+            mg1_mean_waiting_time(**kwargs)
+
+
+class TestDerivedMetrics:
+    def test_response_is_wait_plus_service(self):
+        assert mg1_mean_response_time(0.5, 1.0) == pytest.approx(
+            mg1_mean_waiting_time(0.5, 1.0) + 1.0
+        )
+
+    def test_queue_length_via_littles_law(self):
+        arrival = 0.6
+        assert mg1_mean_queue_length(arrival, 1.0) == pytest.approx(
+            arrival * mg1_mean_waiting_time(arrival, 1.0)
+        )
+
+    def test_metrics_bundle_consistency(self):
+        metrics = mg1_metrics(0.4, 1.5, 5.0)
+        assert metrics.utilization == pytest.approx(0.6)
+        assert metrics.is_stable
+        assert metrics.mean_response_time == pytest.approx(
+            metrics.mean_waiting_time + 1.5
+        )
+        assert metrics.mean_number_in_system == pytest.approx(
+            0.4 * metrics.mean_response_time
+        )
+
+    def test_saturated_metrics_are_infinite(self):
+        metrics = mg1_metrics(2.0, 1.0)
+        assert not metrics.is_stable
+        assert math.isinf(metrics.mean_queue_length)
+        assert math.isinf(metrics.mean_number_in_system)
+
+
+class TestPooledMoments:
+    def test_equal_streams_preserve_moments(self):
+        mean, second = pooled_service_moments(
+            [1.0, 1.0], [0.5, 0.5], [0.6, 0.6]
+        )
+        assert mean == pytest.approx(0.5)
+        assert second == pytest.approx(0.6)
+
+    def test_weighting_by_arrival_share(self):
+        # 3:1 mix of fast (0.1) and slow (0.9) services.
+        mean, _ = pooled_service_moments(
+            [3.0, 1.0], [0.1, 0.9], [0.02, 1.62]
+        )
+        assert mean == pytest.approx(0.75 * 0.1 + 0.25 * 0.9)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            pooled_service_moments([1.0], [0.5, 0.5], [0.6, 0.6])
+        with pytest.raises(ValidationError):
+            pooled_service_moments([], [], [])
+        with pytest.raises(ValidationError):
+            pooled_service_moments([0.0, 0.0], [1.0, 1.0], [2.0, 2.0])
+        with pytest.raises(ValidationError):
+            pooled_service_moments([-1.0, 2.0], [1.0, 1.0], [2.0, 2.0])

@@ -1,0 +1,82 @@
+"""Tests for the M/M/1 and M/M/c formulas."""
+
+import math
+
+import pytest
+
+from repro.exceptions import SaturationError, ValidationError
+from repro.queueing import (
+    erlang_c,
+    mm1_mean_waiting_time,
+    mmc_mean_waiting_time,
+)
+
+
+class TestMM1:
+    def test_closed_form(self):
+        # rho = 0.5, mu = 1: w = rho / (mu - lambda) = 1.
+        assert mm1_mean_waiting_time(0.5, 1.0) == pytest.approx(1.0)
+
+    def test_saturated(self):
+        assert math.isinf(mm1_mean_waiting_time(1.0, 1.0))
+        with pytest.raises(SaturationError):
+            mm1_mean_waiting_time(1.0, 1.0, strict=True)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            mm1_mean_waiting_time(-1.0, 1.0)
+        with pytest.raises(ValidationError):
+            mm1_mean_waiting_time(1.0, 0.0)
+
+
+class TestErlangC:
+    def test_single_server_equals_utilization(self):
+        # For c=1 the wait probability is the utilization.
+        assert erlang_c(1, 0.7) == pytest.approx(0.7)
+
+    def test_known_two_server_value(self):
+        # c=2, a=1: C = (1/2 * ... ) classic value 1/3.
+        assert erlang_c(2, 1.0) == pytest.approx(1.0 / 3.0)
+
+    def test_zero_load(self):
+        assert erlang_c(4, 0.0) == 0.0
+
+    def test_overload_saturates_to_one(self):
+        assert erlang_c(2, 2.5) == 1.0
+
+    def test_monotone_decreasing_in_servers(self):
+        values = [erlang_c(c, 1.5) for c in (2, 3, 4, 6)]
+        assert values == sorted(values, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            erlang_c(0, 1.0)
+        with pytest.raises(ValidationError):
+            erlang_c(2, -0.5)
+
+
+class TestMMC:
+    def test_single_server_matches_mm1(self):
+        assert mmc_mean_waiting_time(0.6, 1.0, 1) == pytest.approx(
+            mm1_mean_waiting_time(0.6, 1.0)
+        )
+
+    def test_shared_queue_beats_partitioned_queues(self):
+        # Two servers sharing one queue wait less than two independent
+        # M/M/1 queues each taking half the arrivals — quantifies what the
+        # paper's per-replica partitioning model gives up.
+        arrival, service_rate = 1.5, 1.0
+        shared = mmc_mean_waiting_time(arrival, service_rate, 2)
+        partitioned = mm1_mean_waiting_time(arrival / 2, service_rate)
+        assert shared < partitioned
+
+    def test_saturation(self):
+        assert math.isinf(mmc_mean_waiting_time(2.0, 1.0, 2))
+        with pytest.raises(SaturationError):
+            mmc_mean_waiting_time(2.0, 1.0, 2, strict=True)
+
+    def test_more_servers_less_waiting(self):
+        waits = [
+            mmc_mean_waiting_time(1.8, 1.0, c) for c in (2, 3, 4)
+        ]
+        assert waits == sorted(waits, reverse=True)

@@ -1,0 +1,131 @@
+"""Tests for the random-variate distributions."""
+
+import random
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.sim.distributions import (
+    Deterministic,
+    Erlang,
+    Exponential,
+    HyperExponential,
+    LogNormal,
+    Uniform,
+    distribution_for_moments,
+)
+
+ALL_DISTRIBUTIONS = [
+    Deterministic(2.0),
+    Exponential(2.0),
+    Uniform(1.0, 3.0),
+    Erlang(3, 2.0),
+    HyperExponential((0.3, 0.7), (4.0, 1.0)),
+    LogNormal(2.0, 0.8),
+]
+
+
+class TestMoments:
+    @pytest.mark.parametrize("distribution", ALL_DISTRIBUTIONS)
+    def test_sample_mean_matches_declared_mean(self, distribution):
+        rng = random.Random(12345)
+        samples = [distribution.sample(rng) for _ in range(40_000)]
+        empirical = sum(samples) / len(samples)
+        assert empirical == pytest.approx(distribution.mean, rel=0.05)
+
+    @pytest.mark.parametrize("distribution", ALL_DISTRIBUTIONS)
+    def test_sample_second_moment_matches(self, distribution):
+        rng = random.Random(999)
+        samples = [distribution.sample(rng) for _ in range(60_000)]
+        empirical = sum(x * x for x in samples) / len(samples)
+        assert empirical == pytest.approx(
+            distribution.second_moment, rel=0.1
+        )
+
+    @pytest.mark.parametrize("distribution", ALL_DISTRIBUTIONS)
+    def test_samples_nonnegative(self, distribution):
+        rng = random.Random(7)
+        assert all(
+            distribution.sample(rng) >= 0.0 for _ in range(1000)
+        )
+
+    def test_scv_reference_values(self):
+        assert Deterministic(2.0).squared_coefficient_of_variation == 0.0
+        assert Exponential(2.0).squared_coefficient_of_variation == pytest.approx(1.0)
+        assert Erlang(4, 2.0).squared_coefficient_of_variation == pytest.approx(0.25)
+        assert HyperExponential(
+            (0.5, 0.5), (0.2, 1.8)
+        ).squared_coefficient_of_variation > 1.0
+        assert LogNormal(1.0, 2.5).squared_coefficient_of_variation == pytest.approx(2.5)
+
+    def test_uniform_moments_closed_form(self):
+        uniform = Uniform(1.0, 3.0)
+        assert uniform.mean == 2.0
+        assert uniform.variance == pytest.approx(4.0 / 12.0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: Deterministic(-1.0),
+            lambda: Exponential(0.0),
+            lambda: Uniform(2.0, 1.0),
+            lambda: Uniform(-1.0, 1.0),
+            lambda: Erlang(0, 1.0),
+            lambda: Erlang(2, -1.0),
+            lambda: HyperExponential((0.5,), (1.0, 2.0)),
+            lambda: HyperExponential((0.5, 0.4), (1.0, 2.0)),
+            lambda: HyperExponential((0.5, 0.5), (0.0, 2.0)),
+            lambda: LogNormal(0.0, 1.0),
+            lambda: LogNormal(1.0, 0.0),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, factory):
+        with pytest.raises(ValidationError):
+            factory()
+
+
+class TestMomentFitting:
+    @pytest.mark.parametrize(
+        "mean, scv",
+        [(1.0, 0.0), (2.0, 0.25), (0.5, 0.5), (1.0, 1.0), (3.0, 2.0),
+         (0.1, 5.0)],
+    )
+    def test_fit_reproduces_moments(self, mean, scv):
+        second = mean**2 * (1.0 + scv)
+        distribution = distribution_for_moments(mean, second)
+        assert distribution.mean == pytest.approx(mean, rel=1e-9)
+        if scv > 1.0 or scv in (0.0, 1.0):
+            # Hyperexponential / exponential / deterministic fits are
+            # exact in both moments.
+            assert distribution.second_moment == pytest.approx(
+                second, rel=1e-9
+            )
+        else:
+            # Erlang stage counts are integral: second moment is matched
+            # as closely as an integer k allows.
+            assert distribution.second_moment == pytest.approx(
+                second, rel=0.35
+            )
+
+    def test_family_selection(self):
+        assert isinstance(distribution_for_moments(1.0, 1.0), Deterministic)
+        assert isinstance(distribution_for_moments(1.0, 2.0), Exponential)
+        assert isinstance(distribution_for_moments(1.0, 1.5), Erlang)
+        assert isinstance(
+            distribution_for_moments(1.0, 4.0), HyperExponential
+        )
+
+    def test_invalid_moments_rejected(self):
+        with pytest.raises(ValidationError):
+            distribution_for_moments(0.0, 1.0)
+        with pytest.raises(ValidationError):
+            distribution_for_moments(2.0, 1.0)
+
+    def test_fitted_distribution_samples_match(self):
+        distribution = distribution_for_moments(2.0, 12.0)  # SCV 2
+        rng = random.Random(2024)
+        samples = [distribution.sample(rng) for _ in range(60_000)]
+        mean = sum(samples) / len(samples)
+        assert mean == pytest.approx(2.0, rel=0.05)

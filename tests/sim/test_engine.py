@@ -1,0 +1,126 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        simulator = Simulator()
+        order = []
+        simulator.schedule(3.0, order.append, "late")
+        simulator.schedule(1.0, order.append, "early")
+        simulator.schedule(2.0, order.append, "middle")
+        simulator.run()
+        assert order == ["early", "middle", "late"]
+
+    def test_fifo_among_simultaneous_events(self):
+        simulator = Simulator()
+        order = []
+        for tag in ("first", "second", "third"):
+            simulator.schedule(1.0, order.append, tag)
+        simulator.run()
+        assert order == ["first", "second", "third"]
+
+    def test_clock_advances_to_event_time(self):
+        simulator = Simulator()
+        seen = []
+        simulator.schedule(2.5, lambda: seen.append(simulator.now))
+        simulator.run()
+        assert seen == [2.5]
+
+    def test_schedule_at_absolute_time(self):
+        simulator = Simulator(start_time=10.0)
+        seen = []
+        simulator.schedule_at(12.0, lambda: seen.append(simulator.now))
+        simulator.run()
+        assert seen == [12.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValidationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_scheduling_into_past_rejected(self):
+        simulator = Simulator(start_time=5.0)
+        with pytest.raises(ValidationError):
+            simulator.schedule_at(4.0, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        simulator = Simulator()
+        seen = []
+
+        def chain(remaining):
+            seen.append(simulator.now)
+            if remaining:
+                simulator.schedule(1.0, chain, remaining - 1)
+
+        simulator.schedule(0.0, chain, 3)
+        simulator.run()
+        assert seen == [0.0, 1.0, 2.0, 3.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_not_executed(self):
+        simulator = Simulator()
+        fired = []
+        handle = simulator.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        simulator.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self):
+        simulator = Simulator()
+        handle = simulator.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        simulator.run()
+
+
+class TestRunUntil:
+    def test_later_events_stay_scheduled(self):
+        simulator = Simulator()
+        fired = []
+        simulator.schedule(1.0, fired.append, "early")
+        simulator.schedule(5.0, fired.append, "late")
+        simulator.run_until(2.0)
+        assert fired == ["early"]
+        assert simulator.now == 2.0
+        simulator.run()
+        assert fired == ["early", "late"]
+
+    def test_clock_ends_exactly_at_end_time(self):
+        simulator = Simulator()
+        simulator.run_until(7.0)
+        assert simulator.now == 7.0
+
+    def test_backwards_window_rejected(self):
+        simulator = Simulator(start_time=5.0)
+        with pytest.raises(ValidationError):
+            simulator.run_until(1.0)
+
+    def test_boundary_event_is_executed(self):
+        simulator = Simulator()
+        fired = []
+        simulator.schedule(2.0, fired.append, "edge")
+        simulator.run_until(2.0)
+        assert fired == ["edge"]
+
+
+class TestAccounting:
+    def test_executed_and_pending_counts(self):
+        simulator = Simulator()
+        simulator.schedule(1.0, lambda: None)
+        simulator.schedule(2.0, lambda: None)
+        assert simulator.pending_events == 2
+        simulator.run_until(1.5)
+        assert simulator.executed_events == 1
+
+    def test_run_with_event_cap(self):
+        simulator = Simulator()
+        for _ in range(10):
+            simulator.schedule(1.0, lambda: None)
+        simulator.run(max_events=4)
+        assert simulator.executed_events == 4

@@ -1,0 +1,102 @@
+"""Tests for the online statistics collectors."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.sim.statistics import RateCounter, RunningStats, TimeWeightedStats
+
+
+class TestRunningStats:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(5)
+        data = rng.uniform(0.0, 10.0, size=500)
+        stats = RunningStats()
+        for value in data:
+            stats.add(float(value))
+        assert stats.count == 500
+        assert stats.mean == pytest.approx(float(np.mean(data)))
+        assert stats.variance == pytest.approx(float(np.var(data, ddof=1)))
+        assert stats.second_moment == pytest.approx(float(np.mean(data**2)))
+        assert stats.minimum == pytest.approx(float(data.min()))
+        assert stats.maximum == pytest.approx(float(data.max()))
+
+    def test_empty_collector_defaults(self):
+        stats = RunningStats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+        assert math.isnan(stats.minimum)
+
+    def test_confidence_interval_contains_mean(self):
+        stats = RunningStats()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            stats.add(value)
+        low, high = stats.confidence_interval_95()
+        assert low < stats.mean < high
+
+    def test_ci_width_shrinks_with_samples(self):
+        rng = np.random.default_rng(8)
+        small, large = RunningStats(), RunningStats()
+        for value in rng.normal(10.0, 2.0, size=50):
+            small.add(float(value))
+        for value in rng.normal(10.0, 2.0, size=5000):
+            large.add(float(value))
+        small_width = np.diff(small.confidence_interval_95())[0]
+        large_width = np.diff(large.confidence_interval_95())[0]
+        assert large_width < small_width
+
+    def test_single_sample_degenerate_ci(self):
+        stats = RunningStats()
+        stats.add(5.0)
+        assert stats.confidence_interval_95() == (5.0, 5.0)
+
+
+class TestTimeWeightedStats:
+    def test_step_function_average(self):
+        stats = TimeWeightedStats(0.0, start_time=0.0)
+        stats.update(1.0, 2.0)   # value 0 on [0,2)
+        stats.update(3.0, 4.0)   # value 1 on [2,4)
+        stats.finalize(10.0)     # value 3 on [4,10)
+        # (0*2 + 1*2 + 3*6) / 10 = 2.0
+        assert stats.time_average() == pytest.approx(2.0)
+
+    def test_average_with_explicit_end(self):
+        stats = TimeWeightedStats(2.0, start_time=0.0)
+        assert stats.time_average(until=5.0) == pytest.approx(2.0)
+
+    def test_zero_window_returns_current_value(self):
+        stats = TimeWeightedStats(7.0, start_time=3.0)
+        assert stats.time_average(until=3.0) == 7.0
+
+    def test_backwards_update_rejected(self):
+        stats = TimeWeightedStats(0.0, start_time=5.0)
+        with pytest.raises(ValidationError):
+            stats.update(1.0, 4.0)
+
+    def test_backwards_window_rejected(self):
+        stats = TimeWeightedStats(0.0, start_time=0.0)
+        stats.update(1.0, 5.0)
+        with pytest.raises(ValidationError):
+            stats.time_average(until=4.0)
+
+    def test_utilization_style_usage(self):
+        busy = TimeWeightedStats(0.0, start_time=0.0)
+        busy.update(1.0, 1.0)   # becomes busy at t=1
+        busy.update(0.0, 3.0)   # idle at t=3
+        assert busy.time_average(until=4.0) == pytest.approx(0.5)
+
+
+class TestRateCounter:
+    def test_rate(self):
+        counter = RateCounter(start_time=10.0)
+        for _ in range(5):
+            counter.record()
+        assert counter.rate(now=20.0) == pytest.approx(0.5)
+
+    def test_zero_window(self):
+        counter = RateCounter()
+        counter.record()
+        assert counter.rate(now=0.0) == 0.0

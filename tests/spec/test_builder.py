@@ -1,0 +1,124 @@
+"""Tests for the fluent state-chart builder."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.spec.builder import StateChartBuilder
+from repro.spec.events import SetCondition, Var
+
+
+class TestBuilder:
+    def test_linear_chart(self):
+        chart = (
+            StateChartBuilder("w")
+            .activity_state("a")
+            .activity_state("b")
+            .initial("a")
+            .transition("a", "b", event="a_DONE")
+            .build()
+        )
+        assert chart.state_names == ("a", "b")
+        assert chart.initial_state == "a"
+        assert chart.state("a").activity == "a"
+
+    def test_activity_defaults_to_state_name(self):
+        chart = (
+            StateChartBuilder("w")
+            .activity_state("Check", activity="CheckStock")
+            .build()
+        )
+        assert chart.state("Check").activity == "CheckStock"
+
+    def test_routing_state(self):
+        chart = (
+            StateChartBuilder("w")
+            .routing_state("exit", mean_duration=0.5)
+            .build()
+        )
+        assert chart.state("exit").activity is None
+        assert chart.state("exit").mean_duration == 0.5
+
+    def test_nested_state(self):
+        inner = (
+            StateChartBuilder("inner").activity_state("x").build()
+        )
+        chart = (
+            StateChartBuilder("w")
+            .nested_state("host", inner)
+            .routing_state("end", mean_duration=0.1)
+            .initial("host")
+            .transition("host", "end")
+            .build()
+        )
+        assert chart.state("host").is_composite
+
+    def test_nested_state_needs_regions(self):
+        with pytest.raises(ValidationError):
+            StateChartBuilder("w").nested_state("host")
+
+    def test_initial_defaults_to_first_state(self):
+        chart = (
+            StateChartBuilder("w")
+            .activity_state("first")
+            .activity_state("second")
+            .transition("first", "second")
+            .build()
+        )
+        assert chart.initial_state == "first"
+
+    def test_duplicate_states_rejected(self):
+        builder = StateChartBuilder("w").activity_state("a")
+        with pytest.raises(ValidationError):
+            builder.activity_state("a")
+
+    def test_build_runs_validation(self):
+        builder = (
+            StateChartBuilder("w")
+            .activity_state("a")
+            .activity_state("b")
+            .initial("a")
+            .transition("a", "b")
+            .transition("b", "a")  # no final state
+        )
+        with pytest.raises(ValidationError):
+            builder.build()
+
+    def test_validation_can_be_disabled(self):
+        builder = (
+            StateChartBuilder("w")
+            .activity_state("a")
+            .activity_state("b")
+            .initial("a")
+            .transition("a", "b")
+            .transition("b", "a")
+        )
+        chart = builder.build(validate=False)
+        assert chart.final_states == ()
+
+    def test_transition_carries_guard_and_actions(self):
+        chart = (
+            StateChartBuilder("w")
+            .activity_state("a")
+            .activity_state("b")
+            .initial("a")
+            .transition(
+                "a", "b",
+                event="a_DONE",
+                guard=Var("ok"),
+                actions=(SetCondition("flag", True),),
+                probability=1.0,
+            )
+            .build()
+        )
+        transition = chart.outgoing("a")[0]
+        assert transition.rule.event == "a_DONE"
+        assert transition.rule.guard.variables() == {"ok"}
+        assert transition.probability == 1.0
+
+    def test_empty_builder_rejected(self):
+        with pytest.raises(ValidationError):
+            StateChartBuilder("w").build()
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            StateChartBuilder("")

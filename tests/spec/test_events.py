@@ -1,0 +1,110 @@
+"""Tests for ECA rules, guards, and actions."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.spec.events import (
+    And,
+    ECARule,
+    Not,
+    Or,
+    RaiseEvent,
+    SetCondition,
+    StartActivity,
+    TrueGuard,
+    Var,
+    completion_event,
+)
+
+
+class TestGuards:
+    def test_true_guard(self):
+        assert TrueGuard().evaluate({})
+        assert TrueGuard().variables() == frozenset()
+
+    def test_variable_lookup_defaults_to_false(self):
+        guard = Var("PayByCreditCard")
+        assert not guard.evaluate({})
+        assert guard.evaluate({"PayByCreditCard": True})
+        assert guard.variables() == {"PayByCreditCard"}
+
+    def test_negation(self):
+        guard = Not(Var("x"))
+        assert guard.evaluate({})
+        assert not guard.evaluate({"x": True})
+
+    def test_conjunction_and_disjunction(self):
+        both = And(Var("a"), Var("b"))
+        either = Or(Var("a"), Var("b"))
+        env = {"a": True, "b": False}
+        assert not both.evaluate(env)
+        assert either.evaluate(env)
+        assert both.variables() == {"a", "b"}
+
+    def test_nested_expression(self):
+        guard = And(Var("a"), Or(Not(Var("b")), Var("c")))
+        assert guard.evaluate({"a": True})
+        assert not guard.evaluate({"a": True, "b": True})
+        assert guard.evaluate({"a": True, "b": True, "c": True})
+
+    def test_empty_connectives_rejected(self):
+        with pytest.raises(ValidationError):
+            And()
+        with pytest.raises(ValidationError):
+            Or()
+
+    def test_empty_variable_name_rejected(self):
+        with pytest.raises(ValidationError):
+            Var("")
+
+    def test_string_rendering(self):
+        assert str(Var("x")) == "x"
+        assert "!" in str(Not(Var("x")))
+
+
+class TestActions:
+    def test_start_activity_rendering(self):
+        assert str(StartActivity("NewOrder")) == "st!(NewOrder)"
+
+    def test_set_condition_rendering(self):
+        assert str(SetCondition("C", True)) == "tr!(C)"
+        assert str(SetCondition("C", False)) == "fs!(C)"
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(ValidationError):
+            StartActivity("")
+        with pytest.raises(ValidationError):
+            SetCondition("", True)
+        with pytest.raises(ValidationError):
+            RaiseEvent("")
+
+
+class TestECARule:
+    def test_event_must_match(self):
+        rule = ECARule(event="X_DONE")
+        assert rule.is_enabled("X_DONE", {})
+        assert not rule.is_enabled("Y_DONE", {})
+        assert not rule.is_enabled(None, {})
+
+    def test_eventless_rule_fires_on_guard(self):
+        rule = ECARule(guard=Var("go"))
+        assert rule.is_enabled(None, {"go": True})
+        assert rule.is_enabled("anything", {"go": True})
+        assert not rule.is_enabled(None, {})
+
+    def test_empty_rule_always_enabled(self):
+        assert ECARule().is_enabled(None, {})
+
+    def test_empty_event_name_rejected(self):
+        with pytest.raises(ValidationError):
+            ECARule(event="")
+
+    def test_rendering(self):
+        rule = ECARule(
+            event="E", guard=Var("C"), actions=(StartActivity("a"),)
+        )
+        assert str(rule) == "E[C]/st!(a)"
+
+
+def test_completion_event_convention():
+    assert completion_event("NewOrder") == "NewOrder_DONE"

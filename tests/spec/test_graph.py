@@ -1,0 +1,149 @@
+"""Tests for the networkx-based chart analyses."""
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.spec.builder import StateChartBuilder
+from repro.spec.graph import (
+    activity_dependencies,
+    chart_to_graph,
+    control_flow_cycles,
+    critical_path,
+    mandatory_states,
+)
+from repro.workflows import (
+    ecommerce_activities,
+    ecommerce_chart,
+    insurance_chart,
+)
+from repro.workflows.ecommerce import (
+    DURATION_CREDIT_CARD_CHECK,
+    DURATION_EXIT,
+    DURATION_INVOICE_PAYMENT,
+    DURATION_NEW_ORDER,
+    DURATION_SEND_REMINDER,
+)
+
+
+def diamond_chart():
+    return (
+        StateChartBuilder("diamond")
+        .routing_state("start", mean_duration=1.0)
+        .routing_state("fast", mean_duration=2.0)
+        .routing_state("slow", mean_duration=10.0)
+        .routing_state("end", mean_duration=0.5)
+        .initial("start")
+        .transition("start", "fast", probability=0.5)
+        .transition("start", "slow", probability=0.5)
+        .transition("fast", "end")
+        .transition("slow", "end")
+        .build()
+    )
+
+
+class TestChartToGraph:
+    def test_nodes_and_edges(self):
+        graph = chart_to_graph(diamond_chart())
+        assert set(graph.nodes) == {"start", "fast", "slow", "end"}
+        assert graph.number_of_edges() == 4
+        assert graph.edges["start", "fast"]["probability"] == 0.5
+
+    def test_state_attribute_attached(self):
+        graph = chart_to_graph(diamond_chart())
+        assert graph.nodes["slow"]["state"].mean_duration == 10.0
+
+    def test_is_a_digraph(self):
+        assert isinstance(chart_to_graph(diamond_chart()), nx.DiGraph)
+
+
+class TestCycles:
+    def test_acyclic_chart_has_no_cycles(self):
+        assert control_flow_cycles(diamond_chart()) == []
+
+    def test_ep_reminder_loop_found(self):
+        cycles = control_flow_cycles(ecommerce_chart())
+        flattened = [set(cycle) for cycle in cycles]
+        assert {"InvoicePayment", "SendReminder"} in flattened
+
+    def test_insurance_documents_loop_found(self):
+        cycles = control_flow_cycles(insurance_chart())
+        flattened = [set(cycle) for cycle in cycles]
+        assert {"CheckCoverage", "RequestDocuments"} in flattened
+
+
+class TestCriticalPath:
+    def test_diamond_takes_slow_branch(self):
+        path, duration = critical_path(diamond_chart())
+        assert path == ["start", "slow", "end"]
+        assert duration == pytest.approx(11.5)
+
+    def test_ep_critical_path(self):
+        path, duration = critical_path(
+            ecommerce_chart(), ecommerce_activities()
+        )
+        # The dominant chain goes through the credit-card check, the
+        # shipment (delivery subworkflow with reorder), and the invoice
+        # payment with one reminder round.
+        assert path[0] == "NewOrder"
+        assert path[-1] == "EP_EXIT_S"
+        assert "Shipment_S" in path
+        expected_minimum = (
+            DURATION_NEW_ORDER
+            + DURATION_CREDIT_CARD_CHECK
+            + DURATION_INVOICE_PAYMENT
+            + DURATION_SEND_REMINDER
+            + DURATION_EXIT
+        )
+        assert duration > expected_minimum
+
+    def test_composite_uses_max_of_regions(self):
+        inner_fast = (
+            StateChartBuilder("r1")
+            .routing_state("a", mean_duration=1.0)
+            .build()
+        )
+        inner_slow = (
+            StateChartBuilder("r2")
+            .routing_state("b", mean_duration=20.0)
+            .build()
+        )
+        chart = (
+            StateChartBuilder("outer")
+            .nested_state("par", inner_fast, inner_slow)
+            .routing_state("end", mean_duration=1.0)
+            .initial("par")
+            .transition("par", "end")
+            .build()
+        )
+        _, duration = critical_path(chart)
+        assert duration == pytest.approx(21.0)
+
+
+class TestMandatoryStates:
+    def test_diamond_dominators(self):
+        assert mandatory_states(diamond_chart()) == ["start", "end"]
+
+    def test_ep_mandatory_states(self):
+        mandatory = mandatory_states(ecommerce_chart())
+        assert mandatory[0] == "NewOrder"
+        assert mandatory[-1] == "EP_EXIT_S"
+        # The branch states are not mandatory.
+        assert "CreditCardCheck" not in mandatory
+        assert "Shipment_S" not in mandatory
+
+
+class TestActivityDependencies:
+    def test_resolves_all_activities(self):
+        dependencies = activity_dependencies(
+            ecommerce_chart(), ecommerce_activities()
+        )
+        assert "NewOrder" in dependencies
+        assert "CheckStock" in dependencies  # from the nested region
+        assert dependencies["NewOrder"].mean_duration == DURATION_NEW_ORDER
+
+    def test_missing_activity_raises(self):
+        from repro.spec.translator import ActivityRegistry
+
+        with pytest.raises(ValidationError):
+            activity_dependencies(ecommerce_chart(), ActivityRegistry({}))

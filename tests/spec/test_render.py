@@ -1,0 +1,95 @@
+"""Tests for DOT rendering of charts and workflow CTMCs."""
+
+import pytest
+
+from repro.core.workflow_model import build_workflow_ctmc
+from repro.spec.builder import StateChartBuilder
+from repro.spec.render import to_dot, workflow_ctmc_to_dot
+from repro.workflows import (
+    ecommerce_chart,
+    ecommerce_workflow,
+    standard_server_types,
+)
+
+
+def simple_chart():
+    return (
+        StateChartBuilder("simple")
+        .activity_state("work")
+        .routing_state("end", mean_duration=0.5)
+        .initial("work")
+        .transition("work", "end", event="work_DONE", probability=1.0)
+        .build()
+    )
+
+
+class TestChartDot:
+    def test_header_and_balanced_braces(self):
+        dot = to_dot(simple_chart())
+        assert dot.startswith('digraph "simple" {')
+        assert dot.count("{") == dot.count("}")
+
+    def test_states_and_transitions_present(self):
+        dot = to_dot(simple_chart())
+        assert '"work"' in dot
+        assert '"end"' in dot
+        assert '"work" -> "end"' in dot
+        assert "st!(work)" in dot
+
+    def test_final_state_is_double_circle(self):
+        dot = to_dot(simple_chart())
+        assert "doublecircle" in dot
+
+    def test_initial_marker_rendered(self):
+        dot = to_dot(simple_chart())
+        assert "__init" in dot
+        assert "shape=point" in dot
+
+    def test_probability_labels(self):
+        dot = to_dot(ecommerce_chart())
+        assert "p=0.6" in dot
+
+    def test_nested_regions_become_clusters(self):
+        dot = to_dot(ecommerce_chart())
+        assert 'subgraph "cluster_Shipment_S"' in dot
+        assert "Notify_SC" in dot
+        assert "Delivery_SC" in dot
+        assert "CheckStock" in dot
+
+    def test_quotes_escaped(self):
+        chart = (
+            StateChartBuilder('odd"name')
+            .routing_state("s", mean_duration=1.0)
+            .build()
+        )
+        dot = to_dot(chart)
+        assert '\\"' in dot
+
+
+class TestCTMCDot:
+    @pytest.fixture
+    def model(self):
+        return build_workflow_ctmc(
+            ecommerce_workflow(), standard_server_types()
+        )
+
+    def test_structure(self, model):
+        dot = workflow_ctmc_to_dot(model)
+        assert dot.startswith('digraph "EP_CTMC" {')
+        assert dot.count("{") == dot.count("}")
+        assert "s_A" in dot
+        assert '"NewOrder"' in dot
+
+    def test_residence_times_in_labels(self, model):
+        dot = workflow_ctmc_to_dot(model)
+        assert "H=10" in dot  # NewOrder residence
+
+    def test_jump_probabilities_on_edges(self, model):
+        dot = workflow_ctmc_to_dot(model)
+        assert '"NewOrder" -> "CreditCardCheck" [label="0.6"]' in dot
+        # Final state feeds the absorbing state with probability 1.
+        assert '"EP_EXIT_S" -> "__ABSORBED__" [label="1"]' in dot
+
+    def test_absorbing_state_has_no_outgoing_business_edges(self, model):
+        dot = workflow_ctmc_to_dot(model)
+        assert '"__ABSORBED__" ->' not in dot

@@ -1,0 +1,177 @@
+"""Tests for the state-chart -> model translation (Section 3.2)."""
+
+import pytest
+
+from repro.core.model_types import ActivitySpec
+from repro.exceptions import ValidationError
+from repro.spec.builder import StateChartBuilder
+from repro.spec.translator import (
+    DEFAULT_ROUTING_DURATION,
+    ActivityRegistry,
+    translate_chart,
+)
+
+
+@pytest.fixture
+def registry():
+    return ActivityRegistry(
+        {
+            "A": ActivitySpec("A", 2.0, loads={"srv": 1.0}),
+            "B": ActivitySpec("B", 3.0, loads={"srv": 2.0}),
+        }
+    )
+
+
+class TestActivityRegistry:
+    def test_lookup(self, registry):
+        assert registry.get("A").mean_duration == 2.0
+        assert "A" in registry
+        assert "Z" not in registry
+
+    def test_unknown_activity_rejected(self, registry):
+        with pytest.raises(ValidationError, match="unknown activity"):
+            registry.get("Z")
+
+    def test_key_name_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            ActivityRegistry({"X": ActivitySpec("Y", 1.0)})
+
+
+class TestTranslateChart:
+    def test_linear_chart(self, registry):
+        chart = (
+            StateChartBuilder("w")
+            .activity_state("A")
+            .activity_state("B")
+            .initial("A")
+            .transition("A", "B", event="A_DONE")
+            .build()
+        )
+        definition = translate_chart(chart, registry)
+        assert definition.state_names == ("A", "B")
+        assert definition.transitions == {("A", "B"): 1.0}
+        assert definition.state("A").activity.name == "A"
+
+    def test_branching_probabilities_collected(self, registry):
+        chart = (
+            StateChartBuilder("w")
+            .activity_state("A")
+            .activity_state("B")
+            .routing_state("exit", mean_duration=0.1)
+            .initial("A")
+            .transition("A", "B", probability=0.7)
+            .transition("A", "exit", probability=0.3)
+            .transition("B", "exit")
+            .build()
+        )
+        definition = translate_chart(chart, registry)
+        assert definition.transitions[("A", "B")] == pytest.approx(0.7)
+        assert definition.transitions[("A", "exit")] == pytest.approx(0.3)
+
+    def test_parallel_edges_merged(self, registry):
+        # Two ECA rules for different business cases between the same
+        # state pair collapse into one CTMC transition.
+        chart = (
+            StateChartBuilder("w")
+            .activity_state("A")
+            .routing_state("exit", mean_duration=0.1)
+            .initial("A")
+            .transition("A", "exit", event="A_DONE", probability=0.6)
+            .transition("A", "exit", event="Abort", probability=0.4)
+            .build()
+        )
+        definition = translate_chart(chart, registry)
+        assert definition.transitions[("A", "exit")] == pytest.approx(1.0)
+
+    def test_missing_probability_annotation_rejected(self, registry):
+        chart = (
+            StateChartBuilder("w")
+            .activity_state("A")
+            .activity_state("B")
+            .routing_state("exit", mean_duration=0.1)
+            .initial("A")
+            .transition("A", "B")
+            .transition("A", "exit")
+            .transition("B", "exit")
+            .build()
+        )
+        with pytest.raises(ValidationError, match="probability annotations"):
+            translate_chart(chart, registry)
+
+    def test_routing_state_gets_default_duration(self, registry):
+        # A routing state declared without an explicit duration falls
+        # back to the translator's default.
+        from repro.spec.statechart import ChartState, ChartTransition, StateChart
+        chart = StateChart(
+            name="w",
+            states=(
+                ChartState("A", activity="A"),
+                ChartState("exit"),  # no duration specified
+            ),
+            transitions=(ChartTransition("A", "exit"),),
+            initial_state="A",
+        )
+        definition = translate_chart(chart, registry)
+        assert definition.state("exit").mean_duration == pytest.approx(
+            DEFAULT_ROUTING_DURATION
+        )
+
+    def test_composite_state_becomes_subworkflow(self, registry):
+        inner = (
+            StateChartBuilder("inner")
+            .activity_state("B")
+            .build()
+        )
+        chart = (
+            StateChartBuilder("w")
+            .activity_state("A")
+            .nested_state("host", inner)
+            .initial("A")
+            .transition("A", "host", event="A_DONE")
+            .build()
+        )
+        definition = translate_chart(chart, registry)
+        host = definition.state("host")
+        assert host.is_subworkflow_state
+        assert host.subworkflows[0].name == "inner"
+        assert host.subworkflows[0].state("B").activity.name == "B"
+
+    def test_orthogonal_regions_stay_parallel(self, registry):
+        region1 = StateChartBuilder("r1").activity_state("A").build()
+        region2 = StateChartBuilder("r2").activity_state("B").build()
+        chart = (
+            StateChartBuilder("w")
+            .nested_state("par", region1, region2)
+            .build()
+        )
+        definition = translate_chart(chart, registry)
+        assert len(definition.state("par").subworkflows) == 2
+
+    def test_invalid_chart_rejected(self, registry):
+        from repro.spec.statechart import ChartState, ChartTransition, StateChart
+        looping = StateChart(
+            name="w",
+            states=(
+                ChartState("A", activity="A"),
+                ChartState("B", activity="B"),
+            ),
+            transitions=(
+                ChartTransition("A", "B"),
+                ChartTransition("B", "A"),
+            ),
+            initial_state="A",
+        )
+        with pytest.raises(ValidationError):
+            translate_chart(looping, registry)
+
+    def test_unregistered_activity_rejected(self, registry):
+        chart = (
+            StateChartBuilder("w").activity_state("Unknown").build()
+        )
+        with pytest.raises(ValidationError, match="unknown activity"):
+            translate_chart(chart, registry)
+
+    def test_bad_default_duration_rejected(self, registry):
+        chart = StateChartBuilder("w").activity_state("A").build()
+        with pytest.raises(ValidationError):
+            translate_chart(chart, registry, default_routing_duration=0.0)

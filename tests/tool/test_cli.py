@@ -1,0 +1,197 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def project_path(tmp_path):
+    path = tmp_path / "demo.json"
+    assert main(["init-demo", str(path)]) == 0
+    return path
+
+
+class TestParser:
+    def test_build_parser_lists_all_commands(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        help_text = parser.format_help()
+        for command in (
+            "init-demo", "assess", "availability", "throughput",
+            "breakdown", "sensitivity", "quantile", "recommend",
+        ):
+            assert command in help_text
+
+
+class TestInitDemo:
+    def test_writes_loadable_project(self, tmp_path, capsys):
+        from repro.io import load_project
+
+        path = tmp_path / "fresh.json"
+        assert main(["init-demo", str(path)]) == 0
+        assert "wrote demo project" in capsys.readouterr().out
+        project = load_project(path)
+        assert {w.name for w in project.workflows} == {
+            "EP", "OrderProcessing",
+        }
+
+
+class TestAssess:
+    def test_full_assessment(self, project_path, capsys):
+        status = main(
+            [
+                "assess",
+                "--project", str(project_path),
+                "--config", "comm-server=1,wf-engine=2,app-server=3",
+            ]
+        )
+        assert status == 0
+        output = capsys.readouterr().out
+        assert "Performance assessment" in output
+        assert "Performability assessment" in output
+        assert "unavailability" in output
+
+    def test_bad_config_syntax(self, project_path, capsys):
+        status = main(
+            ["assess", "--project", str(project_path), "--config", "x"]
+        )
+        assert status == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_project_file(self, tmp_path, capsys):
+        status = main(
+            [
+                "assess",
+                "--project", str(tmp_path / "none.json"),
+                "--config", "a=1",
+            ]
+        )
+        assert status == 2
+        assert "not found" in capsys.readouterr().err
+
+
+class TestAvailability:
+    def test_reports_downtime(self, project_path, capsys):
+        status = main(
+            [
+                "availability",
+                "--project", str(project_path),
+                "--config", "comm-server=2,wf-engine=2,app-server=3",
+            ]
+        )
+        assert status == 0
+        output = capsys.readouterr().out
+        assert "downtime/year" in output
+        assert "per-type unavailability" in output
+
+
+class TestThroughput:
+    def test_reports_bottleneck(self, project_path, capsys):
+        status = main(
+            [
+                "throughput",
+                "--project", str(project_path),
+                "--config", "comm-server=1,wf-engine=2,app-server=3",
+            ]
+        )
+        assert status == 0
+        output = capsys.readouterr().out
+        assert "bottleneck: app-server" in output
+
+
+class TestBreakdown:
+    def test_shares_printed(self, project_path, capsys):
+        status = main(["breakdown", "--project", str(project_path)])
+        assert status == 0
+        output = capsys.readouterr().out
+        assert "Load breakdown" in output
+        assert "EP" in output and "OrderProcessing" in output
+        assert "%" in output
+
+
+class TestSensitivity:
+    def test_ranking_printed(self, project_path, capsys):
+        status = main(
+            [
+                "sensitivity",
+                "--project", str(project_path),
+                "--config", "comm-server=1,wf-engine=1,app-server=1",
+            ]
+        )
+        assert status == 0
+        output = capsys.readouterr().out
+        assert "unavailability reduction" in output
+        # The least reliable type (app-server) comes first.
+        lines = [l for l in output.splitlines() if l.strip().startswith("+1")]
+        assert "app-server" in lines[0]
+
+
+class TestQuantile:
+    def test_default_quantiles(self, project_path, capsys):
+        status = main(["quantile", "--project", str(project_path)])
+        assert status == 0
+        output = capsys.readouterr().out
+        assert "P50=" in output and "P95=" in output
+        assert "EP" in output
+
+    def test_custom_quantile(self, project_path, capsys):
+        status = main(
+            [
+                "quantile", "--project", str(project_path),
+                "-p", "0.99",
+            ]
+        )
+        assert status == 0
+        assert "P99=" in capsys.readouterr().out
+
+    def test_invalid_probability(self, project_path, capsys):
+        status = main(
+            [
+                "quantile", "--project", str(project_path),
+                "-p", "1.5",
+            ]
+        )
+        assert status == 2
+        assert "must lie in" in capsys.readouterr().err
+
+
+class TestRecommend:
+    @pytest.mark.parametrize(
+        "algorithm", ["greedy", "branch_and_bound", "exhaustive"]
+    )
+    def test_algorithms_agree_on_cost(self, project_path, capsys, algorithm):
+        status = main(
+            [
+                "recommend",
+                "--project", str(project_path),
+                "--max-waiting", "0.15",
+                "--max-unavailability", "1e-5",
+                "--algorithm", algorithm,
+                "--max-total-servers", "12",
+            ]
+        )
+        assert status == 0
+        output = capsys.readouterr().out
+        assert "cost: 7" in output
+        assert "goals satisfied: True" in output
+
+    def test_fix_option(self, project_path, capsys):
+        status = main(
+            [
+                "recommend",
+                "--project", str(project_path),
+                "--max-unavailability", "1e-5",
+                "--fix", "comm-server=3",
+            ]
+        )
+        assert status == 0
+        assert "comm-server=3" in capsys.readouterr().out
+
+    def test_no_goals_is_a_usage_error(self, project_path, capsys):
+        status = main(
+            ["recommend", "--project", str(project_path)]
+        )
+        assert status == 2
+        assert "at least one goal" in capsys.readouterr().err

@@ -1,0 +1,152 @@
+"""Tests for the Section 7 configuration tool façade."""
+
+import pytest
+
+from repro.core.configuration import ReplicationConstraints
+from repro.core.goals import PerformabilityGoals
+from repro.core.model_types import ActivitySpec, ServerTypeIndex, ServerTypeSpec
+from repro.core.performance import SystemConfiguration
+from repro.exceptions import ValidationError
+from repro.monitor.audit import AuditTrail, InstanceRecord, ServiceRequestRecord
+from repro.spec.builder import StateChartBuilder
+from repro.spec.translator import ActivityRegistry
+from repro.tool import ConfigurationTool, WorkflowRepository
+
+
+@pytest.fixture
+def tool():
+    types = ServerTypeIndex(
+        [
+            ServerTypeSpec(
+                "engine", 0.05, failure_rate=1 / 10080, repair_rate=0.1
+            ),
+            ServerTypeSpec(
+                "app", 0.2, failure_rate=1 / 1440, repair_rate=0.1
+            ),
+        ]
+    )
+    activities = ActivityRegistry(
+        {
+            "work": ActivitySpec(
+                "work", 5.0, loads={"engine": 3.0, "app": 2.0}
+            )
+        }
+    )
+    chart = (
+        StateChartBuilder("wf")
+        .activity_state("work")
+        .routing_state("end", mean_duration=0.1)
+        .initial("work")
+        .transition("work", "end", event="work_DONE")
+        .build()
+    )
+    repository = WorkflowRepository()
+    repository.register(chart, activities)
+    return ConfigurationTool(types, repository)
+
+
+RATES = {"wf": 0.6}
+
+
+class TestMapping:
+    def test_map_workload(self, tool):
+        workload = tool.map_workload(RATES)
+        assert workload.workflow_names == ("wf",)
+        assert workload.total_arrival_rate == pytest.approx(0.6)
+
+    def test_empty_rates_rejected(self, tool):
+        with pytest.raises(ValidationError):
+            tool.map_workload({})
+
+    def test_unregistered_workflow_rejected(self, tool):
+        with pytest.raises(ValidationError):
+            tool.map_workload({"other": 1.0})
+
+    def test_performance_model_turnaround(self, tool):
+        model = tool.performance_model(RATES)
+        assert model.turnaround_time("wf") == pytest.approx(5.1)
+
+
+class TestEvaluation:
+    def test_evaluate_produces_full_report(self, tool):
+        report = tool.evaluate(
+            SystemConfiguration({"engine": 1, "app": 2}), RATES
+        )
+        assert report.is_stable
+        assert report.unavailability > 0.0
+        assert report.downtime_hours_per_year > 0.0
+        assert set(report.per_type_unavailability) == {"engine", "app"}
+        assert report.performability.degradation_factor("app") >= 1.0
+        text = report.format_text()
+        assert "Availability" in text and "Performability" in text
+
+
+class TestRecommendation:
+    GOALS = PerformabilityGoals(
+        max_waiting_time=0.3, max_unavailability=1e-5
+    )
+
+    def test_greedy_recommendation(self, tool):
+        recommendation = tool.recommend(self.GOALS, RATES)
+        assert recommendation.assessment.satisfied
+        assert recommendation.algorithm == "greedy"
+
+    def test_exhaustive_matches_or_beats_greedy(self, tool):
+        greedy = tool.recommend(self.GOALS, RATES)
+        exhaustive = tool.recommend(
+            self.GOALS, RATES,
+            constraints=ReplicationConstraints(
+                maximum={"engine": 4, "app": 5}, max_total_servers=9
+            ),
+            algorithm="exhaustive",
+        )
+        assert exhaustive.cost <= greedy.cost
+
+    def test_simulated_annealing(self, tool):
+        recommendation = tool.recommend(
+            self.GOALS, RATES, algorithm="simulated_annealing"
+        )
+        assert recommendation.assessment.satisfied
+
+    def test_unknown_algorithm_rejected(self, tool):
+        with pytest.raises(ValidationError):
+            tool.recommend(self.GOALS, RATES, algorithm="magic")
+
+
+class TestCalibration:
+    def _trail(self):
+        trail = AuditTrail()
+        for start in (0.0, 10.0, 20.0):
+            trail.record_service_request(
+                ServiceRequestRecord(
+                    "engine", "engine#0", start, start + 0.01,
+                    start + 0.01 + 0.08,
+                )
+            )
+            trail.record_instance(
+                InstanceRecord(int(start), "wf", start, start + 6.0)
+            )
+        return trail
+
+    def test_calibration_report(self, tool):
+        report = tool.calibrate(self._trail(), observation_period=30.0)
+        mean, second = report.server_updates["engine"]
+        assert mean == pytest.approx(0.08)
+        assert report.arrival_rates["wf"] == pytest.approx(0.1)
+        assert report.turnaround_times["wf"] == pytest.approx(6.0)
+        assert "Calibration" in report.format_text()
+
+    def test_with_calibrated_servers(self, tool):
+        report = tool.calibrate(self._trail(), observation_period=30.0)
+        updated = tool.with_calibrated_servers(report)
+        assert updated.server_types.spec(
+            "engine"
+        ).mean_service_time == pytest.approx(0.08)
+        # Uncalibrated type untouched.
+        assert updated.server_types.spec(
+            "app"
+        ).mean_service_time == pytest.approx(0.2)
+        # Failure rates survive the calibration.
+        assert updated.server_types.spec("engine").failure_rate == (
+            tool.server_types.spec("engine").failure_rate
+        )

@@ -1,0 +1,190 @@
+"""Tests for dynamic reconfiguration (Section 7.1 'ultimate step')."""
+
+import pytest
+
+from repro.core.goals import PerformabilityGoals
+from repro.core.model_types import ActivitySpec, ServerTypeIndex, ServerTypeSpec
+from repro.core.performance import SystemConfiguration
+from repro.exceptions import ValidationError
+from repro.monitor.audit import (
+    AuditTrail,
+    InstanceRecord,
+    ServiceRequestRecord,
+)
+from repro.spec.builder import StateChartBuilder
+from repro.spec.translator import ActivityRegistry
+from repro.tool import (
+    ConfigurationTool,
+    ReconfigurationAdvisor,
+    WorkflowRepository,
+    detect_drift,
+)
+
+
+@pytest.fixture
+def tool():
+    types = ServerTypeIndex(
+        [
+            ServerTypeSpec(
+                "engine", 0.05, failure_rate=1 / 10080, repair_rate=0.1
+            ),
+            ServerTypeSpec(
+                "app", 0.2, failure_rate=1 / 1440, repair_rate=0.1
+            ),
+        ]
+    )
+    activities = ActivityRegistry(
+        {
+            "work": ActivitySpec(
+                "work", 5.0, loads={"engine": 3.0, "app": 2.0}
+            )
+        }
+    )
+    chart = (
+        StateChartBuilder("wf")
+        .activity_state("work")
+        .routing_state("end", mean_duration=0.1)
+        .initial("work")
+        .transition("work", "end", event="work_DONE")
+        .build()
+    )
+    repository = WorkflowRepository()
+    repository.register(chart, activities)
+    return ConfigurationTool(types, repository)
+
+
+GOALS = PerformabilityGoals(max_waiting_time=0.3, max_unavailability=1e-4)
+
+
+def synthetic_trail(
+    arrival_rate: float,
+    period: float,
+    engine_service: float = 0.05,
+    app_service: float = 0.2,
+) -> AuditTrail:
+    """A trail consistent with the given rates and *mean* service times.
+
+    Service durations are sampled exponentially so that the observed
+    squared coefficient of variation matches the specs' default of 1
+    (a deterministic trail would itself constitute SCV drift).
+    """
+    import random
+
+    rng = random.Random(0)
+    trail = AuditTrail()
+    count = int(arrival_rate * period)
+    for i in range(count):
+        start = i * period / max(count, 1)
+        trail.record_instance(
+            InstanceRecord(i, "wf", start, start + 5.1)
+        )
+        for server_type, service in (
+            ("engine", engine_service), ("app", app_service)
+        ):
+            duration = rng.expovariate(1.0 / service)
+            trail.record_service_request(
+                ServiceRequestRecord(
+                    server_type, f"{server_type}#0",
+                    start, start, start + duration,
+                )
+            )
+    return trail
+
+
+class TestDriftDetection:
+    def test_no_drift_for_matching_parameters(self, tool):
+        trail = synthetic_trail(0.6, 1000.0)
+        calibration = tool.calibrate(trail, 1000.0)
+        report = detect_drift(tool, {"wf": 0.6}, calibration)
+        assert not report.has_drift
+        assert "No parameter drift" in report.format_text()
+
+    def test_arrival_rate_drift_detected(self, tool):
+        trail = synthetic_trail(1.2, 1000.0)  # doubled load
+        calibration = tool.calibrate(trail, 1000.0)
+        report = detect_drift(tool, {"wf": 0.6}, calibration)
+        kinds = {(d.kind, d.subject) for d in report.drifts}
+        assert ("arrival_rate", "wf") in kinds
+        drift = next(d for d in report.drifts if d.kind == "arrival_rate")
+        assert drift.relative_change == pytest.approx(1.0, abs=0.05)
+
+    def test_service_time_drift_detected(self, tool):
+        trail = synthetic_trail(0.6, 1000.0, app_service=0.4)
+        calibration = tool.calibrate(trail, 1000.0)
+        report = detect_drift(tool, {"wf": 0.6}, calibration)
+        kinds = {(d.kind, d.subject) for d in report.drifts}
+        assert ("service_time", "app") in kinds
+
+    def test_threshold_respected(self, tool):
+        trail = synthetic_trail(0.66, 1000.0)  # +10%, below 15% default
+        calibration = tool.calibrate(trail, 1000.0)
+        report = detect_drift(tool, {"wf": 0.6}, calibration)
+        assert not any(d.kind == "arrival_rate" for d in report.drifts)
+        tight = detect_drift(
+            tool, {"wf": 0.6}, calibration, threshold=0.05
+        )
+        assert any(d.kind == "arrival_rate" for d in tight.drifts)
+
+    def test_threshold_validation(self, tool):
+        trail = synthetic_trail(0.6, 1000.0)
+        calibration = tool.calibrate(trail, 1000.0)
+        with pytest.raises(ValidationError):
+            detect_drift(tool, {"wf": 0.6}, calibration, threshold=0.0)
+
+
+class TestAdvisor:
+    def test_stable_system_keeps_configuration(self, tool):
+        advisor = ReconfigurationAdvisor(tool, GOALS)
+        # Start from the tool's own right-sized recommendation.
+        current = tool.recommend(GOALS, {"wf": 0.6}).configuration
+        plan = advisor.advise(
+            current, {"wf": 0.6}, synthetic_trail(0.6, 1000.0), 1000.0
+        )
+        assert not plan.is_change
+        assert plan.recommended == current
+        assert "still meets all goals" in plan.reason
+
+    def test_load_growth_triggers_scale_out(self, tool):
+        advisor = ReconfigurationAdvisor(tool, GOALS)
+        current = tool.recommend(GOALS, {"wf": 0.6}).configuration
+        plan = advisor.advise(
+            current, {"wf": 0.6}, synthetic_trail(4.0, 1000.0), 1000.0
+        )
+        assert plan.is_change
+        assert plan.recommended.total_servers > current.total_servers
+        assert "violates the goals" in plan.reason
+        assert plan.drift.has_drift
+        assert "add" in plan.format_text()
+
+    def test_load_drop_triggers_downsizing(self, tool):
+        advisor = ReconfigurationAdvisor(tool, GOALS)
+        oversized = SystemConfiguration({"engine": 5, "app": 8})
+        plan = advisor.advise(
+            oversized, {"wf": 2.0}, synthetic_trail(0.3, 1000.0), 1000.0
+        )
+        assert plan.is_change
+        assert plan.recommended.total_servers < oversized.total_servers
+        assert "oversized" in plan.reason
+        assert "remove" in plan.format_text()
+
+    def test_service_slowdown_triggers_scale_out(self, tool):
+        advisor = ReconfigurationAdvisor(tool, GOALS)
+        current = SystemConfiguration({"engine": 2, "app": 3})
+        plan = advisor.advise(
+            current, {"wf": 0.6},
+            synthetic_trail(0.6, 1000.0, app_service=0.8),
+            1000.0,
+        )
+        assert plan.is_change
+        assert plan.recommended.count("app") > current.count("app")
+
+    def test_changes_dict_is_consistent(self, tool):
+        advisor = ReconfigurationAdvisor(tool, GOALS)
+        current = SystemConfiguration({"engine": 2, "app": 3})
+        plan = advisor.advise(
+            current, {"wf": 0.6}, synthetic_trail(3.0, 1000.0), 1000.0
+        )
+        for name, delta in plan.changes.items():
+            assert plan.recommended.count(name) == (
+                current.count(name) + delta
+            )

@@ -1,0 +1,80 @@
+"""Tests for the workflow repository."""
+
+import pytest
+
+from repro.core.model_types import ActivitySpec
+from repro.exceptions import ValidationError
+from repro.spec.builder import StateChartBuilder
+from repro.spec.translator import ActivityRegistry
+from repro.tool.repository import WorkflowRepository
+
+
+def chart(name="wf"):
+    return (
+        StateChartBuilder(name)
+        .activity_state("work")
+        .routing_state("end", mean_duration=0.1)
+        .initial("work")
+        .transition("work", "end", event="work_DONE")
+        .build()
+    )
+
+
+def registry():
+    return ActivityRegistry(
+        {"work": ActivitySpec("work", 1.0, loads={"srv": 1.0})}
+    )
+
+
+class TestRepository:
+    def test_register_and_get(self):
+        repository = WorkflowRepository()
+        repository.register(chart(), registry())
+        specification = repository.get("wf")
+        assert specification.name == "wf"
+        assert "wf" in repository
+        assert len(repository) == 1
+
+    def test_names_sorted(self):
+        repository = WorkflowRepository()
+        repository.register(chart("zeta"), registry())
+        repository.register(chart("alpha"), registry())
+        assert repository.names == ("alpha", "zeta")
+
+    def test_reregistration_replaces(self):
+        repository = WorkflowRepository()
+        repository.register(chart(), registry())
+        newer = chart()
+        repository.register(newer, registry())
+        assert repository.get("wf").chart is newer
+        assert len(repository) == 1
+
+    def test_unknown_lookup_rejected(self):
+        with pytest.raises(ValidationError, match="unknown workflow"):
+            WorkflowRepository().get("nope")
+
+    def test_missing_activity_rejected(self):
+        repository = WorkflowRepository()
+        empty_registry = ActivityRegistry({})
+        with pytest.raises(ValidationError, match="missing"):
+            repository.register(chart(), empty_registry)
+
+    def test_invalid_chart_rejected(self):
+        bad = (
+            StateChartBuilder("bad")
+            .activity_state("a")
+            .activity_state("b")
+            .initial("a")
+            .transition("a", "b")
+            .transition("b", "a")
+            .build(validate=False)
+        )
+        with pytest.raises(ValidationError):
+            WorkflowRepository().register(bad, registry())
+
+    def test_specifications_iteration(self):
+        repository = WorkflowRepository()
+        repository.register(chart("a"), registry())
+        repository.register(chart("b"), registry())
+        names = [spec.name for spec in repository.specifications()]
+        assert names == ["a", "b"]

@@ -1,0 +1,38 @@
+"""Tests for the measurement aggregation helpers."""
+
+import pytest
+
+from repro.wfms.measurement import pooled_ci95, pooled_mean
+
+
+class TestPooledMean:
+    def test_weighted_by_counts(self):
+        assert pooled_mean([1, 3], [4.0, 8.0]) == pytest.approx(7.0)
+
+    def test_empty_is_zero(self):
+        assert pooled_mean([], []) == 0.0
+        assert pooled_mean([0, 0], [1.0, 2.0]) == 0.0
+
+
+class TestPooledCI:
+    def test_interval_contains_pooled_mean(self):
+        counts = [50, 150]
+        means = [2.0, 4.0]
+        seconds = [5.0, 17.0]
+        low, high = pooled_ci95(counts, means, seconds)
+        mean = pooled_mean(counts, means)
+        assert low < mean < high
+
+    def test_degenerate_sample(self):
+        low, high = pooled_ci95([1], [3.0], [9.0])
+        assert low == high == 3.0
+
+    def test_width_shrinks_with_samples(self):
+        small = pooled_ci95([10], [2.0], [5.0])
+        large = pooled_ci95([1000], [2.0], [5.0])
+        assert (large[1] - large[0]) < (small[1] - small[0])
+
+    def test_zero_variance_collapses(self):
+        # second moment equals mean^2: point mass.
+        low, high = pooled_ci95([100], [2.0], [4.0])
+        assert low == pytest.approx(high)

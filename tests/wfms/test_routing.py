@@ -1,0 +1,147 @@
+"""Tests for request routing across replicas."""
+
+import random
+
+import pytest
+
+from repro.core.model_types import ServerTypeSpec
+from repro.exceptions import ValidationError
+from repro.sim.distributions import Deterministic
+from repro.sim.engine import Simulator
+from repro.wfms.routing import RoutingPolicy, ServerPool
+from repro.wfms.servers import Server, ServiceRequest
+
+
+def make_pool(simulator, count=3, policy=RoutingPolicy.HASH):
+    spec = ServerTypeSpec(
+        "srv", mean_service_time=1.0, failure_rate=0.01, repair_rate=0.5
+    )
+    servers = [
+        Server(
+            simulator, f"srv#{i}", spec, Deterministic(1.0),
+            rng=random.Random(i),
+        )
+        for i in range(count)
+    ]
+    return ServerPool(
+        simulator, spec, servers, policy=policy, rng=random.Random(42)
+    )
+
+
+def request(simulator, instance_id=0):
+    return ServiceRequest(
+        server_type="srv", instance_id=instance_id,
+        submitted_at=simulator.now,
+    )
+
+
+class TestRoutingPolicies:
+    def test_hash_policy_is_sticky_per_instance(self):
+        simulator = Simulator()
+        pool = make_pool(simulator, count=3, policy=RoutingPolicy.HASH)
+        for _ in range(5):
+            pool.submit(request(simulator, instance_id=7))
+        simulator.run()
+        served = [s.statistics.completed_requests for s in pool.servers]
+        assert served[7 % 3] == 5
+        assert sum(served) == 5
+
+    def test_round_robin_spreads_evenly(self):
+        simulator = Simulator()
+        pool = make_pool(simulator, count=3, policy=RoutingPolicy.ROUND_ROBIN)
+        for i in range(9):
+            pool.submit(request(simulator, instance_id=i))
+        simulator.run()
+        served = [s.statistics.completed_requests for s in pool.servers]
+        assert served == [3, 3, 3]
+
+    def test_random_uses_all_replicas(self):
+        simulator = Simulator()
+        pool = make_pool(simulator, count=3, policy=RoutingPolicy.RANDOM)
+        for i in range(300):
+            pool.submit(request(simulator, instance_id=i))
+        simulator.run()
+        served = [s.statistics.completed_requests for s in pool.servers]
+        assert all(count > 50 for count in served)
+        assert sum(served) == 300
+
+
+class TestFailover:
+    def test_hash_fails_over_to_next_up_replica(self):
+        simulator = Simulator()
+        pool = make_pool(simulator, count=3, policy=RoutingPolicy.HASH)
+        home = 7 % 3
+        pool.servers[home].fail()
+        pool.submit(request(simulator, instance_id=7))
+        simulator.run()
+        fallback = (home + 1) % 3
+        assert pool.servers[fallback].statistics.completed_requests == 1
+
+    def test_requests_parked_when_all_down(self):
+        simulator = Simulator()
+        pool = make_pool(simulator, count=2)
+        for server in pool.servers:
+            server.fail()
+        pool.submit(request(simulator))
+        simulator.run()
+        assert not pool.any_up
+        assert sum(
+            s.statistics.completed_requests for s in pool.servers
+        ) == 0
+
+    def test_parked_requests_flushed_on_repair(self):
+        simulator = Simulator()
+        pool = make_pool(simulator, count=2)
+        for server in pool.servers:
+            server.fail()
+        pool.submit(request(simulator))
+        pool.submit(request(simulator))
+        pool.servers[0].repair()
+        pool.notify_state_change()
+        simulator.run()
+        assert pool.servers[0].statistics.completed_requests == 2
+
+    def test_availability_time_average(self):
+        simulator = Simulator()
+        pool = make_pool(simulator, count=1)
+
+        def down():
+            pool.servers[0].fail()
+            pool.notify_state_change()
+
+        def up():
+            pool.servers[0].repair()
+            pool.notify_state_change()
+
+        simulator.schedule(1.0, down)
+        simulator.schedule(2.0, up)
+        simulator.schedule(4.0, lambda: None)
+        simulator.run()
+        assert pool.availability.time_average(simulator.now) == pytest.approx(
+            0.75
+        )
+
+
+class TestPoolBasics:
+    def test_up_count(self):
+        simulator = Simulator()
+        pool = make_pool(simulator, count=3)
+        assert pool.up_count == 3
+        pool.servers[0].fail()
+        assert pool.up_count == 2
+
+    def test_empty_pool_rejected(self):
+        simulator = Simulator()
+        spec = ServerTypeSpec("srv", 1.0)
+        with pytest.raises(ValidationError):
+            ServerPool(simulator, spec, [])
+
+    def test_reset_statistics(self):
+        simulator = Simulator()
+        pool = make_pool(simulator, count=2)
+        pool.submit(request(simulator))
+        simulator.run()
+        pool.reset_statistics()
+        assert all(
+            s.statistics.completed_requests == 0 for s in pool.servers
+        )

@@ -1,0 +1,232 @@
+"""Tests for the example workflow library, incl. the paper's EP workflow."""
+
+import random
+
+import pytest
+
+from repro.core.workflow_model import build_workflow_ctmc
+from repro.spec.interpreter import ProbabilisticResolver, StateChartInterpreter
+from repro.spec.validation import IssueLevel, validate_chart
+from repro.workflows import (
+    ecommerce_activities,
+    ecommerce_chart,
+    ecommerce_workflow,
+    extended_server_types,
+    insurance_activities,
+    insurance_chart,
+    insurance_workflow,
+    loan_activities,
+    loan_chart,
+    loan_workflow,
+    order_processing_activities,
+    order_processing_chart,
+    order_processing_workflow,
+    standard_server_types,
+    travel_activities,
+    travel_chart,
+    travel_workflow,
+)
+from repro.workflows.ecommerce import (
+    P_CARD_AFTER_SHIPMENT,
+    P_CARD_PROBLEM,
+    P_PAY_BY_CARD,
+    P_REMINDER,
+)
+
+
+class TestServerLandscapes:
+    def test_standard_types_match_section_5_2(self):
+        types = standard_server_types()
+        assert len(types) == 3
+        comm = types.spec("comm-server")
+        engine = types.spec("wf-engine")
+        app = types.spec("app-server")
+        # One failure per month / week / day, in minutes.
+        assert comm.mean_time_to_failure == pytest.approx(43200.0)
+        assert engine.mean_time_to_failure == pytest.approx(10080.0)
+        assert app.mean_time_to_failure == pytest.approx(1440.0)
+        # Ten-minute repairs everywhere.
+        for spec in types.specs:
+            assert spec.mean_time_to_repair == pytest.approx(10.0)
+
+    def test_extended_types_add_second_pair(self):
+        types = extended_server_types()
+        assert len(types) == 5
+        assert "wf-engine-2" in types
+        assert "app-server-2" in types
+
+
+class TestEcommerceWorkflow:
+    def test_chart_validates_cleanly(self):
+        issues = validate_chart(ecommerce_chart())
+        assert not [
+            issue for issue in issues if issue.level is IssueLevel.ERROR
+        ]
+
+    def test_top_level_has_seven_states(self):
+        # Figure 4: "besides the absorbing state, the CTMC consists of
+        # seven further states".
+        chart = ecommerce_chart()
+        assert len(chart.states) == 7
+
+    def test_ctmc_has_eight_states_including_absorbing(self):
+        model = build_workflow_ctmc(
+            ecommerce_workflow(), standard_server_types()
+        )
+        assert model.chain.num_states == 8
+
+    def test_visit_frequencies_hand_computed(self):
+        model = build_workflow_ctmc(
+            ecommerce_workflow(), standard_server_types()
+        )
+        visits = model.expected_visits()
+        assert visits["NewOrder"] == pytest.approx(1.0)
+        assert visits["CreditCardCheck"] == pytest.approx(P_PAY_BY_CARD)
+        shipment = P_PAY_BY_CARD * (1 - P_CARD_PROBLEM) + (1 - P_PAY_BY_CARD)
+        assert visits["Shipment_S"] == pytest.approx(shipment)
+        assert visits["CreditCardPayment"] == pytest.approx(
+            shipment * P_CARD_AFTER_SHIPMENT
+        )
+        # Reminder loop: invoice visits = first entry / (1 - p_reminder).
+        invoice_first = shipment * (1 - P_CARD_AFTER_SHIPMENT)
+        assert visits["InvoicePayment"] == pytest.approx(
+            invoice_first / (1 - P_REMINDER)
+        )
+        assert visits["EP_EXIT_S"] == pytest.approx(1.0)
+
+    def test_shipment_residence_is_max_of_subworkflows(self):
+        types = standard_server_types()
+        model = build_workflow_ctmc(ecommerce_workflow(), types)
+        shipment_index = model.state_names.index("Shipment_S")
+        residence = model.chain.residence_times[shipment_index]
+        # Delivery (stock check + optional reorder + ship + billing)
+        # dominates the two-step notification.
+        delivery_turnaround = 1.0 + 0.2 * 120.0 + 30.0 + 1.0
+        assert residence == pytest.approx(delivery_turnaround)
+
+    def test_branch_probability_consistency(self):
+        # P(card | shipment reached) follows from the first split.
+        reach_card = P_PAY_BY_CARD * (1 - P_CARD_PROBLEM)
+        expected = reach_card / (reach_card + (1 - P_PAY_BY_CARD))
+        assert P_CARD_AFTER_SHIPMENT == pytest.approx(expected)
+
+    def test_interpreter_runs_ep_instances(self):
+        rng = random.Random(5)
+        chart = ecommerce_chart()
+        for _ in range(50):
+            interpreter = StateChartInterpreter(
+                chart, resolver=ProbabilisticResolver(rng)
+            )
+            interpreter.start()
+            trace = interpreter.run_to_completion()
+            assert trace[0] == "NewOrder"
+            assert trace[-1] == "EP_EXIT_S"
+
+    def test_all_activities_registered(self):
+        registry = ecommerce_activities()
+        for activity in ecommerce_chart().activities():
+            assert activity in registry
+
+
+class TestOtherWorkflows:
+    @pytest.mark.parametrize(
+        "chart_factory, registry_factory",
+        [
+            (order_processing_chart, order_processing_activities),
+            (insurance_chart, insurance_activities),
+            (loan_chart, loan_activities),
+            (travel_chart, travel_activities),
+        ],
+    )
+    def test_charts_validate_and_cover_activities(
+        self, chart_factory, registry_factory
+    ):
+        chart = chart_factory()
+        issues = validate_chart(chart)
+        assert not [
+            issue for issue in issues if issue.level is IssueLevel.ERROR
+        ]
+        registry = registry_factory()
+        for activity in chart.activities():
+            assert activity in registry
+
+    def test_order_processing_analyzable(self):
+        model = build_workflow_ctmc(
+            order_processing_workflow(), standard_server_types()
+        )
+        assert model.turnaround_time() > 0.0
+        assert model.requests_per_instance().sum() > 0.0
+
+    def test_order_processing_payment_retry_folded(self):
+        model = build_workflow_ctmc(
+            order_processing_workflow(), standard_server_types()
+        )
+        visits = model.expected_visits()
+        # The retry self-loop is folded into the state's residence time,
+        # so the visit count stays the first-entry probability (0.95).
+        assert visits["ProcessPayment"] == pytest.approx(0.95)
+
+    def test_insurance_has_documents_loop(self):
+        model = build_workflow_ctmc(
+            insurance_workflow(), standard_server_types()
+        )
+        visits = model.expected_visits()
+        # Coverage is re-checked after each document request round.
+        assert visits["CheckCoverage"] > 1.0
+
+    def test_loan_spreads_load_over_extended_types(self):
+        types = extended_server_types()
+        model = build_workflow_ctmc(loan_workflow(), types)
+        requests = model.requests_per_instance()
+        by_name = dict(zip(types.names, requests))
+        assert by_name["wf-engine-2"] > 0.0
+        assert by_name["app-server-2"] > 0.0
+
+    def test_interpreter_runs_all_charts(self):
+        rng = random.Random(11)
+        for chart_factory in (
+            order_processing_chart, insurance_chart, loan_chart,
+            travel_chart,
+        ):
+            chart = chart_factory()
+            interpreter = StateChartInterpreter(
+                chart, resolver=ProbabilisticResolver(rng)
+            )
+            interpreter.start()
+            interpreter.run_to_completion()
+            assert interpreter.is_completed
+
+
+class TestTravelWorkflow:
+    def test_three_way_parallel_join(self):
+        model = build_workflow_ctmc(
+            travel_workflow(), standard_server_types()
+        )
+        bookings = model.definition.state("Bookings_S")
+        assert len(bookings.subworkflows) == 3
+        # Residence of the composite is the slowest organization: the
+        # hotel path (search + 15% * negotiation + booking).
+        index = model.state_names.index("Bookings_S")
+        expected = 3.0 + 0.15 * 60.0 + 1.0
+        assert model.chain.residence_times[index] == pytest.approx(expected)
+
+    def test_compensation_branch_visits(self):
+        model = build_workflow_ctmc(
+            travel_workflow(), standard_server_types()
+        )
+        visits = model.expected_visits()
+        assert visits["SendInvoice"] == pytest.approx(0.8)
+        assert visits["CancelBookings"] == pytest.approx(0.2)
+        assert visits["CloseTrip"] == pytest.approx(1.0)
+
+    def test_parallel_load_is_summed(self):
+        types = standard_server_types()
+        model = build_workflow_ctmc(travel_workflow(), types)
+        # Bookings_S aggregates all three organizations' requests:
+        # flight (2 automated) + hotel (2 automated + 15% interactive)
+        # + car (1 automated).
+        bookings_index = model.state_names.index("Bookings_S")
+        engine_row = types.position("wf-engine")
+        per_visit = model.load_matrix[engine_row, bookings_index]
+        expected = 3.0 * (2 + 2 + 1) + 0.15 * 3.0  # 3 requests/activity
+        assert per_visit == pytest.approx(expected)
