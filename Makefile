@@ -6,18 +6,18 @@ install:
 	pip install -e . || python setup.py develop
 
 test:
-	pytest tests/
+	PYTHONPATH=src python -m pytest -x -q
 
 bench:
-	pytest benchmarks/ --benchmark-only -s
+	PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only -s
 
 examples:
-	python examples/quickstart.py
-	python examples/ecommerce_configuration.py
-	python examples/availability_planning.py
-	python examples/capacity_planning.py
-	python examples/simulation_validation.py
-	python examples/dynamic_reconfiguration.py
-	python examples/worklist_management.py
+	PYTHONPATH=src python examples/quickstart.py
+	PYTHONPATH=src python examples/ecommerce_configuration.py
+	PYTHONPATH=src python examples/availability_planning.py
+	PYTHONPATH=src python examples/capacity_planning.py
+	PYTHONPATH=src python examples/simulation_validation.py
+	PYTHONPATH=src python examples/dynamic_reconfiguration.py
+	PYTHONPATH=src python examples/worklist_management.py
 
 all: test bench

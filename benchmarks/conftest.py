@@ -12,6 +12,7 @@ import sys
 
 import pytest
 
+from repro import obs
 from repro.core.model_types import ServerTypeIndex
 from repro.core.performance import SystemConfiguration
 from repro.workflows import standard_server_types
@@ -24,6 +25,24 @@ def emit(title: str, lines: list[str]) -> None:
     for line in lines:
         out.write(f"{line}\n")
     out.flush()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def benchmark_observability():
+    """Record solver/simulator counters across the whole benchmark run.
+
+    The aggregate run report shows how many model solves each experiment
+    cost — the "price tag" column next to the paper-vs-measured tables.
+    """
+    obs.reset()
+    obs.enable()
+    try:
+        yield
+    finally:
+        obs.disable()
+        emit("Observability (whole benchmark session)",
+             obs.run_report().splitlines())
+        obs.reset()
 
 
 @pytest.fixture(scope="session")

@@ -23,6 +23,7 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro import obs
 from repro.core.availability import AvailabilityModel
 from repro.core.configuration import (
     ReplicationConstraints,
@@ -209,6 +210,39 @@ def _cmd_quantile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.spec.translator import definition_to_chart
+    from repro.wfms.runtime import SimulatedWFMS, SimulatedWorkflowType
+
+    project = load_project(args.project)
+    configuration = _parse_configuration(args.config)
+    workflow_types = []
+    for workflow in project.workflows:
+        chart, activities = definition_to_chart(workflow)
+        workflow_types.append(
+            SimulatedWorkflowType(
+                chart=chart,
+                activities=activities,
+                arrival_rate=project.arrival_rates[workflow.name],
+            )
+        )
+    wfms = SimulatedWFMS(
+        server_types=project.server_types,
+        configuration=configuration,
+        workflow_types=workflow_types,
+        seed=args.seed,
+        inject_failures=not args.no_failures,
+    )
+    report = wfms.run(duration=args.duration, warmup=args.warmup)
+    print(f"Simulated configuration {configuration}")
+    print(report.format_text())
+    print(
+        f"  simulator events executed: {wfms.simulator.executed_events} "
+        f"(calendar high-water mark: {wfms.simulator.max_pending_events})"
+    )
+    return 0
+
+
 def _cmd_throughput(args: argparse.Namespace) -> int:
     project = load_project(args.project)
     configuration = _parse_configuration(args.config)
@@ -229,6 +263,25 @@ def _cmd_throughput(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
+def _add_observability_arguments(
+    subparser: argparse.ArgumentParser,
+) -> None:
+    """Attach the shared instrumentation flags to one subcommand."""
+    group = subparser.add_argument_group("observability")
+    group.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write solver/search/simulator metrics as JSON",
+    )
+    group.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write the span/event trace as JSON lines",
+    )
+    group.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="print an observability run report after the command",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -324,6 +377,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="pin a server type's replica count (repeatable)",
     )
     recommend.set_defaults(handler=_cmd_recommend)
+
+    simulate = commands.add_parser(
+        "simulate",
+        help="run the simulated WFMS against a project's workload",
+    )
+    add_project(simulate)
+    simulate.add_argument(
+        "--config", required=True,
+        help="replica counts, e.g. comm-server=1,wf-engine=2",
+    )
+    simulate.add_argument(
+        "--duration", type=float, default=10_000.0,
+        help="measured simulation time after the warm-up window",
+    )
+    simulate.add_argument(
+        "--warmup", type=float, default=0.0,
+        help="warm-up time excluded from the measurements",
+    )
+    simulate.add_argument(
+        "--seed", type=int, default=0, help="random seed"
+    )
+    simulate.add_argument(
+        "--no-failures", action="store_true",
+        help="disable failure injection (failure-free run)",
+    )
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    for subcommand in commands.choices.values():
+        _add_observability_arguments(subcommand)
     return parser
 
 
@@ -331,8 +413,19 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit status."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    observing = bool(
+        getattr(args, "metrics_out", None)
+        or getattr(args, "trace_out", None)
+        or getattr(args, "verbose", False)
+    )
+    if observing:
+        obs.reset()
+        obs.enable()
     try:
-        return args.handler(args)
+        status = args.handler(args)
+        if observing:
+            _emit_observability(args)
+        return status
     except BrokenPipeError:
         # A downstream pager/`head` closed the pipe; not an error.
         try:
@@ -343,6 +436,26 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except OSError as error:
+        # Unwritable --metrics-out/--trace-out paths and the like.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    finally:
+        if observing:
+            obs.disable()
+
+
+def _emit_observability(args: argparse.Namespace) -> None:
+    """Write the requested metric/trace outputs after a successful run."""
+    if args.verbose:
+        print()
+        print(obs.run_report())
+    if args.metrics_out:
+        obs.write_metrics_json(args.metrics_out)
+        print(f"wrote metrics to {args.metrics_out}")
+    if args.trace_out:
+        records = obs.write_trace_jsonl(args.trace_out)
+        print(f"wrote {records} trace records to {args.trace_out}")
 
 
 if __name__ == "__main__":

@@ -28,6 +28,7 @@ from typing import Iterator, Literal
 
 import numpy as np
 
+from repro import obs
 from repro.core.ctmc import ErgodicCTMC
 from repro.core.linalg import SolveMethod
 from repro.core.model_types import ServerTypeIndex, ServerTypeSpec
@@ -295,14 +296,23 @@ class AvailabilityModel:
                 "sparse" if self._num_states > self.SPARSE_THRESHOLD
                 else "direct"
             )
-        if method == "sparse":
-            from repro.core.linalg import steady_state_distribution_sparse
+        obs.count("availability.steady_state_solves")
+        obs.set_max("availability.state_space.max", self._num_states)
+        with obs.span(
+            "availability.steady_state",
+            states=self._num_states,
+            method=method,
+        ):
+            if method == "sparse":
+                from repro.core.linalg import (
+                    steady_state_distribution_sparse,
+                )
 
-            rows, columns, rates = self.generator_triplets()
-            return steady_state_distribution_sparse(
-                rows, columns, rates, self._num_states
-            )
-        return self.chain().steady_state(method=method)
+                rows, columns, rates = self.generator_triplets()
+                return steady_state_distribution_sparse(
+                    rows, columns, rates, self._num_states
+                )
+            return self.chain().steady_state(method=method)
 
     def state_probabilities(
         self, method: SolveMethod | Literal["sparse", "auto"] = "auto"

@@ -21,6 +21,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping
 
+from repro import obs
 from repro.core.goals import GoalAssessment, GoalEvaluator, PerformabilityGoals
 from repro.core.performance import SystemConfiguration
 from repro.exceptions import InfeasibleConfigurationError, ValidationError
@@ -233,7 +234,26 @@ def greedy_configuration(
     added_type: str | None = None
     criterion: str | None = None
 
+    with obs.span("configuration.search", algorithm="greedy") as span:
+        return _greedy_loop(
+            evaluator, goals, constraints, configuration,
+            trace, evaluations_before, added_type, criterion, span,
+        )
+
+
+def _greedy_loop(
+    evaluator: GoalEvaluator,
+    goals: PerformabilityGoals,
+    constraints: ReplicationConstraints,
+    configuration: SystemConfiguration,
+    trace: list[SearchStep],
+    evaluations_before: int,
+    added_type: str | None,
+    criterion: str | None,
+    span,
+) -> ConfigurationRecommendation:
     while True:
+        obs.count("configuration.search.iterations")
         assessment = evaluator.assess(configuration, goals)
         trace.append(
             SearchStep(
@@ -245,6 +265,11 @@ def greedy_configuration(
             )
         )
         if assessment.satisfied:
+            span.set("iterations", len(trace))
+            span.set(
+                "evaluations",
+                evaluator.evaluation_count - evaluations_before,
+            )
             return ConfigurationRecommendation(
                 configuration=configuration,
                 cost=configuration.cost(evaluator.server_types),
@@ -321,11 +346,16 @@ def exhaustive_configuration(
     constraints = constraints or ReplicationConstraints(max_total_servers=16)
     evaluations_before = evaluator.evaluation_count
     best: GoalAssessment | None = None
-    for configuration in _configurations_by_cost(evaluator, constraints):
-        assessment = evaluator.assess(configuration, goals)
-        if assessment.satisfied:
-            best = assessment
-            break
+    with obs.span("configuration.search", algorithm="exhaustive") as span:
+        for configuration in _configurations_by_cost(evaluator, constraints):
+            obs.count("configuration.search.iterations")
+            assessment = evaluator.assess(configuration, goals)
+            if assessment.satisfied:
+                best = assessment
+                break
+        span.set(
+            "evaluations", evaluator.evaluation_count - evaluations_before
+        )
     if best is None:
         raise InfeasibleConfigurationError(
             "no admissible configuration satisfies the goals"
@@ -452,27 +482,36 @@ def branch_and_bound_configuration(
     frontier: list[tuple[float, int, SystemConfiguration]] = []
     heapq.heappush(frontier, (cost_of(start), counter, start))
     seen = {tuple(sorted(start.replicas.items()))}
-    while frontier:
-        _, _, configuration = heapq.heappop(frontier)
-        assessment = evaluator.assess(configuration, goals)
-        if assessment.satisfied:
-            return ConfigurationRecommendation(
-                configuration=configuration,
-                cost=cost_of(configuration),
-                assessment=assessment,
-                evaluations=evaluator.evaluation_count - evaluations_before,
-                algorithm="branch_and_bound",
-            )
-        for name in names:
-            if not constraints.can_add(configuration, name):
-                continue
-            child = configuration.with_added_replica(name)
-            key = tuple(sorted(child.replicas.items()))
-            if key in seen:
-                continue
-            seen.add(key)
-            counter += 1
-            heapq.heappush(frontier, (cost_of(child), counter, child))
+    with obs.span(
+        "configuration.search", algorithm="branch_and_bound"
+    ) as span:
+        while frontier:
+            _, _, configuration = heapq.heappop(frontier)
+            obs.count("configuration.search.iterations")
+            assessment = evaluator.assess(configuration, goals)
+            if assessment.satisfied:
+                span.set(
+                    "evaluations",
+                    evaluator.evaluation_count - evaluations_before,
+                )
+                return ConfigurationRecommendation(
+                    configuration=configuration,
+                    cost=cost_of(configuration),
+                    assessment=assessment,
+                    evaluations=(evaluator.evaluation_count
+                                 - evaluations_before),
+                    algorithm="branch_and_bound",
+                )
+            for name in names:
+                if not constraints.can_add(configuration, name):
+                    continue
+                child = configuration.with_added_replica(name)
+                key = tuple(sorted(child.replicas.items()))
+                if key in seen:
+                    continue
+                seen.add(key)
+                counter += 1
+                heapq.heappush(frontier, (cost_of(child), counter, child))
     raise InfeasibleConfigurationError(
         "no admissible configuration satisfies the goals"
     )
@@ -507,33 +546,42 @@ def simulated_annealing_configuration(
     current_assessment = evaluator.assess(current, goals)
     best_assessment = current_assessment
     temperature = initial_temperature
-    for _ in range(iterations):
-        name = rng.choice(names)
-        delta = rng.choice((-1, 1))
-        count = current.count(name) + delta
-        if not (constraints.lower_bound(name) <= count
-                <= constraints.upper_bound(name)):
-            continue
-        replicas = dict(current.replicas)
-        replicas[name] = count
-        neighbour = SystemConfiguration(replicas)
-        if neighbour.total_servers > constraints.max_total_servers:
-            continue
-        neighbour_assessment = evaluator.assess(neighbour, goals)
-        difference = objective(neighbour_assessment) - objective(
-            current_assessment
+    with obs.span(
+        "configuration.search",
+        algorithm="simulated_annealing",
+        iterations=iterations,
+    ) as span:
+        for _ in range(iterations):
+            obs.count("configuration.search.iterations")
+            name = rng.choice(names)
+            delta = rng.choice((-1, 1))
+            count = current.count(name) + delta
+            if not (constraints.lower_bound(name) <= count
+                    <= constraints.upper_bound(name)):
+                continue
+            replicas = dict(current.replicas)
+            replicas[name] = count
+            neighbour = SystemConfiguration(replicas)
+            if neighbour.total_servers > constraints.max_total_servers:
+                continue
+            neighbour_assessment = evaluator.assess(neighbour, goals)
+            difference = objective(neighbour_assessment) - objective(
+                current_assessment
+            )
+            if difference <= 0.0 or rng.random() < math.exp(
+                -difference / max(temperature, 1e-9)
+            ):
+                current = neighbour
+                current_assessment = neighbour_assessment
+                if (neighbour_assessment.satisfied
+                        and (not best_assessment.satisfied
+                             or objective(neighbour_assessment)
+                             < objective(best_assessment))):
+                    best_assessment = neighbour_assessment
+            temperature *= cooling
+        span.set(
+            "evaluations", evaluator.evaluation_count - evaluations_before
         )
-        if difference <= 0.0 or rng.random() < math.exp(
-            -difference / max(temperature, 1e-9)
-        ):
-            current = neighbour
-            current_assessment = neighbour_assessment
-            if (neighbour_assessment.satisfied
-                    and (not best_assessment.satisfied
-                         or objective(neighbour_assessment)
-                         < objective(best_assessment))):
-                best_assessment = neighbour_assessment
-        temperature *= cooling
 
     if not best_assessment.satisfied:
         raise InfeasibleConfigurationError(

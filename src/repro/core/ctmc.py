@@ -23,6 +23,7 @@ from typing import Literal, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core import linalg
 from repro.core.dtmc import AbsorbingDTMC
 from repro.exceptions import ModelError, ValidationError
@@ -195,7 +196,8 @@ class AbsorbingCTMC:
                 if j != i:
                     a[row, column] += q[i, j]
         b = np.full(k, -1.0)
-        m = linalg.solve_linear(a, b, method=method)
+        with obs.span("ctmc.first_passage", size=k, method=method):
+            m = linalg.solve_linear(a, b, method=method)
         result = np.zeros(self.num_states)
         for row, i in enumerate(transient):
             result[i] = m[row]
@@ -251,6 +253,7 @@ class AbsorbingCTMC:
         result[0, self.initial_state] = 1.0
         for z in range(1, num_steps + 1):
             result[z] = result[z - 1] @ p_bar
+        obs.count("ctmc.uniformization.steps", num_steps)
         return result
 
     def z_max(
@@ -275,15 +278,20 @@ class AbsorbingCTMC:
         row[self.initial_state] = 1.0
         surviving = 1.0
         z = 0
-        while surviving > 1.0 - confidence:
-            row = row @ p_bar
-            surviving = float(row.sum())
-            z += 1
-            if z >= hard_limit:
-                raise ModelError(
-                    f"z_max exceeded the hard limit of {hard_limit} steps; "
-                    "the chain absorbs too slowly"
-                )
+        with obs.span("ctmc.z_max", confidence=confidence) as span:
+            while surviving > 1.0 - confidence:
+                row = row @ p_bar
+                surviving = float(row.sum())
+                z += 1
+                if z >= hard_limit:
+                    obs.count("ctmc.uniformization.steps", z)
+                    raise ModelError(
+                        f"z_max exceeded the hard limit of {hard_limit} "
+                        "steps; the chain absorbs too slowly"
+                    )
+            span.set("depth", z)
+        obs.count("ctmc.uniformization.steps", z)
+        obs.observe("ctmc.z_max.depth", z)
         return z
 
     def expected_visits(
@@ -321,13 +329,17 @@ class AbsorbingCTMC:
         a *genuine* (non-self-loop) jump ``a -> b``.  Adding the initial
         entry into ``s_0`` yields the visit counts.
         """
-        if num_steps is None:
-            num_steps = self.z_max(confidence)
-        uniformization = self.uniformize()
-        rate = uniformization.rate
-        q = self.transition_rates()
+        with obs.span(
+            "ctmc.expected_visits_series", size=self.num_states
+        ) as span:
+            if num_steps is None:
+                num_steps = self.z_max(confidence)
+            span.set("num_steps", num_steps)
+            uniformization = self.uniformize()
+            rate = uniformization.rate
+            q = self.transition_rates()
 
-        taboo = self.taboo_probabilities(num_steps)
+            taboo = self.taboo_probabilities(num_steps)
         occupancy = taboo.sum(axis=0)  # sum over z of p_bar_{0a}(z)
 
         visits = np.zeros(self.num_states)

@@ -15,6 +15,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from repro import obs
 from repro.core.availability import AvailabilityModel, RepairPolicy
 from repro.core.model_types import ServerTypeIndex
 from repro.core.performance import PerformanceModel, SystemConfiguration
@@ -208,6 +209,7 @@ class GoalEvaluator:
             return cached
 
         self.evaluation_count += 1
+        obs.count("configuration.candidates_evaluated")
         availability_model = AvailabilityModel(
             self.server_types, configuration, policy=self.repair_policy
         )
@@ -260,6 +262,8 @@ class GoalEvaluator:
                         )
                     )
 
+        if violations:
+            obs.count("configuration.goal_violations", len(violations))
         utilizations = self.performance.utilizations(configuration)
         assessment = GoalAssessment(
             configuration=configuration,

@@ -18,6 +18,7 @@ from typing import Literal
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import ConvergenceError, ValidationError
 
 SolveMethod = Literal["direct", "gauss_seidel"]
@@ -66,13 +67,21 @@ def gauss_seidel(
         raise ValidationError(f"x0 must have shape ({n},), got {x.shape}")
 
     b_scale = max(float(np.linalg.norm(b, ord=np.inf)), 1.0)
-    for iteration in range(1, max_iterations + 1):
-        for i in range(n):
-            row_sum = a[i] @ x - a[i, i] * x[i]
-            x[i] = (b[i] - row_sum) / a[i, i]
-        residual = float(np.linalg.norm(a @ x - b, ord=np.inf))
-        if residual <= tolerance * b_scale:
-            return x
+    with obs.span("linalg.gauss_seidel", size=n) as span:
+        for iteration in range(1, max_iterations + 1):
+            for i in range(n):
+                row_sum = a[i] @ x - a[i, i] * x[i]
+                x[i] = (b[i] - row_sum) / a[i, i]
+            residual = float(np.linalg.norm(a @ x - b, ord=np.inf))
+            if residual <= tolerance * b_scale:
+                span.set("iterations", iteration)
+                span.set("residual", residual)
+                obs.count("linalg.gauss_seidel.solves")
+                obs.count("linalg.gauss_seidel.sweeps", iteration)
+                obs.observe("linalg.gauss_seidel.iterations", iteration)
+                return x
+        obs.count("linalg.gauss_seidel.failures")
+        obs.count("linalg.gauss_seidel.sweeps", max_iterations)
     raise ConvergenceError(
         f"Gauss-Seidel did not converge within {max_iterations} iterations "
         f"(residual {residual:.3e})",
@@ -96,7 +105,10 @@ def solve_linear(
     if method == "direct":
         a = _as_square_matrix(a, "coefficient matrix")
         try:
-            return np.linalg.solve(a, np.asarray(b, dtype=float))
+            with obs.span("linalg.direct_solve", size=a.shape[0]):
+                solution = np.linalg.solve(a, np.asarray(b, dtype=float))
+            obs.count("linalg.direct.solves")
+            return solution
         except np.linalg.LinAlgError as exc:
             raise ValidationError(f"singular linear system: {exc}") from exc
     if method == "gauss_seidel":
@@ -152,7 +164,9 @@ def steady_state_distribution(
         rhs = np.zeros(n)
         rhs[-1] = 1.0
         try:
-            pi = np.linalg.solve(a, rhs)
+            with obs.span("linalg.steady_state", method="direct", size=n):
+                pi = np.linalg.solve(a, rhs)
+            obs.count("linalg.direct.solves")
         except np.linalg.LinAlgError as exc:
             raise ValidationError(
                 f"steady state is not unique (chain not ergodic?): {exc}"
@@ -167,19 +181,29 @@ def steady_state_distribution(
                 "positive departure rate"
             )
         pi = np.full(n, 1.0 / n)
-        for _ in range(max_iterations):
-            previous = pi.copy()
-            for j in range(n):
-                inflow = pi @ q[:, j] - pi[j] * q[j, j]
-                pi[j] = inflow / departure_rates[j]
-            total = pi.sum()
-            if total <= 0.0:
-                raise ConvergenceError(
-                    "Gauss-Seidel steady-state iteration collapsed to zero"
-                )
-            pi /= total
-            if float(np.abs(pi - previous).max()) <= tolerance:
-                return _validated_distribution(pi)
+        with obs.span(
+            "linalg.steady_state", method="gauss_seidel", size=n
+        ) as span:
+            for sweep in range(1, max_iterations + 1):
+                previous = pi.copy()
+                for j in range(n):
+                    inflow = pi @ q[:, j] - pi[j] * q[j, j]
+                    pi[j] = inflow / departure_rates[j]
+                total = pi.sum()
+                if total <= 0.0:
+                    raise ConvergenceError(
+                        "Gauss-Seidel steady-state iteration collapsed to "
+                        "zero"
+                    )
+                pi /= total
+                if float(np.abs(pi - previous).max()) <= tolerance:
+                    span.set("iterations", sweep)
+                    obs.count("linalg.gauss_seidel.solves")
+                    obs.count("linalg.gauss_seidel.sweeps", sweep)
+                    obs.observe("linalg.gauss_seidel.iterations", sweep)
+                    return _validated_distribution(pi)
+            obs.count("linalg.gauss_seidel.failures")
+            obs.count("linalg.gauss_seidel.sweeps", max_iterations)
         raise ConvergenceError(
             f"steady-state Gauss-Seidel did not converge within "
             f"{max_iterations} iterations",
@@ -241,7 +265,11 @@ def steady_state_distribution_sparse(rows, columns, rates, num_states):
     ).tocsc()
     rhs = np.zeros(num_states)
     rhs[-1] = 1.0
-    pi = spsolve(a, rhs)
+    with obs.span(
+        "linalg.steady_state", method="sparse", size=num_states
+    ):
+        pi = spsolve(a, rhs)
+    obs.count("linalg.sparse.solves")
     return _validated_distribution(np.asarray(pi, dtype=float))
 
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.ctmc import AbsorbingCTMC, ErgodicCTMC, VisitMethod
 from repro.exceptions import ValidationError
 
@@ -75,16 +76,23 @@ class AbsorptionRewardModel:
         by the expected total residence time per state.  If both are given,
         their contributions are summed (shapes must agree).
         """
-        total: np.ndarray | float | None = None
-        if self.per_visit_rewards is not None:
-            visits = self.chain.expected_visits(
-                method=method, confidence=confidence
-            )
-            total = _apply(self.per_visit_rewards, visits)
-        if self.per_time_rewards is not None:
-            times = self.chain.expected_time_in_states()
-            time_part = _apply(self.per_time_rewards, times)
-            total = time_part if total is None else _add(total, time_part)
+        with obs.span(
+            "mrm.absorption_reward",
+            size=self.chain.num_states,
+            method=method,
+        ):
+            total: np.ndarray | float | None = None
+            if self.per_visit_rewards is not None:
+                visits = self.chain.expected_visits(
+                    method=method, confidence=confidence
+                )
+                total = _apply(self.per_visit_rewards, visits)
+            if self.per_time_rewards is not None:
+                times = self.chain.expected_time_in_states()
+                time_part = _apply(self.per_time_rewards, times)
+                total = (
+                    time_part if total is None else _add(total, time_part)
+                )
         assert total is not None  # guaranteed by __post_init__
         return total
 
@@ -113,7 +121,12 @@ class SteadyStateRewardModel:
 
     def expected_reward(self) -> float | np.ndarray:
         """Steady-state expected reward ``sum_i pi_i r_i``."""
-        return self.chain.expected_steady_state_reward(self.state_rewards)
+        with obs.span(
+            "mrm.steady_state_reward", size=self.chain.num_states
+        ):
+            return self.chain.expected_steady_state_reward(
+                self.state_rewards
+            )
 
     def conditional_expected_reward(
         self, condition: np.ndarray

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.availability import AvailabilityModel
 from repro.core.performance import PerformanceModel, SystemConfiguration
 from repro.exceptions import ValidationError
@@ -173,10 +174,14 @@ class PerformabilityModel:
         the fast path is what makes configuration search over many
         server types practical.
         """
-        if method == "marginal":
-            return self._expected_waiting_times_marginal()
-        if method == "joint":
-            return self._expected_waiting_times_joint()
+        obs.count("performability.evaluations")
+        with obs.span(
+            "performability.expected_waiting_times", method=method
+        ):
+            if method == "marginal":
+                return self._expected_waiting_times_marginal()
+            if method == "joint":
+                return self._expected_waiting_times_joint()
         raise ValidationError(f"unknown performability method {method!r}")
 
     def _expected_waiting_times_marginal(self) -> PerformabilityReport:

@@ -22,6 +22,7 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.ctmc import VisitMethod
 from repro.core.model_types import ServerTypeIndex
 from repro.core.workflow_model import (
@@ -277,13 +278,17 @@ class PerformanceModel:
         self._turnarounds: dict[str, float] = {}
         self._requests: dict[str, np.ndarray] = {}
         for item in workload:
-            model = build_workflow_ctmc(item.definition, server_types)
             name = item.definition.name
-            self._models[name] = model
-            self._turnarounds[name] = model.turnaround_time()
-            self._requests[name] = model.requests_per_instance(
-                method=visit_method, confidence=confidence
-            )
+            with obs.span(
+                "performance.workflow_analysis", workflow=name
+            ) as span:
+                model = build_workflow_ctmc(item.definition, server_types)
+                span.set("states", model.chain.num_states)
+                self._models[name] = model
+                self._turnarounds[name] = model.turnaround_time()
+                self._requests[name] = model.requests_per_instance(
+                    method=visit_method, confidence=confidence
+                )
 
     # ------------------------------------------------------------------
     # Stage 1 + 2: per-workflow quantities
@@ -520,10 +525,14 @@ class PerformanceModel:
     # ------------------------------------------------------------------
     def assess(self, configuration: SystemConfiguration) -> PerformanceReport:
         """Evaluate all Section 4 metrics for one configuration."""
-        totals = self.total_request_rates()
-        per_server = self.per_server_request_rates(configuration)
-        utilizations = self.utilizations(configuration)
-        waits = self.waiting_times(configuration)
+        obs.count("performance.assessments")
+        with obs.span(
+            "performance.assess", servers=configuration.total_servers
+        ):
+            totals = self.total_request_rates()
+            per_server = self.per_server_request_rates(configuration)
+            utilizations = self.utilizations(configuration)
+            waits = self.waiting_times(configuration)
         names = self.server_types.names
         return PerformanceReport(
             configuration=configuration,

@@ -1,0 +1,225 @@
+"""Observability: solver metrics, span tracing, and run reports.
+
+This package is the instrumentation subsystem of the reproduction.  It
+owns one process-wide :class:`~repro.obs.metrics.MetricsRegistry` and
+one :class:`~repro.obs.trace.Tracer`, both **disabled by default**: the
+module-level recording helpers (:func:`count`, :func:`span`,
+:func:`observe`, :func:`event`, ...) are cheap no-ops until
+:func:`enable` is called, so the analytic solvers and the simulator pay
+essentially nothing when nobody is watching (enforced by
+``tests/obs/test_overhead.py``), and produce byte-identical numerical
+results either way (``tests/obs/test_regression.py``).
+
+Typical use::
+
+    from repro import obs
+
+    obs.enable()
+    ...  # run solvers / searches / simulations
+    print(obs.run_report())
+    obs.write_metrics_json("metrics.json")
+    obs.disable()
+
+Instrumented layers record under dotted metric names:
+
+* ``linalg.*``    — Gauss-Seidel sweeps, direct/sparse solves;
+* ``ctmc.*``      — uniformization steps, ``z_max`` truncation depths;
+* ``performance.*`` / ``availability.*`` / ``performability.*`` — model
+  evaluations and state-space sizes (Sections 4-6 pipelines);
+* ``configuration.*`` — search iterations, candidates, goal violations;
+* ``sim.*`` / ``wfms.*`` — events executed, queue depths, failures,
+  repairs, instance and request counts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, TextIO
+
+from repro.obs import export as _export
+from repro.obs import report as _report
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import NO_OP_SPAN, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NO_OP_SPAN",
+    "Span",
+    "Tracer",
+    "count",
+    "disable",
+    "enable",
+    "event",
+    "is_enabled",
+    "metrics_document",
+    "observe",
+    "prometheus_text",
+    "registry",
+    "reset",
+    "run_report",
+    "set_gauge",
+    "set_max",
+    "span",
+    "tracer",
+    "write_metrics_json",
+    "write_trace_jsonl",
+]
+
+#: Well-known metrics pre-registered on :func:`reset` so that every
+#: metrics dump exposes a stable key set (dashboards and the CLI's
+#: ``--metrics-out`` consumers can rely on the solver iteration
+#: counters and simulator event counts being present even at zero).
+DECLARED_METRICS: tuple[tuple[str, str, str], ...] = (
+    ("counter", "linalg.gauss_seidel.solves",
+     "Gauss-Seidel systems solved"),
+    ("counter", "linalg.gauss_seidel.sweeps",
+     "Gauss-Seidel iteration sweeps across all solves"),
+    ("counter", "linalg.direct.solves", "Dense LU solves"),
+    ("counter", "linalg.sparse.solves", "Sparse LU steady-state solves"),
+    ("counter", "ctmc.uniformization.steps",
+     "Uniformized chain steps taken (z_max scans + taboo recursions)"),
+    ("counter", "performance.assessments",
+     "Full Section 4 configuration assessments"),
+    ("counter", "availability.steady_state_solves",
+     "Availability CTMC steady-state solves"),
+    ("counter", "performability.evaluations",
+     "Section 6 performability expectations computed"),
+    ("counter", "configuration.search.iterations",
+     "Configuration-search loop iterations across all algorithms"),
+    ("counter", "configuration.candidates_evaluated",
+     "Candidate configurations evaluated against the goals"),
+    ("counter", "configuration.goal_violations",
+     "Goal violations observed during search"),
+    ("counter", "sim.events_executed",
+     "Discrete-event simulator events dispatched"),
+    ("counter", "wfms.requests_submitted",
+     "Service requests submitted to server pools"),
+    ("counter", "wfms.server_failures", "Replica failures injected"),
+    ("counter", "wfms.server_repairs", "Replica repairs completed"),
+    ("counter", "wfms.instances_started", "Workflow instances started"),
+    ("counter", "wfms.instances_completed",
+     "Workflow instances completed"),
+    ("gauge", "sim.calendar.max_pending",
+     "High-water mark of the event calendar"),
+)
+
+_registry = MetricsRegistry(enabled=False)
+_tracer = Tracer(enabled=False)
+_enabled = False
+
+
+def _declare() -> None:
+    for kind, name, help_text in DECLARED_METRICS:
+        if kind == "counter":
+            _registry.counter(name, help_text)
+        elif kind == "gauge":
+            _registry.gauge(name, help_text)
+        else:
+            _registry.histogram(name, help_text)
+
+
+_declare()
+
+
+# ----------------------------------------------------------------------
+# Process-wide switch
+# ----------------------------------------------------------------------
+def enable() -> None:
+    """Turn on the default registry and tracer."""
+    global _enabled
+    _enabled = True
+    _registry.enable()
+    _tracer.enable()
+
+
+def disable() -> None:
+    """Turn observability off again (recorded data is kept)."""
+    global _enabled
+    _enabled = False
+    _registry.disable()
+    _tracer.disable()
+
+
+def is_enabled() -> bool:
+    return _enabled
+
+
+def reset() -> None:
+    """Zero all metrics, drop all spans/events, re-declare well-knowns."""
+    _registry.reset()
+    _tracer.reset()
+    _declare()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide default metrics registry."""
+    return _registry
+
+
+def tracer() -> Tracer:
+    """The process-wide default tracer."""
+    return _tracer
+
+
+# ----------------------------------------------------------------------
+# Recording helpers (no-ops while disabled)
+# ----------------------------------------------------------------------
+def span(name: str, **attributes: Any):
+    """Open a span on the default tracer (no-op singleton if disabled)."""
+    return _tracer.span(name, **attributes)
+
+
+def count(name: str, amount: float = 1.0) -> None:
+    if _enabled:
+        _registry.counter(name).inc(amount)
+
+
+def set_gauge(name: str, value: float) -> None:
+    if _enabled:
+        _registry.gauge(name).set(value)
+
+
+def set_max(name: str, value: float) -> None:
+    if _enabled:
+        _registry.gauge(name).set_max(value)
+
+
+def observe(name: str, value: float) -> None:
+    if _enabled:
+        _registry.histogram(name).observe(value)
+
+
+def event(kind: str, **fields: Any) -> None:
+    if _enabled:
+        _tracer.event(kind, **fields)
+
+
+# ----------------------------------------------------------------------
+# Export / reporting over the default instances
+# ----------------------------------------------------------------------
+def metrics_document() -> dict[str, Any]:
+    return _export.metrics_document(_registry, _tracer)
+
+
+def write_metrics_json(path: str | Path | TextIO) -> None:
+    _export.write_metrics_json(path, _registry, _tracer)
+
+
+def write_trace_jsonl(path: str | Path | TextIO) -> int:
+    return _export.write_trace_jsonl(path, _tracer)
+
+
+def prometheus_text(prefix: str = "repro") -> str:
+    return _export.prometheus_text(_registry, prefix)
+
+
+def run_report() -> str:
+    return _report.run_report(_registry, _tracer)

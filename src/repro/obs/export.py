@@ -1,0 +1,142 @@
+"""Exporters: JSON metrics document, JSONL trace, Prometheus text.
+
+Three machine-readable views of one instrumented run:
+
+* :func:`metrics_document` / :func:`write_metrics_json` — a single JSON
+  object bundling the metric snapshot with the per-span timing
+  aggregates (the ``--metrics-out`` format of the CLI);
+* :func:`write_trace_jsonl` — one JSON object per line for every
+  finished span and every recorded simulation event, in the spirit of
+  the WfCommons/WfBench standardized execution traces
+  (the ``--trace-out`` format);
+* :func:`prometheus_text` — a Prometheus text-exposition snapshot for
+  scraping-style integrations.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from pathlib import Path
+from typing import Any, TextIO
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import Tracer
+
+#: Format identifier embedded in every JSON metrics document.
+SCHEMA = "repro.obs/v1"
+
+_INVALID_PROMETHEUS_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metrics_document(
+    registry: MetricsRegistry, tracer: Tracer | None = None
+) -> dict[str, Any]:
+    """The combined metrics + span-timing document (JSON-serializable)."""
+    document: dict[str, Any] = {
+        "schema": SCHEMA,
+        "metrics": registry.snapshot(),
+    }
+    if tracer is not None:
+        document["spans"] = tracer.span_summary()
+        document["events_recorded"] = len(tracer.events)
+        document["records_dropped"] = tracer.dropped
+    return document
+
+
+def write_metrics_json(
+    path: str | Path | TextIO,
+    registry: MetricsRegistry,
+    tracer: Tracer | None = None,
+) -> None:
+    """Write :func:`metrics_document` as (non-finite-safe) JSON."""
+    document = _sanitize(metrics_document(registry, tracer))
+    if hasattr(path, "write"):
+        json.dump(document, path, indent=2, sort_keys=True)
+        path.write("\n")
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def write_trace_jsonl(
+    path: str | Path | TextIO, tracer: Tracer
+) -> int:
+    """Write spans then events as JSON lines; returns the line count."""
+    lines = [
+        json.dumps(_sanitize(span.to_dict()), sort_keys=True)
+        for span in tracer.spans
+    ]
+    lines.extend(
+        json.dumps(_sanitize(event), sort_keys=True)
+        for event in tracer.events
+    )
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if hasattr(path, "write"):
+        path.write(text)
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return len(lines)
+
+
+def prometheus_text(
+    registry: MetricsRegistry, prefix: str = "repro"
+) -> str:
+    """Prometheus text-exposition snapshot of the registry.
+
+    Metric names are sanitized (``linalg.gauss_seidel.sweeps`` becomes
+    ``repro_linalg_gauss_seidel_sweeps``); histograms expand into the
+    conventional ``_bucket``/``_sum``/``_count`` series.
+    """
+    lines: list[str] = []
+    for name, metric in sorted(registry.metrics().items()):
+        flat = _prometheus_name(prefix, name)
+        if metric.help:
+            lines.append(f"# HELP {flat} {metric.help}")
+        if isinstance(metric, Counter):
+            lines.append(f"# TYPE {flat} counter")
+            lines.append(f"{flat} {_format_value(metric.value)}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"# TYPE {flat} gauge")
+            lines.append(f"{flat} {_format_value(metric.value)}")
+        elif isinstance(metric, Histogram):
+            lines.append(f"# TYPE {flat} histogram")
+            for boundary, count in metric.cumulative_buckets():
+                lines.append(
+                    f'{flat}_bucket{{le="{boundary:g}"}} {count}'
+                )
+            lines.append(f'{flat}_bucket{{le="+Inf"}} {metric.count}')
+            lines.append(f"{flat}_sum {_format_value(metric.sum)}")
+            lines.append(f"{flat}_count {metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _prometheus_name(prefix: str, name: str) -> str:
+    flat = _INVALID_PROMETHEUS_CHARS.sub("_", f"{prefix}_{name}")
+    if flat and flat[0].isdigit():
+        flat = f"_{flat}"
+    return flat
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    return f"{value:g}"
+
+
+def _sanitize(value: Any) -> Any:
+    """Replace non-finite floats so the output is strict JSON."""
+    if isinstance(value, dict):
+        return {key: _sanitize(inner) for key, inner in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(inner) for inner in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value

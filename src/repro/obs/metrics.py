@@ -1,0 +1,301 @@
+"""Metric primitives: counters, gauges, histograms, and their registry.
+
+The instrumentation layer of the reproduction is deliberately tiny and
+dependency-free: a :class:`MetricsRegistry` hands out named metric
+objects (get-or-create), every metric knows how to snapshot itself into
+plain JSON-serializable data, and the registry can be disabled so that
+the convenience recording methods (:meth:`MetricsRegistry.inc` etc.)
+become cheap no-ops.  The analytic solvers, the configuration search,
+and the simulated WFMS all record into the process-wide default registry
+owned by :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.exceptions import ValidationError
+
+#: Default histogram bucket boundaries: a 1-2-5 decade ladder wide
+#: enough for iteration counts, truncation depths, and state-space sizes.
+DEFAULT_BUCKETS: tuple[float, ...] = tuple(
+    base * 10**exponent
+    for exponent in range(0, 7)
+    for base in (1.0, 2.0, 5.0)
+)
+
+
+class Counter:
+    """A monotonically increasing value (events, iterations, solves)."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0.0:
+            raise ValidationError(
+                f"counter {self.name}: increment must be >= 0, got {amount}"
+            )
+        self._value += amount
+
+    def reset(self) -> None:
+        self._value = 0.0
+
+    def snapshot(self) -> dict:
+        return {"type": self.kind, "value": self._value, "help": self.help}
+
+
+class Gauge:
+    """A value that can go up and down (queue depths, sizes)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def set_max(self, value: float) -> None:
+        """Keep the running maximum (high-water-mark gauges)."""
+        if value > self._value:
+            self._value = float(value)
+
+    def reset(self) -> None:
+        self._value = 0.0
+
+    def snapshot(self) -> dict:
+        return {"type": self.kind, "value": self._value, "help": self.help}
+
+
+class Histogram:
+    """A distribution summary: count/sum/min/max plus bucket counts.
+
+    Buckets follow the Prometheus convention: ``buckets[i]`` counts
+    observations with ``value <= boundary[i]`` (cumulative on export, an
+    implicit ``+Inf`` bucket equals the total count).
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "help", "_boundaries", "_buckets", "_count",
+                 "_sum", "_min", "_max")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] | None = None,
+    ) -> None:
+        self.name = name
+        self.help = help
+        boundaries = tuple(
+            sorted(DEFAULT_BUCKETS if buckets is None else buckets)
+        )
+        if not boundaries:
+            raise ValidationError(
+                f"histogram {name}: needs at least one bucket boundary"
+            )
+        self._boundaries = boundaries
+        self._buckets = [0] * len(boundaries)
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        for i, boundary in enumerate(self._boundaries):
+            if value <= boundary:
+                self._buckets[i] += 1
+                break
+
+    def reset(self) -> None:
+        self._buckets = [0] * len(self._boundaries)
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_boundary, cumulative_count)`` pairs, Prometheus-style."""
+        pairs = []
+        running = 0
+        for boundary, count in zip(self._boundaries, self._buckets):
+            running += count
+            pairs.append((boundary, running))
+        return pairs
+
+    def snapshot(self) -> dict:
+        return {
+            "type": self.kind,
+            "count": self._count,
+            "sum": self._sum,
+            "mean": self.mean,
+            "min": self._min if self._count else None,
+            "max": self._max if self._count else None,
+            "buckets": {
+                f"{boundary:g}": count
+                for boundary, count in self.cumulative_buckets()
+            },
+            "help": self.help,
+        }
+
+
+Metric = Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create semantics and an enable switch.
+
+    The typed accessors (:meth:`counter`, :meth:`gauge`,
+    :meth:`histogram`) always return a live metric object regardless of
+    the enable state — tests and exporters need them.  The *recording*
+    convenience methods (:meth:`inc`, :meth:`set_gauge`,
+    :meth:`set_max`, :meth:`observe`) are the instrumentation entry
+    points and become no-ops while the registry is disabled, which is
+    what keeps observability effectively free when switched off.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self._metrics: dict[str, Metric] = {}
+        self._enabled = bool(enabled)
+
+    # ------------------------------------------------------------------
+    # Enable switch
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    # ------------------------------------------------------------------
+    # Metric accessors (get-or-create)
+    # ------------------------------------------------------------------
+    def _get_or_create(self, name: str, factory, help: str):
+        metric = self._metrics.get(name)
+        if metric is None:
+            if not name:
+                raise ValidationError("metric name must be non-empty")
+            metric = factory(name, help)
+            self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        metric = self._get_or_create(name, Counter, help)
+        if not isinstance(metric, Counter):
+            raise ValidationError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        metric = self._get_or_create(name, Gauge, help)
+        if not isinstance(metric, Gauge):
+            raise ValidationError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] | None = None,
+    ) -> Histogram:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Histogram(name, help, buckets)
+            self._metrics[name] = metric
+        if not isinstance(metric, Histogram):
+            raise ValidationError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    # ------------------------------------------------------------------
+    # Recording (no-ops while disabled)
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        if self._enabled:
+            self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        if self._enabled:
+            self.gauge(name).set(value)
+
+    def set_max(self, name: str, value: float) -> None:
+        if self._enabled:
+            self.gauge(name).set_max(value)
+
+    def observe(self, name: str, value: float) -> None:
+        if self._enabled:
+            self.histogram(name).observe(value)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __contains__(self, name: object) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def metrics(self) -> Mapping[str, Metric]:
+        """Read-only view of the registered metrics."""
+        return dict(self._metrics)
+
+    def snapshot(self) -> dict[str, dict]:
+        """JSON-serializable snapshot of every metric, sorted by name."""
+        return {
+            name: self._metrics[name].snapshot()
+            for name in sorted(self._metrics)
+        }
+
+    def reset(self) -> None:
+        """Zero every metric, keeping the registrations."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def clear(self) -> None:
+        """Drop every registration."""
+        self._metrics.clear()

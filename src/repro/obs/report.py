@@ -1,0 +1,76 @@
+"""Human-readable run report over one instrumented run.
+
+Renders the metric snapshot and the span-timing aggregates as the text
+summary the CLI prints after ``recommend``/``simulate`` runs with
+``--verbose`` — the quick "where did the time go, how many iterations
+did the solvers take, what did the simulator do" view.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+def run_report(registry: MetricsRegistry, tracer: Tracer) -> str:
+    """Render a run report; empty sections are omitted."""
+    lines: list[str] = ["== Observability run report =="]
+
+    summary = tracer.span_summary()
+    if summary:
+        total = sum(entry["total_s"] for entry in summary.values())
+        lines.append("  Span timings (wall time):")
+        lines.append(
+            "    span                                   count    total s"
+            "     mean ms   share"
+        )
+        ordered = sorted(
+            summary.items(), key=lambda item: -item[1]["total_s"]
+        )
+        for name, entry in ordered:
+            share = entry["total_s"] / total if total > 0.0 else 0.0
+            lines.append(
+                f"    {name:38s} {int(entry['count']):6d} "
+                f"{entry['total_s']:10.4f} {entry['mean_s'] * 1e3:11.3f} "
+                f"{share:6.1%}"
+            )
+
+    counters = [
+        metric for metric in registry.metrics().values()
+        if isinstance(metric, Counter) and metric.value > 0.0
+    ]
+    if counters:
+        lines.append("  Counters:")
+        for metric in sorted(counters, key=lambda m: m.name):
+            lines.append(f"    {metric.name:44s} {metric.value:14g}")
+
+    gauges = [
+        metric for metric in registry.metrics().values()
+        if isinstance(metric, Gauge) and metric.value != 0.0
+    ]
+    if gauges:
+        lines.append("  Gauges:")
+        for metric in sorted(gauges, key=lambda m: m.name):
+            lines.append(f"    {metric.name:44s} {metric.value:14g}")
+
+    histograms = [
+        metric for metric in registry.metrics().values()
+        if isinstance(metric, Histogram) and metric.count > 0
+    ]
+    if histograms:
+        lines.append("  Histograms:")
+        for metric in sorted(histograms, key=lambda m: m.name):
+            snapshot = metric.snapshot()
+            lines.append(
+                f"    {metric.name:38s} n={metric.count:<7d} "
+                f"mean={metric.mean:10.3f} min={snapshot['min']:g} "
+                f"max={snapshot['max']:g}"
+            )
+
+    if tracer.dropped:
+        lines.append(
+            f"  ({tracer.dropped} trace records dropped at the cap)"
+        )
+    if len(lines) == 1:
+        lines.append("  (no observations recorded)")
+    return "\n".join(lines)

@@ -12,6 +12,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro import obs
 from repro.exceptions import ValidationError
 
 
@@ -52,6 +53,7 @@ class Simulator:
         self._sequence = 0
         self._calendar: list[_ScheduledEvent] = []
         self._executed_events = 0
+        self._max_pending = 0
 
     @property
     def now(self) -> float:
@@ -67,6 +69,11 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of scheduled (possibly cancelled) future events."""
         return len(self._calendar)
+
+    @property
+    def max_pending_events(self) -> int:
+        """High-water mark of the event calendar."""
+        return self._max_pending
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -92,6 +99,8 @@ class Simulator:
         )
         self._sequence += 1
         heapq.heappush(self._calendar, event)
+        if len(self._calendar) > self._max_pending:
+            self._max_pending = len(self._calendar)
         return EventHandle(event)
 
     # ------------------------------------------------------------------
@@ -119,6 +128,7 @@ class Simulator:
             raise ValidationError(
                 f"end_time {end_time} lies before now {self._now}"
             )
+        executed_before = self._executed_events
         while self._calendar:
             head = self._calendar[0]
             if head.cancelled:
@@ -128,11 +138,19 @@ class Simulator:
                 break
             self.step()
         self._now = end_time
+        obs.count(
+            "sim.events_executed", self._executed_events - executed_before
+        )
+        obs.set_max("sim.calendar.max_pending", self._max_pending)
 
     def run(self, max_events: int | None = None) -> None:
         """Dispatch events until the calendar drains (or a cap is hit)."""
         dispatched = 0
-        while self.step():
-            dispatched += 1
-            if max_events is not None and dispatched >= max_events:
-                return
+        try:
+            while self.step():
+                dispatched += 1
+                if max_events is not None and dispatched >= max_events:
+                    return
+        finally:
+            obs.count("sim.events_executed", dispatched)
+            obs.set_max("sim.calendar.max_pending", self._max_pending)

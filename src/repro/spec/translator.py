@@ -25,7 +25,7 @@ from typing import Mapping
 from repro.core.model_types import ActivitySpec
 from repro.core.workflow_model import WorkflowDefinition, WorkflowState
 from repro.exceptions import ValidationError
-from repro.spec.statechart import ChartState, StateChart
+from repro.spec.statechart import ChartState, ChartTransition, StateChart
 from repro.spec.validation import ensure_valid
 
 #: Residence time assigned to routing states that specify none.  Pure
@@ -162,3 +162,73 @@ def _transition_probabilities(
             key = (transition.source, transition.target)
             result[key] = result.get(key, 0.0) + probability
     return result
+
+
+def definition_to_chart(
+    definition: WorkflowDefinition,
+) -> tuple[StateChart, ActivityRegistry]:
+    """Inverse translation: a workflow definition back into a state chart.
+
+    Project files store :class:`WorkflowDefinition` objects (the
+    model-level view), but the simulated WFMS executes state charts.
+    This reconstructs a chart whose probabilistic interpretation is
+    exactly the definition: activity states keep their activity (and any
+    per-workflow duration override), subworkflow states become
+    nested/orthogonal regions, routing states keep their mean duration,
+    and every transition carries the definition's branching probability.
+    Returns the chart together with the registry of every referenced
+    activity.
+    """
+    activities: dict[str, ActivitySpec] = {}
+    chart = _definition_to_chart(definition, activities)
+    ensure_valid(chart)
+    return chart, ActivityRegistry(activities)
+
+
+def _definition_to_chart(
+    definition: WorkflowDefinition,
+    activities: dict[str, ActivitySpec],
+) -> StateChart:
+    states: list[ChartState] = []
+    for state in definition.states:
+        if state.is_subworkflow_state:
+            regions = tuple(
+                _definition_to_chart(child, activities)
+                for child in state.subworkflows
+            )
+            states.append(ChartState(name=state.name, regions=regions))
+        elif state.activity is not None:
+            spec = state.activity
+            existing = activities.get(spec.name)
+            if existing is not None and existing != spec:
+                raise ValidationError(
+                    f"workflow {definition.name}: conflicting definitions "
+                    f"of activity {spec.name!r}"
+                )
+            activities[spec.name] = spec
+            states.append(
+                ChartState(
+                    name=state.name,
+                    activity=spec.name,
+                    mean_duration=state.mean_duration,
+                )
+            )
+        else:
+            states.append(
+                ChartState(
+                    name=state.name, mean_duration=state.mean_duration
+                )
+            )
+    transitions = tuple(
+        ChartTransition(
+            source=source, target=target, probability=probability
+        )
+        for (source, target), probability in definition.transitions.items()
+        if probability > 0.0
+    )
+    return StateChart(
+        name=definition.name,
+        states=tuple(states),
+        transitions=transitions,
+        initial_state=definition.initial_state,
+    )

@@ -24,6 +24,7 @@ import random
 from dataclasses import dataclass
 from typing import Mapping
 
+from repro import obs
 from repro.core.model_types import ServerTypeIndex
 from repro.core.performance import SystemConfiguration
 from repro.exceptions import ValidationError
@@ -175,8 +176,8 @@ class SimulatedWFMS:
                             repair_distribution=repair_distributions.get(
                                 spec.name
                             ),
-                            on_failure=self._on_server_state_change,
-                            on_repair=self._on_server_state_change,
+                            on_failure=self._on_server_failure,
+                            on_repair=self._on_server_repair,
                         )
                     )
 
@@ -222,6 +223,20 @@ class SimulatedWFMS:
             self.simulator.now,
         )
 
+    def _on_server_failure(self, server: Server) -> None:
+        obs.count("wfms.server_failures")
+        obs.event(
+            "server_failure", t=self.simulator.now, server=server.name
+        )
+        self._on_server_state_change(server)
+
+    def _on_server_repair(self, server: Server) -> None:
+        obs.count("wfms.server_repairs")
+        obs.event(
+            "server_repair", t=self.simulator.now, server=server.name
+        )
+        self._on_server_state_change(server)
+
     # ------------------------------------------------------------------
     # Workflow arrivals and execution
     # ------------------------------------------------------------------
@@ -237,6 +252,13 @@ class SimulatedWFMS:
         instance_id = self._next_instance_id
         self._next_instance_id += 1
         self._active_instances += 1
+        obs.count("wfms.instances_started")
+        obs.event(
+            "instance_started",
+            t=self.simulator.now,
+            instance=instance_id,
+            workflow=workflow_type.chart.name,
+        )
         runtime = _InstanceRuntime(self, workflow_type, instance_id)
         runtime.start()
 
@@ -253,6 +275,7 @@ class SimulatedWFMS:
         pool = self.pools.get(server_type)
         if pool is None:
             raise ValidationError(f"unknown server type {server_type!r}")
+        obs.count("wfms.requests_submitted")
         pool.submit(
             ServiceRequest(
                 server_type=server_type,
@@ -283,16 +306,20 @@ class SimulatedWFMS:
         if self._started:
             raise ValidationError("this WFMS instance was already run")
         self._started = True
-        for workflow_type in self.workflow_types:
-            self._schedule_arrival(workflow_type)
-        for injector in self._injectors:
-            injector.start()
-        if warmup > 0.0:
-            self.simulator.run_until(warmup)
-            self._reset_statistics()
-        self._collect_from = self.simulator.now
-        self.simulator.run_until(warmup + duration)
-        return self._build_report(duration, warmup)
+        with obs.span(
+            "wfms.run", duration=duration, warmup=warmup
+        ) as span:
+            for workflow_type in self.workflow_types:
+                self._schedule_arrival(workflow_type)
+            for injector in self._injectors:
+                injector.start()
+            if warmup > 0.0:
+                self.simulator.run_until(warmup)
+                self._reset_statistics()
+            self._collect_from = self.simulator.now
+            self.simulator.run_until(warmup + duration)
+            span.set("events", self.simulator.executed_events)
+            return self._build_report(duration, warmup)
 
     def _reset_statistics(self) -> None:
         now = self.simulator.now
@@ -379,6 +406,14 @@ class SimulatedWFMS:
     ) -> None:
         self._active_instances -= 1
         now = self.simulator.now
+        obs.count("wfms.instances_completed")
+        obs.event(
+            "instance_completed",
+            t=now,
+            instance=instance_id,
+            workflow=workflow_name,
+            turnaround=now - started_at,
+        )
         if started_at >= self._collect_from:
             self._turnarounds[workflow_name].add(now - started_at)
             self._completed[workflow_name] += 1

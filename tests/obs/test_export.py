@@ -1,0 +1,111 @@
+"""Exporter round-trips: JSON document, JSONL trace, Prometheus text."""
+
+import io
+import json
+import math
+
+from repro.obs.export import (
+    SCHEMA,
+    metrics_document,
+    prometheus_text,
+    write_metrics_json,
+    write_trace_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+def _populated() -> tuple[MetricsRegistry, Tracer]:
+    registry = MetricsRegistry()
+    registry.inc("linalg.gauss_seidel.solves", 3)
+    registry.set_gauge("sim.calendar.max_pending", 42)
+    registry.observe("ctmc.z_max.depth", 17.0)
+    tracer = Tracer()
+    with tracer.span("ctmc.solve", size=10) as span:
+        span.set("iterations", 5)
+    tracer.event("server_failure", t=1.5, server="wf-engine#0")
+    return registry, tracer
+
+
+class TestMetricsDocument:
+    def test_document_structure(self):
+        registry, tracer = _populated()
+        document = metrics_document(registry, tracer)
+        assert document["schema"] == SCHEMA
+        metrics = document["metrics"]
+        assert metrics["linalg.gauss_seidel.solves"]["value"] == 3.0
+        assert metrics["sim.calendar.max_pending"]["value"] == 42.0
+        assert metrics["ctmc.z_max.depth"]["count"] == 1
+        assert document["spans"]["ctmc.solve"]["count"] == 1
+        assert document["events_recorded"] == 1
+        assert document["records_dropped"] == 0
+
+    def test_json_round_trip_through_file(self, tmp_path):
+        registry, tracer = _populated()
+        path = tmp_path / "metrics.json"
+        write_metrics_json(path, registry, tracer)
+        parsed = json.loads(path.read_text())
+        assert parsed["schema"] == SCHEMA
+        assert parsed["metrics"]["linalg.gauss_seidel.solves"][
+            "value"
+        ] == 3.0
+
+    def test_non_finite_values_become_null(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("weird", math.inf)
+        buffer = io.StringIO()
+        write_metrics_json(buffer, registry)
+        parsed = json.loads(buffer.getvalue())  # must be strict JSON
+        assert parsed["metrics"]["weird"]["value"] is None
+
+
+class TestTraceJsonl:
+    def test_spans_then_events_one_object_per_line(self, tmp_path):
+        _, tracer = _populated()
+        path = tmp_path / "trace.jsonl"
+        count = write_trace_jsonl(path, tracer)
+        lines = path.read_text().splitlines()
+        assert count == len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["type"] == "span"
+        assert first["name"] == "ctmc.solve"
+        assert first["attributes"] == {"size": 10, "iterations": 5}
+        assert second == {
+            "type": "event",
+            "event": "server_failure",
+            "t": 1.5,
+            "server": "wf-engine#0",
+        }
+
+    def test_empty_tracer_writes_empty_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert write_trace_jsonl(path, Tracer()) == 0
+        assert path.read_text() == ""
+
+
+class TestPrometheusText:
+    def test_counter_and_gauge_lines(self):
+        registry, _ = _populated()
+        text = prometheus_text(registry)
+        assert "# TYPE repro_linalg_gauss_seidel_solves counter" in text
+        assert "repro_linalg_gauss_seidel_solves 3" in text
+        assert "# TYPE repro_sim_calendar_max_pending gauge" in text
+        assert "repro_sim_calendar_max_pending 42" in text
+
+    def test_histogram_expands_to_bucket_sum_count(self):
+        registry, _ = _populated()
+        text = prometheus_text(registry)
+        assert 'repro_ctmc_z_max_depth_bucket{le="+Inf"} 1' in text
+        assert "repro_ctmc_z_max_depth_sum 17" in text
+        assert "repro_ctmc_z_max_depth_count 1" in text
+
+    def test_help_lines_present(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b", help="does things")
+        assert "# HELP repro_a_b does things" in prometheus_text(registry)
+
+    def test_custom_prefix_and_sanitization(self):
+        registry = MetricsRegistry()
+        registry.inc("weird-name.with/chars")
+        text = prometheus_text(registry, prefix="x")
+        assert "x_weird_name_with_chars 1" in text

@@ -1,0 +1,133 @@
+"""Registry and metric-primitive semantics."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("c")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(ValidationError):
+            Counter("c").inc(-1.0)
+
+    def test_snapshot(self):
+        counter = Counter("c", help="things")
+        counter.inc(4)
+        assert counter.snapshot() == {
+            "type": "counter", "value": 4.0, "help": "things",
+        }
+
+
+class TestGauge:
+    def test_set_and_reset(self):
+        gauge = Gauge("g")
+        gauge.set(7)
+        assert gauge.value == 7.0
+        gauge.set(3)
+        assert gauge.value == 3.0
+        gauge.reset()
+        assert gauge.value == 0.0
+
+    def test_set_max_keeps_high_water_mark(self):
+        gauge = Gauge("g")
+        gauge.set_max(5)
+        gauge.set_max(2)
+        assert gauge.value == 5.0
+        gauge.set_max(9)
+        assert gauge.value == 9.0
+
+
+class TestHistogram:
+    def test_observation_statistics(self):
+        histogram = Histogram("h", buckets=[1.0, 10.0, 100.0])
+        for value in (0.5, 5.0, 50.0, 5.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(60.5)
+        assert histogram.mean == pytest.approx(60.5 / 4)
+        assert histogram.cumulative_buckets() == [
+            (1.0, 1), (10.0, 3), (100.0, 4),
+        ]
+
+    def test_snapshot_min_max(self):
+        histogram = Histogram("h", buckets=[10.0])
+        histogram.observe(2.0)
+        histogram.observe(8.0)
+        snapshot = histogram.snapshot()
+        assert snapshot["min"] == 2.0
+        assert snapshot["max"] == 8.0
+
+    def test_empty_snapshot_has_no_min_max(self):
+        snapshot = Histogram("h", buckets=[1.0]).snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["min"] is None
+        assert snapshot["max"] is None
+
+    def test_needs_at_least_one_bucket(self):
+        with pytest.raises(ValidationError):
+            Histogram("h", buckets=[])
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert len(registry) == 1
+
+    def test_kind_mismatch_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ValidationError):
+            registry.gauge("a")
+        with pytest.raises(ValidationError):
+            registry.histogram("a")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            MetricsRegistry().counter("")
+
+    def test_recording_helpers_respect_disable(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.inc("a")
+        registry.set_gauge("g", 5.0)
+        registry.observe("h", 1.0)
+        # Disabled recording does not even create the metrics.
+        assert len(registry) == 0
+        registry.enable()
+        registry.inc("a", 2.0)
+        assert registry.counter("a").value == 2.0
+
+    def test_reset_zeroes_but_keeps_registrations(self):
+        registry = MetricsRegistry()
+        registry.inc("a", 3.0)
+        registry.set_gauge("g", 4.0)
+        registry.reset()
+        assert "a" in registry
+        assert registry.counter("a").value == 0.0
+        assert registry.gauge("g").value == 0.0
+
+    def test_clear_drops_registrations(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.clear()
+        assert "a" not in registry
+        assert len(registry) == 0
+
+    def test_snapshot_is_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.inc("z")
+        registry.inc("a")
+        assert list(registry.snapshot()) == ["a", "z"]

@@ -1,0 +1,94 @@
+"""Disabled observability must be effectively free (< 5% overhead).
+
+The instrumented solver paths call a handful of ``obs.*`` helpers per
+*solve* (not per sweep), so the honest overhead measure is the cost of
+those disabled no-op calls relative to the cost of one representative
+solve.  This keeps the test robust against machine noise: we compare a
+measured per-call budget against a measured solve time instead of racing
+two nearly identical timings against each other.
+"""
+
+import time
+
+import numpy as np
+
+from repro import obs
+from repro.core.linalg import gauss_seidel
+from repro.obs.trace import NO_OP_SPAN
+
+#: Generous upper bound on the number of obs calls one instrumented
+#: solve performs (span enter/exit, attribute sets, counters, histogram).
+OBS_CALLS_PER_SOLVE = 16
+
+#: The acceptance threshold from the issue.
+MAX_OVERHEAD_FRACTION = 0.05
+
+
+def _diagonally_dominant_system(n: int) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(7)
+    a = rng.uniform(0.0, 1.0, size=(n, n))
+    np.fill_diagonal(a, a.sum(axis=1) + 1.0)
+    b = rng.uniform(0.0, 1.0, size=n)
+    return a, b
+
+
+def _best_of(repetitions: int, fn) -> float:
+    best = float("inf")
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def test_disabled_span_is_the_shared_singleton():
+    assert not obs.is_enabled()
+    # No allocation on the disabled path: the identical object comes back
+    # for every call site.
+    assert obs.span("a", x=1) is obs.span("b") is NO_OP_SPAN
+
+
+def test_disabled_obs_calls_are_within_budget_of_a_solve():
+    assert not obs.is_enabled()
+
+    calls = 20_000
+
+    def noop_burst():
+        for _ in range(calls):
+            obs.count("overhead.test.counter")
+            with obs.span("overhead.test.span", size=1) as span:
+                span.set("k", 1)
+            obs.observe("overhead.test.histogram", 1.0)
+
+    # Warm up, then take the best of several runs to shed scheduler noise.
+    noop_burst()
+    burst_time = _best_of(3, noop_burst)
+    per_call = burst_time / (calls * 3)  # three helpers per loop body
+
+    a, b = _diagonally_dominant_system(40)
+    gauss_seidel(a, b)  # warm-up
+    solve_time = _best_of(5, lambda: gauss_seidel(a, b))
+
+    overhead = OBS_CALLS_PER_SOLVE * per_call
+    fraction = overhead / solve_time
+    assert fraction < MAX_OVERHEAD_FRACTION, (
+        f"disabled observability costs {fraction:.2%} of a solve "
+        f"({overhead * 1e6:.2f} us vs {solve_time * 1e6:.1f} us)"
+    )
+
+
+def test_disabled_recording_leaves_no_trace():
+    assert not obs.is_enabled()
+    obs.reset()
+    obs.count("overhead.test.counter", 5)
+    obs.observe("overhead.test.histogram", 1.0)
+    obs.event("overhead.test.event")
+    with obs.span("overhead.test.span"):
+        pass
+    registry = obs.registry()
+    assert "overhead.test.counter" not in registry
+    assert "overhead.test.histogram" not in registry
+    assert obs.tracer().spans == []
+    assert obs.tracer().events == []

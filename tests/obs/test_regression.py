@@ -1,0 +1,156 @@
+"""Observability must not change any numerical result.
+
+Every pipeline is run twice — once with instrumentation off (the
+default) and once with it enabled — and the outputs are compared
+byte-for-byte (``ndarray.tobytes()`` / exact float equality).  The
+instrumentation only *reads* the computations; any drift here means a
+span or counter actually perturbed the numerics or the random streams.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.availability import AvailabilityModel
+from repro.core.configuration import greedy_configuration
+from repro.core.goals import GoalEvaluator, PerformabilityGoals
+from repro.core.linalg import gauss_seidel, steady_state_distribution
+from repro.core.performance import (
+    PerformanceModel,
+    SystemConfiguration,
+    Workload,
+    WorkloadItem,
+)
+from repro.core.performability import PerformabilityModel
+from repro.workflows import (
+    ecommerce_activities,
+    ecommerce_chart,
+    ecommerce_workflow,
+    standard_server_types,
+)
+
+
+@pytest.fixture
+def with_and_without_obs():
+    """Run a callable twice: observability off, then on; return both."""
+
+    def runner(fn):
+        assert not obs.is_enabled()
+        plain = fn()
+        obs.reset()
+        obs.enable()
+        try:
+            observed = fn()
+        finally:
+            obs.disable()
+            obs.reset()
+        return plain, observed
+
+    return runner
+
+
+def test_gauss_seidel_bytes_identical(with_and_without_obs):
+    rng = np.random.default_rng(11)
+    a = rng.uniform(0.0, 1.0, size=(25, 25))
+    np.fill_diagonal(a, a.sum(axis=1) + 1.0)
+    b = rng.uniform(0.0, 1.0, size=25)
+    plain, observed = with_and_without_obs(lambda: gauss_seidel(a, b))
+    assert plain.tobytes() == observed.tobytes()
+
+
+def test_steady_state_bytes_identical(with_and_without_obs):
+    q = np.array(
+        [
+            [-1.0, 0.7, 0.3],
+            [0.2, -0.5, 0.3],
+            [0.4, 0.6, -1.0],
+        ]
+    )
+    for method in ("direct", "gauss_seidel"):
+        plain, observed = with_and_without_obs(
+            lambda m=method: steady_state_distribution(q, method=m)
+        )
+        assert plain.tobytes() == observed.tobytes()
+
+
+def _paper_models():
+    server_types = standard_server_types()
+    workload = Workload(
+        [WorkloadItem(ecommerce_workflow(), arrival_rate=0.5)]
+    )
+    performance = PerformanceModel(server_types, workload)
+    configuration = SystemConfiguration(
+        {name: 2 for name in server_types.names}
+    )
+    return server_types, performance, configuration
+
+
+def test_analytic_pipeline_bytes_identical(with_and_without_obs):
+    def pipeline():
+        server_types, performance, configuration = _paper_models()
+        availability = AvailabilityModel(server_types, configuration)
+        performability = PerformabilityModel(performance, availability)
+        report = performability.expected_waiting_times()
+        return (
+            performance.waiting_times(configuration),
+            availability.steady_state(),
+            tuple(report.expected_waiting_times.values()),
+            report.unavailability,
+        )
+
+    plain, observed = with_and_without_obs(pipeline)
+    assert plain[0].tobytes() == observed[0].tobytes()
+    assert plain[1].tobytes() == observed[1].tobytes()
+    assert plain[2] == observed[2]
+    assert plain[3] == observed[3]
+
+
+def test_greedy_search_identical(with_and_without_obs):
+    def search():
+        _, performance, _ = _paper_models()
+        evaluator = GoalEvaluator(performance)
+        goals = PerformabilityGoals(
+            max_waiting_time=0.5, max_unavailability=1e-4
+        )
+        recommendation = greedy_configuration(evaluator, goals)
+        return (
+            dict(recommendation.configuration.replicas),
+            recommendation.cost,
+            recommendation.evaluations,
+        )
+
+    plain, observed = with_and_without_obs(search)
+    assert plain == observed
+
+
+def test_simulation_identical(with_and_without_obs):
+    from repro.wfms.runtime import SimulatedWFMS, SimulatedWorkflowType
+
+    def simulate():
+        server_types = standard_server_types()
+        configuration = SystemConfiguration(
+            {name: 2 for name in server_types.names}
+        )
+        wfms = SimulatedWFMS(
+            server_types=server_types,
+            configuration=configuration,
+            workflow_types=[
+                SimulatedWorkflowType(
+                    chart=ecommerce_chart(),
+                    activities=ecommerce_activities(),
+                    arrival_rate=0.4,
+                )
+            ],
+            seed=123,
+        )
+        report = wfms.run(duration=300.0, warmup=50.0)
+        measurement = report.workflow_types["EP"]
+        return (
+            wfms.simulator.executed_events,
+            measurement.completed_instances,
+            measurement.mean_turnaround_time,
+            report.system_unavailability,
+        )
+
+    plain, observed = with_and_without_obs(simulate)
+    assert plain == observed

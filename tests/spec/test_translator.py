@@ -8,6 +8,7 @@ from repro.spec.builder import StateChartBuilder
 from repro.spec.translator import (
     DEFAULT_ROUTING_DURATION,
     ActivityRegistry,
+    definition_to_chart,
     translate_chart,
 )
 
@@ -175,3 +176,71 @@ class TestTranslateChart:
         chart = StateChartBuilder("w").activity_state("A").build()
         with pytest.raises(ValidationError):
             translate_chart(chart, registry, default_routing_duration=0.0)
+
+
+class TestDefinitionToChart:
+    def test_round_trip_preserves_definition(self, registry):
+        chart = (
+            StateChartBuilder("w")
+            .activity_state("A")
+            .activity_state("B")
+            .routing_state("exit", mean_duration=0.1)
+            .initial("A")
+            .transition("A", "B", probability=0.7)
+            .transition("A", "exit", probability=0.3)
+            .transition("B", "exit")
+            .build()
+        )
+        definition = translate_chart(chart, registry)
+        rebuilt_chart, rebuilt_registry = definition_to_chart(definition)
+        round_tripped = translate_chart(rebuilt_chart, rebuilt_registry)
+        assert round_tripped.state_names == definition.state_names
+        assert round_tripped.transitions == definition.transitions
+        for state in definition.states:
+            rebuilt = round_tripped.state(state.name)
+            assert rebuilt.mean_duration == state.mean_duration
+            if state.activity is not None:
+                assert rebuilt.activity == state.activity
+
+    def test_round_trip_of_the_paper_workflow(self):
+        # The e-commerce example exercises nested subworkflows too.
+        from repro.workflows import ecommerce_workflow
+
+        definition = ecommerce_workflow()
+        assert any(s.is_subworkflow_state for s in definition.states)
+        chart, rebuilt_registry = definition_to_chart(definition)
+        round_tripped = translate_chart(chart, rebuilt_registry)
+        assert round_tripped.state_names == definition.state_names
+        assert round_tripped.transitions == definition.transitions
+
+    def test_registry_collects_nested_activities(self):
+        from repro.workflows import ecommerce_workflow
+
+        definition = ecommerce_workflow()
+        _, rebuilt_registry = definition_to_chart(definition)
+        # Activities referenced only inside subworkflows are present.
+        for state in definition.states:
+            for sub in state.subworkflows:
+                for inner in sub.states:
+                    if inner.activity is not None:
+                        assert inner.activity.name in rebuilt_registry
+
+    def test_conflicting_activity_definitions_rejected(self):
+        from repro.core.model_types import ActivitySpec
+        from repro.core.workflow_model import (
+            WorkflowDefinition,
+            WorkflowState,
+        )
+
+        definition = WorkflowDefinition(
+            name="w",
+            states=(
+                WorkflowState("A", activity=ActivitySpec("X", 1.0)),
+                WorkflowState("B", activity=ActivitySpec("X", 2.0)),
+                WorkflowState("exit", mean_duration=0.1),
+            ),
+            transitions={("A", "B"): 1.0, ("B", "exit"): 1.0},
+            initial_state="A",
+        )
+        with pytest.raises(ValidationError, match="conflicting"):
+            definition_to_chart(definition)

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -21,6 +23,7 @@ class TestParser:
         for command in (
             "init-demo", "assess", "availability", "throughput",
             "breakdown", "sensitivity", "quantile", "recommend",
+            "simulate",
         ):
             assert command in help_text
 
@@ -195,3 +198,135 @@ class TestRecommend:
         )
         assert status == 2
         assert "at least one goal" in capsys.readouterr().err
+
+
+class TestSimulate:
+    def test_runs_demo_project(self, project_path, capsys):
+        status = main(
+            [
+                "simulate",
+                "--project", str(project_path),
+                "--config", "comm-server=2,wf-engine=2,app-server=3",
+                "--duration", "200",
+                "--warmup", "20",
+                "--seed", "5",
+            ]
+        )
+        assert status == 0
+        output = capsys.readouterr().out
+        assert "Simulation report" in output
+        assert "EP" in output and "OrderProcessing" in output
+        assert "simulator events executed:" in output
+
+    def test_no_failures_flag_reports_full_availability(
+        self, project_path, capsys
+    ):
+        status = main(
+            [
+                "simulate",
+                "--project", str(project_path),
+                "--config", "comm-server=1,wf-engine=1,app-server=1",
+                "--duration", "200",
+                "--no-failures",
+            ]
+        )
+        assert status == 0
+        assert "unavailability" in capsys.readouterr().out
+
+
+class TestObservability:
+    def test_recommend_writes_metrics_json(
+        self, project_path, tmp_path, capsys
+    ):
+        metrics_path = tmp_path / "metrics.json"
+        status = main(
+            [
+                "recommend",
+                "--project", str(project_path),
+                "--max-waiting", "0.15",
+                "--max-unavailability", "1e-5",
+                "--metrics-out", str(metrics_path),
+            ]
+        )
+        assert status == 0
+        assert "wrote metrics to" in capsys.readouterr().out
+        document = json.loads(metrics_path.read_text())
+        assert document["schema"] == "repro.obs/v1"
+        metrics = document["metrics"]
+        # Solver and search counters were exercised by the run.
+        assert metrics["configuration.candidates_evaluated"]["value"] > 0
+        assert metrics["performability.evaluations"]["value"] > 0
+        # Per-stage span timings are aggregated by name.
+        assert document["spans"]["configuration.search"]["count"] >= 1
+        assert document["spans"]["configuration.search"]["total_s"] > 0.0
+
+    def test_simulate_metrics_include_event_counts(
+        self, project_path, tmp_path, capsys
+    ):
+        metrics_path = tmp_path / "metrics.json"
+        trace_path = tmp_path / "trace.jsonl"
+        status = main(
+            [
+                "simulate",
+                "--project", str(project_path),
+                "--config", "comm-server=2,wf-engine=2,app-server=3",
+                "--duration", "200",
+                "--metrics-out", str(metrics_path),
+                "--trace-out", str(trace_path),
+            ]
+        )
+        assert status == 0
+        output = capsys.readouterr().out
+        assert "wrote metrics to" in output
+        assert "trace records to" in output
+        document = json.loads(metrics_path.read_text())
+        metrics = document["metrics"]
+        assert metrics["sim.events_executed"]["value"] > 0
+        assert metrics["wfms.requests_submitted"]["value"] > 0
+        assert document["spans"]["wfms.run"]["count"] == 1
+        # Every trace line is one valid JSON object.
+        lines = trace_path.read_text().splitlines()
+        assert lines
+        for line in lines:
+            record = json.loads(line)
+            assert record["type"] in {"span", "event"}
+
+    def test_verbose_prints_run_report(self, project_path, capsys):
+        status = main(
+            [
+                "assess",
+                "--project", str(project_path),
+                "--config", "comm-server=1,wf-engine=2,app-server=3",
+                "--verbose",
+            ]
+        )
+        assert status == 0
+        output = capsys.readouterr().out
+        assert "Observability run report" in output
+
+    def test_unwritable_metrics_path_is_a_clean_error(
+        self, project_path, tmp_path, capsys
+    ):
+        status = main(
+            [
+                "breakdown",
+                "--project", str(project_path),
+                "--metrics-out", str(tmp_path / "no-such-dir" / "m.json"),
+            ]
+        )
+        assert status == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_observability_is_off_by_default(self, project_path, capsys):
+        from repro import obs
+
+        status = main(
+            [
+                "assess",
+                "--project", str(project_path),
+                "--config", "comm-server=1,wf-engine=2,app-server=3",
+            ]
+        )
+        assert status == 0
+        assert not obs.is_enabled()
+        assert "Observability" not in capsys.readouterr().out
