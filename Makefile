@@ -1,6 +1,6 @@
 # Development targets for the repro package.
 
-.PHONY: install test bench examples all
+.PHONY: install test bench bench-search examples all
 
 install:
 	pip install -e . || python setup.py develop
@@ -10,6 +10,9 @@ test:
 
 bench:
 	PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only -s
+
+bench-search:
+	PYTHONPATH=src python benchmarks/bench_search.py --check
 
 examples:
 	PYTHONPATH=src python examples/quickstart.py

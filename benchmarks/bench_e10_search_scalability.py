@@ -112,7 +112,7 @@ def test_e10_evaluation_cost_is_small(benchmark):
 
     def evaluate_fresh():
         # Bypass the evaluator cache to time the real work.
-        evaluator._cache.clear()
+        evaluator.cache.clear()
         return evaluator.assess(configuration, GOALS)
 
     assessment = benchmark(evaluate_fresh)

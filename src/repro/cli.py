@@ -32,6 +32,7 @@ from repro.core.configuration import (
     greedy_configuration,
     simulated_annealing_configuration,
 )
+from repro.core.evaluation_cache import EvaluationCache
 from repro.core.goals import GoalEvaluator, PerformabilityGoals
 from repro.core.performance import PerformanceModel, SystemConfiguration
 from repro.core.performability import PerformabilityModel
@@ -135,7 +136,8 @@ def _cmd_availability(args: argparse.Namespace) -> int:
 
 def _cmd_recommend(args: argparse.Namespace) -> int:
     project = load_project(args.project)
-    evaluator = GoalEvaluator(_performance_model(project))
+    cache = EvaluationCache(enabled=not args.no_evaluation_cache)
+    evaluator = GoalEvaluator(_performance_model(project), cache=cache)
     goals = _goals_from_args(args)
     constraints = ReplicationConstraints(
         fixed=dict(
@@ -375,6 +377,11 @@ def build_parser() -> argparse.ArgumentParser:
     recommend.add_argument(
         "--fix", action="append", metavar="NAME=COUNT",
         help="pin a server type's replica count (repeatable)",
+    )
+    recommend.add_argument(
+        "--no-evaluation-cache", action="store_true",
+        help="disable the shared evaluation cache (reference path; "
+        "every candidate is assessed from scratch)",
     )
     recommend.set_defaults(handler=_cmd_recommend)
 

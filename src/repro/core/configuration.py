@@ -47,7 +47,9 @@ class ReplicationConstraints:
         for mapping_name in ("minimum", "maximum", "fixed"):
             mapping = dict(getattr(self, mapping_name))
             for name, value in mapping.items():
-                if int(value) != value or value < (0 if mapping_name == "maximum" else 1):
+                # A zero maximum would make upper_bound < lower_bound and
+                # surface only as a confusing downstream search failure.
+                if int(value) != value or value < 1:
                     raise ValidationError(
                         f"{mapping_name}[{name}] must be a positive integer"
                     )
@@ -565,6 +567,14 @@ def simulated_annealing_configuration(
             if neighbour.total_servers > constraints.max_total_servers:
                 continue
             neighbour_assessment = evaluator.assess(neighbour, goals)
+            # Track the best feasible configuration on *evaluation*, not
+            # on acceptance: a satisfied, cheaper neighbour whose
+            # Metropolis move is rejected must still be remembered.
+            if (neighbour_assessment.satisfied
+                    and (not best_assessment.satisfied
+                         or objective(neighbour_assessment)
+                         < objective(best_assessment))):
+                best_assessment = neighbour_assessment
             difference = objective(neighbour_assessment) - objective(
                 current_assessment
             )
@@ -573,11 +583,6 @@ def simulated_annealing_configuration(
             ):
                 current = neighbour
                 current_assessment = neighbour_assessment
-                if (neighbour_assessment.satisfied
-                        and (not best_assessment.satisfied
-                             or objective(neighbour_assessment)
-                             < objective(best_assessment))):
-                    best_assessment = neighbour_assessment
             temperature *= cooling
         span.set(
             "evaluations", evaluator.evaluation_count - evaluations_before

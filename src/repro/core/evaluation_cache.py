@@ -1,0 +1,268 @@
+"""Shared evaluation caches for the configuration-search hot path.
+
+The configuration search (Section 7.2) evaluates hundreds to thousands
+of candidate configurations, and every evaluation re-runs the same three
+building blocks: per-type birth-death availability marginals (Section
+5), per-type M/G/1 waiting times (Section 4.4), and the goal assessment
+that combines them (Section 7.1).  Two structural facts make aggressive
+cross-candidate reuse sound:
+
+* the waiting time ``w_x(n)`` of server type ``x`` with ``n`` running
+  replicas depends only on ``n``, the type's service-time moments, and
+  the fixed workload — *not* on the replica counts of the other types —
+  so one waiting-time *curve* per type serves every candidate of a
+  search (and every search over the same workload);
+* the per-type availability marginal depends only on ``(spec, count,
+  repair policy)``, so the birth-death solve for "3 app servers" is the
+  same in every candidate that has 3 app servers.
+
+:class:`EvaluationCache` holds these shared results plus a bounded LRU
+cache of full :class:`~repro.core.goals.GoalAssessment` objects keyed by
+the *values* of the configuration and the goals (never by object
+identity — see the ``id(goals)`` aliasing bug this module replaced).
+All keys are explicit and canonical; a cache is bound to one performance
+model via :func:`model_fingerprint`, and binding a different model
+raises instead of silently serving stale curves.
+
+Complexity: without the cache, one marginal performability evaluation
+costs ``O(sum_x Y_x)`` M/G/1 evaluations *per candidate*; with the
+cache, the whole search computes each of the ``sum_x max(Y_x)`` distinct
+curve points exactly once, so ``C`` candidates drop from ``O(C *
+sum_x Y_x)`` to ``O(sum_x Y_x + C)`` waiting-time evaluations.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Any, Callable, Hashable
+
+import numpy as np
+
+from repro import obs
+from repro.core.availability import RepairPolicy, ServerPoolAvailability
+from repro.core.model_types import ServerTypeSpec
+from repro.exceptions import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.performance import PerformanceModel
+
+#: Default bound on cached goal assessments (the largest objects).
+DEFAULT_MAX_ASSESSMENTS = 4096
+
+#: Default bound on cached per-pool birth-death marginals.
+DEFAULT_MAX_POOL_MARGINALS = 1024
+
+
+def model_fingerprint(performance: "PerformanceModel") -> tuple:
+    """Canonical identity of a performance model's fixed inputs.
+
+    Two models with identical server-type parameters and identical
+    per-type total request rates produce identical waiting-time curves,
+    so their evaluators may safely share one :class:`EvaluationCache`.
+    """
+    totals = performance.total_request_rates()
+    return (
+        tuple(performance.server_types.specs),
+        tuple(float(value) for value in totals),
+    )
+
+
+class BoundedCache:
+    """A small LRU mapping with hit/miss/eviction observability.
+
+    Keys must be hashable and canonical (built from values, never from
+    ``id()``).  Local ``hits``/``misses``/``evictions`` counters are
+    always maintained; the process-wide obs counters mirror them under
+    ``evaluation_cache.<name>.*`` when observability is enabled.
+    """
+
+    def __init__(self, name: str, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValidationError("cache maxsize must be >= 1")
+        self.name = name
+        self.maxsize = maxsize
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> Any | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            obs.count(f"evaluation_cache.{self.name}.misses")
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        obs.count(f"evaluation_cache.{self.name}.hits")
+        return entry
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            obs.count("evaluation_cache.evictions")
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class EvaluationCache:
+    """Caches shared across all candidates of a configuration search.
+
+    One instance is created per :class:`~repro.core.goals.GoalEvaluator`
+    by default; passing the same instance to several evaluators (e.g.
+    one per search algorithm in a benchmark, or a warm cache kept across
+    CLI invocations of a long-running service) extends the reuse across
+    searches.  The cache is bound to the first performance model it sees
+    (via :func:`model_fingerprint`); using it with a model that has a
+    different workload or server landscape raises
+    :class:`~repro.exceptions.ValidationError` — stale reuse is a
+    correctness bug, so invalidation is explicit (:meth:`clear`).
+
+    ``enabled=False`` turns every lookup into a miss and every store
+    into a no-op, giving the uncached reference path that the cache
+    tests and ``benchmarks/bench_search.py`` compare against.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        max_assessments: int = DEFAULT_MAX_ASSESSMENTS,
+        max_pool_marginals: int = DEFAULT_MAX_POOL_MARGINALS,
+    ) -> None:
+        self.enabled = enabled
+        self._fingerprint: tuple | None = None
+        self._assessments = BoundedCache("assessments", max_assessments)
+        self._pools = BoundedCache("pool_marginals", max_pool_marginals)
+        #: Per-type waiting-time curves, name -> list of w_x(n) for
+        #: n = 0..len-1; grown monotonically, never evicted (a curve
+        #: holds one float per admissible replica count).
+        self._curves: dict[str, list[float]] = {}
+        self.curve_hits = 0
+        self.curve_misses = 0
+        self.curve_points_computed = 0
+
+    # ------------------------------------------------------------------
+    # Binding and invalidation
+    # ------------------------------------------------------------------
+    def bind(self, fingerprint: tuple) -> None:
+        """Tie the cache to one performance model's fixed inputs.
+
+        Binding the same fingerprint again is a no-op; binding a
+        different one raises (the caller should use a separate cache or
+        :meth:`clear` this one explicitly).
+        """
+        if self._fingerprint is None:
+            self._fingerprint = fingerprint
+            return
+        if self._fingerprint != fingerprint:
+            raise ValidationError(
+                "evaluation cache is bound to a different performance "
+                "model (workload or server types differ); use a fresh "
+                "EvaluationCache or clear() this one first"
+            )
+
+    def clear(self) -> None:
+        """Drop every cached result and the model binding."""
+        self._fingerprint = None
+        self._assessments.clear()
+        self._pools.clear()
+        self._curves.clear()
+
+    # ------------------------------------------------------------------
+    # Goal assessments
+    # ------------------------------------------------------------------
+    def assessment(self, key: Hashable) -> Any | None:
+        if not self.enabled:
+            return None
+        return self._assessments.get(key)
+
+    def store_assessment(self, key: Hashable, value: Any) -> None:
+        if self.enabled:
+            self._assessments.put(key, value)
+
+    # ------------------------------------------------------------------
+    # Per-pool birth-death marginals
+    # ------------------------------------------------------------------
+    def pool(
+        self,
+        spec: ServerTypeSpec,
+        count: int,
+        policy: RepairPolicy,
+    ) -> ServerPoolAvailability:
+        """The birth-death chain of one replicated pool, shared.
+
+        The returned :class:`ServerPoolAvailability` lazily computes its
+        steady-state marginal once; every candidate configuration with
+        the same ``(spec, count, policy)`` then reuses it.
+        """
+        if not self.enabled:
+            return ServerPoolAvailability(
+                spec=spec, count=count, policy=policy
+            )
+        key = (spec, count, policy.value)
+        pool = self._pools.get(key)
+        if pool is None:
+            pool = ServerPoolAvailability(
+                spec=spec, count=count, policy=policy
+            )
+            self._pools.put(key, pool)
+        return pool
+
+    # ------------------------------------------------------------------
+    # Per-type waiting-time curves
+    # ------------------------------------------------------------------
+    def waiting_curve(
+        self,
+        server_type: str,
+        up_to: int,
+        compute: Callable[[int], float],
+    ) -> np.ndarray:
+        """The curve ``w_x(n)`` for ``n = 0..up_to`` of one type.
+
+        Missing points are computed with ``compute(n)`` and appended;
+        points computed for a smaller candidate are prefixes of larger
+        ones, so curves only ever grow.  Returns a fresh array (callers
+        may not mutate cached state).
+        """
+        if not self.enabled:
+            return np.array(
+                [compute(n) for n in range(up_to + 1)], dtype=float
+            )
+        curve = self._curves.setdefault(server_type, [])
+        if len(curve) > up_to:
+            self.curve_hits += 1
+            obs.count("evaluation_cache.waiting_curve.hits")
+        else:
+            missing = up_to + 1 - len(curve)
+            self.curve_misses += 1
+            self.curve_points_computed += missing
+            obs.count("evaluation_cache.waiting_curve.misses")
+            for n in range(len(curve), up_to + 1):
+                curve.append(float(compute(n)))
+        return np.array(curve[: up_to + 1], dtype=float)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot for reports and tests."""
+        return {
+            "assessments.size": len(self._assessments),
+            "assessments.hits": self._assessments.hits,
+            "assessments.misses": self._assessments.misses,
+            "pool_marginals.size": len(self._pools),
+            "pool_marginals.hits": self._pools.hits,
+            "pool_marginals.misses": self._pools.misses,
+            "waiting_curve.types": len(self._curves),
+            "waiting_curve.hits": self.curve_hits,
+            "waiting_curve.misses": self.curve_misses,
+            "waiting_curve.points_computed": self.curve_points_computed,
+            "evictions": self._assessments.evictions + self._pools.evictions,
+        }

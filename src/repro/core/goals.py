@@ -17,6 +17,7 @@ from typing import Mapping
 
 from repro import obs
 from repro.core.availability import AvailabilityModel, RepairPolicy
+from repro.core.evaluation_cache import EvaluationCache, model_fingerprint
 from repro.core.model_types import ServerTypeIndex
 from repro.core.performance import PerformanceModel, SystemConfiguration
 from repro.core.performability import (
@@ -112,6 +113,21 @@ class PerformabilityGoals:
             return float(self.max_unavailability_per_type[server_type])
         return math.inf
 
+    def cache_key(self) -> tuple:
+        """Canonical value-based key of these goals.
+
+        Two goals objects with equal thresholds produce equal keys, and
+        unequal thresholds produce unequal keys — unlike ``id(goals)``,
+        which CPython recycles after garbage collection, so a dropped
+        goals object could alias a new one and serve stale assessments.
+        """
+        return (
+            self.max_waiting_time,
+            tuple(sorted(self.max_waiting_times_per_type.items())),
+            self.max_unavailability,
+            tuple(sorted(self.max_unavailability_per_type.items())),
+        )
+
 
 @dataclass(frozen=True)
 class GoalViolation:
@@ -168,8 +184,12 @@ class GoalEvaluator:
 
     Wires together the performance model (built once per workload), the
     availability model (built per candidate configuration), and the
-    performability model.  Evaluation results are cached per
-    configuration, which the iterating search of Section 7.2 relies on.
+    performability model.  Evaluation results are cached in an
+    :class:`~repro.core.evaluation_cache.EvaluationCache` keyed by the
+    *values* of the configuration and the goals, which the iterating
+    search of Section 7.2 relies on; passing a shared cache lets several
+    evaluators (e.g. one per search algorithm) reuse per-type waiting
+    curves, pool marginals, and whole assessments across searches.
     """
 
     def __init__(
@@ -178,12 +198,14 @@ class GoalEvaluator:
         repair_policy: RepairPolicy = RepairPolicy.INDEPENDENT,
         degraded_policy: DegradedStatePolicy = DegradedStatePolicy.CONDITIONAL,
         penalty_waiting_time: float | None = None,
+        cache: EvaluationCache | None = None,
     ) -> None:
         self.performance = performance
         self.repair_policy = repair_policy
         self.degraded_policy = degraded_policy
         self.penalty_waiting_time = penalty_waiting_time
-        self._cache: dict[tuple[tuple[str, int], ...], GoalAssessment] = {}
+        self.cache = cache if cache is not None else EvaluationCache()
+        self.cache.bind(model_fingerprint(performance))
         self.evaluation_count = 0
 
     @property
@@ -195,23 +217,40 @@ class GoalEvaluator:
     ) -> tuple[tuple[str, int], ...]:
         return tuple(sorted(configuration.replicas.items()))
 
+    def _policy_key(self) -> tuple:
+        """Evaluator parameters an assessment's numbers depend on."""
+        return (
+            self.repair_policy.value,
+            self.degraded_policy.value,
+            self.penalty_waiting_time,
+        )
+
     def assess(
         self,
         configuration: SystemConfiguration,
         goals: PerformabilityGoals,
     ) -> GoalAssessment:
-        """Check one configuration against the goals (cached)."""
-        key = self._cache_key(configuration) + (
-            ("__goals__", id(goals)),
+        """Check one configuration against the goals (cached).
+
+        The cache key combines the canonical configuration tuple, the
+        goals' *values* (never object identity), and the evaluator's
+        policy parameters, so equal-valued goals objects share an entry
+        and dropped-and-recreated objects can never alias a stale one.
+        """
+        key = (
+            self._cache_key(configuration),
+            goals.cache_key(),
+            self._policy_key(),
         )
-        cached = self._cache.get(key)
+        cached = self.cache.assessment(key)
         if cached is not None:
             return cached
 
         self.evaluation_count += 1
         obs.count("configuration.candidates_evaluated")
         availability_model = AvailabilityModel(
-            self.server_types, configuration, policy=self.repair_policy
+            self.server_types, configuration, policy=self.repair_policy,
+            cache=self.cache,
         )
         violations: list[GoalViolation] = []
 
@@ -246,6 +285,7 @@ class GoalEvaluator:
                 availability_model,
                 policy=self.degraded_policy,
                 penalty_waiting_time=self.penalty_waiting_time,
+                cache=self.cache,
             )
             performability_report = performability.expected_waiting_times()
             for name, value in (
@@ -277,5 +317,5 @@ class GoalEvaluator:
                 for i, name in enumerate(self.server_types.names)
             },
         )
-        self._cache[key] = assessment
+        self.cache.store_assessment(key, assessment)
         return assessment

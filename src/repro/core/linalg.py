@@ -30,11 +30,40 @@ DEFAULT_TOLERANCE = 1e-12
 DEFAULT_MAX_ITERATIONS = 100_000
 
 
+try:  # scipy is a hard dependency, but keep a pure-numpy fallback
+    from scipy.linalg import solve_triangular as _solve_triangular
+except ImportError:  # pragma: no cover - scipy ships with the package
+    _solve_triangular = None
+
+
 def _as_square_matrix(a: np.ndarray, name: str = "matrix") -> np.ndarray:
     a = np.asarray(a, dtype=float)
     if a.ndim != 2 or a.shape[0] != a.shape[1]:
         raise ValidationError(f"{name} must be square, got shape {a.shape}")
     return a
+
+
+def _validate_max_iterations(max_iterations: int) -> None:
+    if max_iterations < 1:
+        raise ValidationError(
+            f"max_iterations must be >= 1, got {max_iterations}"
+        )
+
+
+def _forward_substitution(lower: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``lower @ x = rhs`` for a lower-triangular ``lower``.
+
+    One Gauss-Seidel sweep is exactly this triangular solve with
+    ``lower = D + L`` and ``rhs = b - U x_old``; routing it through
+    LAPACK turns the pure-Python inner loop into one vectorized kernel.
+    """
+    if _solve_triangular is not None:
+        return _solve_triangular(lower, rhs, lower=True,
+                                 check_finite=False)
+    x = np.zeros_like(rhs)  # pragma: no cover - scipy-less fallback
+    for i in range(rhs.shape[0]):  # pragma: no cover
+        x[i] = (rhs[i] - lower[i, :i] @ x[:i]) / lower[i, i]
+    return x  # pragma: no cover
 
 
 def gauss_seidel(
@@ -50,8 +79,13 @@ def gauss_seidel(
     matrices, which covers the first-passage-time systems arising from the
     workflow CTMCs.  Raises :class:`ConvergenceError` if the residual does
     not fall below ``tolerance`` within ``max_iterations`` sweeps.
+
+    Each sweep is evaluated in matrix form, ``(D + L) x_new = b - U
+    x_old``, so the per-element update loop becomes one matrix-vector
+    product plus one LAPACK triangular solve.
     """
     a = _as_square_matrix(a, "coefficient matrix")
+    _validate_max_iterations(max_iterations)
     b = np.asarray(b, dtype=float)
     n = a.shape[0]
     if b.shape != (n,):
@@ -66,12 +100,12 @@ def gauss_seidel(
     if x.shape != (n,):
         raise ValidationError(f"x0 must have shape ({n},), got {x.shape}")
 
+    lower = np.tril(a)
+    upper = np.triu(a, k=1)
     b_scale = max(float(np.linalg.norm(b, ord=np.inf)), 1.0)
     with obs.span("linalg.gauss_seidel", size=n) as span:
         for iteration in range(1, max_iterations + 1):
-            for i in range(n):
-                row_sum = a[i] @ x - a[i, i] * x[i]
-                x[i] = (b[i] - row_sum) / a[i, i]
+            x = _forward_substitution(lower, b - upper @ x)
             residual = float(np.linalg.norm(a @ x - b, ord=np.inf))
             if residual <= tolerance * b_scale:
                 span.set("iterations", iteration)
@@ -174,21 +208,26 @@ def steady_state_distribution(
         return _validated_distribution(pi)
 
     if method == "gauss_seidel":
+        _validate_max_iterations(max_iterations)
         departure_rates = -np.diag(q)
         if np.any(departure_rates <= 0.0):
             raise ValidationError(
                 "Gauss-Seidel steady state requires every state to have a "
                 "positive departure rate"
             )
+        # One sweep of pi_j <- inflow_j / (-q_jj) with immediate reuse of
+        # updated entries is Gauss-Seidel on the balance system
+        # Q^T pi = 0: (D + L) pi_new = -U pi_old with D + L = tril(Q^T).
+        balance = q.T
+        lower = np.tril(balance)
+        upper = np.triu(balance, k=1)
         pi = np.full(n, 1.0 / n)
         with obs.span(
             "linalg.steady_state", method="gauss_seidel", size=n
         ) as span:
             for sweep in range(1, max_iterations + 1):
-                previous = pi.copy()
-                for j in range(n):
-                    inflow = pi @ q[:, j] - pi[j] * q[j, j]
-                    pi[j] = inflow / departure_rates[j]
+                previous = pi
+                pi = _forward_substitution(lower, -(upper @ pi))
                 total = pi.sum()
                 if total <= 0.0:
                     raise ConvergenceError(

@@ -24,6 +24,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -31,6 +32,9 @@ from repro import obs
 from repro.core.availability import AvailabilityModel
 from repro.core.performance import PerformanceModel, SystemConfiguration
 from repro.exceptions import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.core.evaluation_cache import EvaluationCache
 
 
 class DegradedStatePolicy(enum.Enum):
@@ -111,6 +115,7 @@ class PerformabilityModel:
         availability: AvailabilityModel,
         policy: DegradedStatePolicy = DegradedStatePolicy.CONDITIONAL,
         penalty_waiting_time: float | None = None,
+        cache: "EvaluationCache | None" = None,
     ) -> None:
         if performance.server_types != availability.server_types:
             raise ValidationError(
@@ -126,6 +131,7 @@ class PerformabilityModel:
         self.availability = availability
         self.policy = policy
         self.penalty_waiting_time = penalty_waiting_time
+        self._cache = cache
         self._state_cache: dict[tuple[int, ...], np.ndarray] = {}
 
     # ------------------------------------------------------------------
@@ -184,6 +190,28 @@ class PerformabilityModel:
                 return self._expected_waiting_times_joint()
         raise ValidationError(f"unknown performability method {method!r}")
 
+    def _waiting_curve(self, type_index: int, up_to: int) -> np.ndarray:
+        """The curve ``w_x(n)`` for ``n = 0..up_to`` of one server type.
+
+        The waiting time of type ``x`` depends on the system state only
+        through its own pool size, so the curve is a property of the
+        workload alone and is shared across *all* candidates of a
+        configuration search via the evaluation cache (when one is
+        attached).
+        """
+        name = self.performance.server_types.names[type_index]
+
+        def compute(available: int) -> float:
+            return self.performance.waiting_time_for_count(
+                type_index, available
+            )
+
+        if self._cache is not None:
+            return self._cache.waiting_curve(name, up_to, compute)
+        return np.array(
+            [compute(n) for n in range(up_to + 1)], dtype=float
+        )
+
     def _expected_waiting_times_marginal(self) -> PerformabilityReport:
         names = self.performance.server_types.names
         full_configuration = self.availability.configuration
@@ -192,57 +220,33 @@ class PerformabilityModel:
         )
         pools = self.availability.pools()
 
-        # Waiting time of type x as a function of its own replica count:
-        # evaluate the performance model with the other types held at
-        # full strength (their counts do not influence w_x).
-        per_type_waits: dict[str, list[float]] = {}
-        for i, name in enumerate(names):
-            waits = []
-            for available in range(counts[i] + 1):
-                replicas = dict(full_configuration.replicas)
-                replicas[name] = available
-                waits.append(
-                    float(
-                        self.performance.waiting_times(
-                            SystemConfiguration(replicas)
-                        )[i]
-                    )
-                )
-            per_type_waits[name] = waits
-
         expected = np.zeros(len(names))
         feasible_probability = 1.0
         for i, name in enumerate(names):
-            marginal = pools[name].state_probabilities
-            waits = per_type_waits[name]
-            finite = [
-                (probability, wait)
-                for probability, wait in zip(marginal, waits)
-                if math.isfinite(wait)
-            ]
-            finite_mass = sum(probability for probability, _ in finite)
+            marginal = np.asarray(
+                pools[name].state_probabilities, dtype=float
+            )
+            waits = self._waiting_curve(i, int(counts[i]))
+            finite = np.isfinite(waits)
+            finite_mass = float(marginal[finite].sum())
             infinite_mass = 1.0 - finite_mass
+            weighted = float(marginal[finite] @ waits[finite])
             feasible_probability *= finite_mass
             if self.policy is DegradedStatePolicy.CONDITIONAL:
                 if finite_mass <= 0.0:
                     expected[i] = math.inf
                 else:
-                    expected[i] = sum(
-                        probability * wait for probability, wait in finite
-                    ) / finite_mass
+                    expected[i] = weighted / finite_mass
             elif self.policy is DegradedStatePolicy.PENALTY:
                 assert self.penalty_waiting_time is not None
                 expected[i] = (
-                    sum(probability * wait for probability, wait in finite)
-                    + infinite_mass * self.penalty_waiting_time
+                    weighted + infinite_mass * self.penalty_waiting_time
                 )
             else:  # INFINITE
-                if infinite_mass > 0.0:
+                if bool(np.any(marginal[~finite] > 0.0)):
                     expected[i] = math.inf
                 else:
-                    expected[i] = sum(
-                        probability * wait for probability, wait in finite
-                    )
+                    expected[i] = weighted
 
         failure_free = self.performance.waiting_times(full_configuration)
         return PerformabilityReport(

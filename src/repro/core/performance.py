@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
@@ -320,12 +321,37 @@ class PerformanceModel:
     # ------------------------------------------------------------------
     # Stage 3: aggregated load and sustainable throughput
     # ------------------------------------------------------------------
-    def total_request_rates(self) -> np.ndarray:
-        """Request arrival rate ``l_x = sum_t xi_t r_{x,t}`` per type."""
+    @cached_property
+    def _total_request_rates(self) -> np.ndarray:
+        """Cached ``l_x`` vector (the workload is fixed at construction)."""
         totals = np.zeros(len(self.server_types))
         for item in self.workload:
             totals += item.arrival_rate * self._requests[item.definition.name]
+        totals.flags.writeable = False
         return totals
+
+    @cached_property
+    def _service_time_means(self) -> np.ndarray:
+        means = np.array(
+            [spec.mean_service_time for spec in self.server_types.specs]
+        )
+        means.flags.writeable = False
+        return means
+
+    @cached_property
+    def _service_time_second_moments(self) -> np.ndarray:
+        seconds = np.array(
+            [
+                spec.second_moment_service_time
+                for spec in self.server_types.specs
+            ]
+        )
+        seconds.flags.writeable = False
+        return seconds
+
+    def total_request_rates(self) -> np.ndarray:
+        """Request arrival rate ``l_x = sum_t xi_t r_{x,t}`` per type."""
+        return self._total_request_rates.copy()
 
     def load_breakdown(self) -> dict[str, dict[str, float]]:
         """Each workflow type's share of every server type's load.
@@ -336,7 +362,7 @@ class PerformanceModel:
         decisions.  Shares per server type sum to 1 (types without load
         report an empty mapping).
         """
-        totals = self.total_request_rates()
+        totals = self._total_request_rates
         breakdown: dict[str, dict[str, float]] = {}
         for i, name in enumerate(self.server_types.names):
             if totals[i] <= 0.0:
@@ -361,23 +387,18 @@ class PerformanceModel:
         Types with zero available replicas get ``inf`` when they carry load
         (the load has nowhere to go) and 0 otherwise.
         """
-        totals = self.total_request_rates()
+        totals = self._total_request_rates
         counts = configuration.as_vector(self.server_types)
         rates = np.zeros_like(totals)
-        for i in range(len(totals)):
-            if counts[i] > 0:
-                rates[i] = totals[i] / counts[i]
-            elif totals[i] > 0.0:
-                rates[i] = math.inf
+        positive = counts > 0
+        rates[positive] = totals[positive] / counts[positive]
+        rates[~positive & (totals > 0.0)] = math.inf
         return rates
 
     def utilizations(self, configuration: SystemConfiguration) -> np.ndarray:
         """Per-replica utilizations ``rho_x = l~_x b_x``."""
         rates = self.per_server_request_rates(configuration)
-        service_times = np.array(
-            [spec.mean_service_time for spec in self.server_types.specs]
-        )
-        return rates * service_times
+        return rates * self._service_time_means
 
     def max_sustainable_throughput(
         self, configuration: SystemConfiguration
@@ -389,7 +410,7 @@ class PerformanceModel:
         ``min_x (Y_x / b_x) / l_x`` and the maximum sustainable workflow
         throughput is that factor times the current total arrival rate.
         """
-        totals = self.total_request_rates()
+        totals = self._total_request_rates
         capacity: dict[str, float] = {}
         headroom = math.inf
         bottleneck: str | None = None
@@ -428,18 +449,43 @@ class PerformanceModel:
         positive load, and saturated types, report ``inf``.
         """
         per_server = self.per_server_request_rates(configuration)
-        waits = np.zeros(len(self.server_types))
-        for i, spec in enumerate(self.server_types.specs):
-            rate = per_server[i]
-            if math.isinf(rate):
-                waits[i] = math.inf
-                continue
-            waits[i] = mg1_mean_waiting_time(
-                rate,
-                spec.mean_service_time,
-                spec.second_moment_service_time,
-            )
+        # Vectorized Pollaczek-Khinchine over all types at once; the
+        # per-element operations are the exact float sequence of
+        # :func:`mg1_mean_waiting_time`.
+        utilization = per_server * self._service_time_means
+        waits = np.full(len(self.server_types), math.inf)
+        stable = np.isfinite(per_server) & (utilization < 1.0)
+        waits[stable] = (
+            per_server[stable] * self._service_time_second_moments[stable]
+            / (2.0 * (1.0 - utilization[stable]))
+        )
         return waits
+
+    def waiting_time_for_count(
+        self, type_index: int, available: int
+    ) -> float:
+        """Waiting time ``w_x(n)`` of one type with ``n`` running replicas.
+
+        The Section 4.4 waiting time of a type depends on the system
+        state only through its *own* pool size, so this single-point
+        evaluation is the unit the shared waiting-time curve cache
+        (:class:`~repro.core.evaluation_cache.EvaluationCache`) stores
+        and reuses across search candidates.
+        """
+        spec = self.server_types.specs[type_index]
+        total = float(self._total_request_rates[type_index])
+        obs.count("performance.waiting_time_points")
+        if available <= 0:
+            if total > 0.0:
+                return math.inf
+            rate = 0.0
+        else:
+            rate = total / available
+        return mg1_mean_waiting_time(
+            rate,
+            spec.mean_service_time,
+            spec.second_moment_service_time,
+        )
 
     def waiting_times_colocated(
         self, computers: Sequence[Computer]
@@ -529,7 +575,7 @@ class PerformanceModel:
         with obs.span(
             "performance.assess", servers=configuration.total_servers
         ):
-            totals = self.total_request_rates()
+            totals = self._total_request_rates
             per_server = self.per_server_request_rates(configuration)
             utilizations = self.utilizations(configuration)
             waits = self.waiting_times(configuration)

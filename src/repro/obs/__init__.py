@@ -88,6 +88,22 @@ DECLARED_METRICS: tuple[tuple[str, str, str], ...] = (
      "Uniformized chain steps taken (z_max scans + taboo recursions)"),
     ("counter", "performance.assessments",
      "Full Section 4 configuration assessments"),
+    ("counter", "performance.waiting_time_points",
+     "Single-type M/G/1 waiting-time curve points computed"),
+    ("counter", "evaluation_cache.assessments.hits",
+     "Goal-assessment cache hits"),
+    ("counter", "evaluation_cache.assessments.misses",
+     "Goal-assessment cache misses"),
+    ("counter", "evaluation_cache.waiting_curve.hits",
+     "Per-type waiting-time curve cache hits"),
+    ("counter", "evaluation_cache.waiting_curve.misses",
+     "Per-type waiting-time curve cache misses"),
+    ("counter", "evaluation_cache.pool_marginals.hits",
+     "Per-pool birth-death marginal cache hits"),
+    ("counter", "evaluation_cache.pool_marginals.misses",
+     "Per-pool birth-death marginal cache misses"),
+    ("counter", "evaluation_cache.evictions",
+     "Entries evicted from the bounded evaluation caches"),
     ("counter", "availability.steady_state_solves",
      "Availability CTMC steady-state solves"),
     ("counter", "performability.evaluations",

@@ -63,6 +63,27 @@ class TestConstraints:
         with pytest.raises(ValidationError):
             ReplicationConstraints(fixed={"x": 5}, maximum={"x": 2})
 
+    def test_zero_and_fractional_counts_rejected(self):
+        # Regression: maximum=0 used to pass validation even though the
+        # error message promised "a positive integer", then made
+        # upper_bound < lower_bound and broke the search downstream.
+        with pytest.raises(
+            ValidationError, match=r"maximum\[x\] must be a positive integer"
+        ):
+            ReplicationConstraints(maximum={"x": 0})
+        with pytest.raises(
+            ValidationError, match=r"minimum\[x\] must be a positive integer"
+        ):
+            ReplicationConstraints(minimum={"x": 0})
+        with pytest.raises(
+            ValidationError, match=r"fixed\[x\] must be a positive integer"
+        ):
+            ReplicationConstraints(fixed={"x": -1})
+        with pytest.raises(
+            ValidationError, match=r"maximum\[x\] must be a positive integer"
+        ):
+            ReplicationConstraints(maximum={"x": 1.5})
+
     def test_admits_checks_total(self):
         constraints = ReplicationConstraints(max_total_servers=3)
         assert constraints.admits(SystemConfiguration({"a": 1, "b": 2}))
@@ -203,6 +224,46 @@ class TestSimulatedAnnealing:
             for _ in range(2)
         ]
         assert results[0] == results[1]
+
+    def test_best_is_tracked_on_evaluation_not_acceptance(self):
+        # Regression: the best-so-far used to be updated only when the
+        # Metropolis test *accepted* a neighbour, so a satisfied,
+        # cheaper neighbour whose uphill-in-objective move was rejected
+        # (easy with a small violation penalty, where unsatisfied
+        # configurations can out-score satisfied ones) was forgotten.
+        # Under the old tracking, seed 4 returns cost 10 and seed 36
+        # reports infeasibility outright.
+        evaluator = make_evaluator()
+        satisfied_costs = []
+        original_assess = evaluator.assess
+
+        def recording_assess(configuration, goals):
+            assessment = original_assess(configuration, goals)
+            if assessment.satisfied:
+                satisfied_costs.append(
+                    configuration.cost(evaluator.server_types)
+                )
+            return assessment
+
+        evaluator.assess = recording_assess
+        recommendation = simulated_annealing_configuration(
+            evaluator, GOALS,
+            ReplicationConstraints(max_total_servers=16),
+            iterations=150, seed=4, violation_penalty=0.5,
+        )
+        assert satisfied_costs
+        assert recommendation.cost == min(satisfied_costs)
+
+    def test_rejected_satisfied_neighbour_still_counts_as_feasible(self):
+        # Seed 36 only ever *evaluates* (never accepts) satisfied
+        # configurations; acceptance-time tracking raised
+        # InfeasibleConfigurationError here.
+        recommendation = simulated_annealing_configuration(
+            make_evaluator(), GOALS,
+            ReplicationConstraints(max_total_servers=16),
+            iterations=150, seed=36, violation_penalty=0.5,
+        )
+        assert recommendation.assessment.satisfied
 
     def test_cost_close_to_exhaustive(self):
         exhaustive = exhaustive_configuration(

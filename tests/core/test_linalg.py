@@ -47,6 +47,21 @@ class TestGaussSeidel:
         with pytest.raises(ConvergenceError):
             linalg.gauss_seidel(a, np.ones(2), max_iterations=50)
 
+    def test_rejects_non_positive_max_iterations(self):
+        # Regression: max_iterations=0 used to skip the sweep loop and
+        # crash on the unbound `residual` instead of being rejected.
+        with pytest.raises(ValidationError):
+            linalg.gauss_seidel(np.eye(2), np.ones(2), max_iterations=0)
+        with pytest.raises(ValidationError):
+            linalg.gauss_seidel(np.eye(2), np.ones(2), max_iterations=-3)
+
+    def test_steady_state_rejects_non_positive_max_iterations(self):
+        q = np.array([[-1.0, 1.0], [2.0, -2.0]])
+        with pytest.raises(ValidationError):
+            linalg.steady_state_distribution(
+                q, method="gauss_seidel", max_iterations=0
+            )
+
 
 class TestSolveLinear:
     def test_unknown_method_rejected(self):
