@@ -1,6 +1,6 @@
 # Development targets for the repro package.
 
-.PHONY: install test bench bench-search examples all
+.PHONY: install test bench bench-search bench-search-parallel examples all
 
 install:
 	pip install -e . || python setup.py develop
@@ -13,6 +13,10 @@ bench:
 
 bench-search:
 	PYTHONPATH=src python benchmarks/bench_search.py --check
+
+bench-search-parallel:
+	PYTHONPATH=src python benchmarks/bench_search.py --parallel-only --check \
+		--output BENCH_search_parallel.json
 
 examples:
 	PYTHONPATH=src python examples/quickstart.py

@@ -135,6 +135,8 @@ def _cmd_availability(args: argparse.Namespace) -> int:
 
 
 def _cmd_recommend(args: argparse.Namespace) -> int:
+    import json
+
     project = load_project(args.project)
     cache = EvaluationCache(enabled=not args.no_evaluation_cache)
     evaluator = GoalEvaluator(_performance_model(project), cache=cache)
@@ -149,8 +151,24 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
         max_total_servers=args.max_total_servers,
     )
     search = _SEARCHES[args.algorithm]
-    recommendation = search(evaluator, goals, constraints)
-    print(recommendation.format_text())
+    if args.workers < 1:
+        raise ValidationError("--workers must be >= 1")
+    executor = None
+    if args.workers > 1:
+        from repro.core.search import ProcessPoolEvaluator
+
+        executor = ProcessPoolEvaluator(workers=args.workers)
+    try:
+        recommendation = search(
+            evaluator, goals, constraints, executor=executor
+        )
+    finally:
+        if executor is not None:
+            executor.close()
+    if args.json:
+        print(json.dumps(recommendation.to_document(), indent=2))
+    else:
+        print(recommendation.format_text())
     return 0
 
 
@@ -382,6 +400,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-evaluation-cache", action="store_true",
         help="disable the shared evaluation cache (reference path; "
         "every candidate is assessed from scratch)",
+    )
+    recommend.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="evaluate candidate batches on N worker processes "
+        "(results are bit-identical to the serial default)",
+    )
+    recommend.add_argument(
+        "--json", action="store_true",
+        help="print the recommendation (configuration, cost, "
+        "violations, trace) as machine-readable JSON",
     )
     recommend.set_defaults(handler=_cmd_recommend)
 

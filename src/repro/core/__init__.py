@@ -59,6 +59,12 @@ from repro.core.performability import (
     PerformabilityModel,
     PerformabilityReport,
 )
+from repro.core.search import (
+    CandidateEvaluator,
+    ProcessPoolEvaluator,
+    SearchEngine,
+    SerialEvaluator,
+)
 from repro.core.phase_type import (
     PhaseTypeDistribution,
     PhaseTypeRepairPool,
@@ -88,6 +94,7 @@ __all__ = [
     "AbsorptionRewardModel",
     "ActivitySpec",
     "AvailabilityModel",
+    "CandidateEvaluator",
     "Computer",
     "ConfigurationRecommendation",
     "DegradedStatePolicy",
@@ -104,9 +111,12 @@ __all__ = [
     "PerformanceReport",
     "PhaseTypeDistribution",
     "PhaseTypeRepairPool",
+    "ProcessPoolEvaluator",
     "RepairPolicy",
     "ReplicationConstraints",
+    "SearchEngine",
     "SearchStep",
+    "SerialEvaluator",
     "ServerPoolAvailability",
     "ServerRole",
     "ServerTypeIndex",

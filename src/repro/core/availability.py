@@ -215,28 +215,15 @@ class AvailabilityModel:
     # Joint CTMC (paper-faithful)
     # ------------------------------------------------------------------
     def generator_matrix(self) -> np.ndarray:
-        """Infinitesimal generator ``Q`` of the system-state CTMC."""
+        """Infinitesimal generator ``Q`` of the system-state CTMC.
+
+        Densified from :meth:`generator_triplets`, which is the single
+        source of truth for the transition structure; this method only
+        scatters the rates and completes the diagonal.
+        """
+        rows, columns, rates = self.generator_triplets()
         q = np.zeros((self._num_states, self._num_states))
-        for code in range(self._num_states):
-            state = self.decode(code)
-            for j, spec in enumerate(self.server_types.specs):
-                available = state[j]
-                if available >= 1 and spec.failure_rate > 0.0:
-                    failed_state = list(state)
-                    failed_state[j] -= 1
-                    q[code, self.encode(tuple(failed_state))] += (
-                        available * spec.failure_rate
-                    )
-                failed = self._counts[j] - available
-                if failed >= 1 and not math.isinf(spec.repair_rate):
-                    repaired_state = list(state)
-                    repaired_state[j] += 1
-                    if self.policy is RepairPolicy.INDEPENDENT:
-                        rate = failed * spec.repair_rate
-                    else:
-                        rate = spec.repair_rate
-                    q[code, self.encode(tuple(repaired_state))] += rate
-        np.fill_diagonal(q, 0.0)
+        np.add.at(q, (rows, columns), rates)
         np.fill_diagonal(q, -q.sum(axis=1))
         return q
 

@@ -8,205 +8,46 @@ critical server type, interleaving the availability and the performability
 criterion so that each added server is justified by a re-evaluation (this
 avoids "oversizing").  The paper remarks that full-fledged optimization
 such as branch-and-bound or simulated annealing may eventually be used;
-this module therefore also provides an exhaustive (exact) search and a
-simulated-annealing search, which double as ablation baselines for the
-greedy heuristic's near-minimality claim.
+an exhaustive (exact) search and a simulated-annealing search are
+therefore also provided, doubling as ablation baselines for the greedy
+heuristic's near-minimality claim.
+
+This module is the stable public API; the machinery lives in
+:mod:`repro.core.search`, where one :class:`~repro.core.search.SearchEngine`
+runs each algorithm as a candidate-proposal strategy against a pluggable
+evaluation executor.  Every search below accepts an ``executor`` — pass a
+:class:`~repro.core.search.ProcessPoolEvaluator` to evaluate candidate
+batches on worker processes (bit-identical results, multi-core speed for
+the batching searches); the default is in-process serial evaluation.
 """
 
 from __future__ import annotations
 
-import itertools
-import math
-import random
-from dataclasses import dataclass, field
-from typing import Iterator, Mapping
-
-from repro import obs
-from repro.core.goals import GoalAssessment, GoalEvaluator, PerformabilityGoals
+from repro.core.goals import GoalEvaluator, PerformabilityGoals
 from repro.core.performance import SystemConfiguration
-from repro.exceptions import InfeasibleConfigurationError, ValidationError
+from repro.core.search.engine import SearchEngine
+from repro.core.search.executors import CandidateEvaluator
+from repro.core.search.strategies import (
+    BranchAndBoundStrategy,
+    ExhaustiveStrategy,
+    GreedyStrategy,
+    SimulatedAnnealingStrategy,
+)
+from repro.core.search.types import (
+    ConfigurationRecommendation,
+    ReplicationConstraints,
+    SearchStep,
+)
 
-
-@dataclass(frozen=True)
-class ReplicationConstraints:
-    """Bounds on the replication degree per server type (Section 7.1).
-
-    Recommendations "can take into account specific constraints such as
-    limiting or fixing the degree of replication of particular server
-    types (e.g., for cost reasons)".  ``fixed`` pins a type to an exact
-    count; ``minimum``/``maximum`` bound the search per type;
-    ``max_total_servers`` bounds the whole system.
-    """
-
-    minimum: Mapping[str, int] = field(default_factory=dict)
-    maximum: Mapping[str, int] = field(default_factory=dict)
-    fixed: Mapping[str, int] = field(default_factory=dict)
-    max_total_servers: int = 64
-
-    def __post_init__(self) -> None:
-        for mapping_name in ("minimum", "maximum", "fixed"):
-            mapping = dict(getattr(self, mapping_name))
-            for name, value in mapping.items():
-                # A zero maximum would make upper_bound < lower_bound and
-                # surface only as a confusing downstream search failure.
-                if int(value) != value or value < 1:
-                    raise ValidationError(
-                        f"{mapping_name}[{name}] must be a positive integer"
-                    )
-                mapping[name] = int(value)
-            object.__setattr__(self, mapping_name, mapping)
-        if self.max_total_servers < 1:
-            raise ValidationError("max_total_servers must be >= 1")
-        for name, value in self.fixed.items():
-            low = self.minimum.get(name)
-            high = self.maximum.get(name)
-            if low is not None and value < low:
-                raise ValidationError(
-                    f"fixed[{name}]={value} conflicts with minimum {low}"
-                )
-            if high is not None and value > high:
-                raise ValidationError(
-                    f"fixed[{name}]={value} conflicts with maximum {high}"
-                )
-
-    def lower_bound(self, server_type: str) -> int:
-        """Smallest admissible replica count for one type."""
-        if server_type in self.fixed:
-            return self.fixed[server_type]
-        return self.minimum.get(server_type, 1)
-
-    def upper_bound(self, server_type: str) -> int:
-        """Largest admissible replica count for one type."""
-        if server_type in self.fixed:
-            return self.fixed[server_type]
-        return self.maximum.get(server_type, self.max_total_servers)
-
-    def admits(self, configuration: SystemConfiguration) -> bool:
-        """Whether a configuration satisfies all bounds."""
-        if configuration.total_servers > self.max_total_servers:
-            return False
-        return all(
-            self.lower_bound(name) <= count <= self.upper_bound(name)
-            for name, count in configuration.replicas.items()
-        )
-
-    def can_add(self, configuration: SystemConfiguration, server_type: str) -> bool:
-        """Whether one more replica of ``server_type`` stays admissible."""
-        if configuration.total_servers + 1 > self.max_total_servers:
-            return False
-        return (configuration.count(server_type) + 1
-                <= self.upper_bound(server_type))
-
-
-@dataclass(frozen=True)
-class SearchStep:
-    """One iteration of a configuration search, for traceability."""
-
-    configuration: SystemConfiguration
-    cost: float
-    satisfied: bool
-    added_server_type: str | None
-    criterion: str | None
-
-
-@dataclass(frozen=True)
-class ConfigurationRecommendation:
-    """Result of a configuration search."""
-
-    configuration: SystemConfiguration
-    cost: float
-    assessment: GoalAssessment
-    evaluations: int
-    trace: tuple[SearchStep, ...] = ()
-    algorithm: str = "greedy"
-
-    def format_text(self) -> str:
-        lines = [
-            f"Recommended configuration ({self.algorithm}): "
-            f"{self.configuration}",
-            f"  cost: {self.cost:g} ({self.configuration.total_servers} servers)",
-            f"  model evaluations: {self.evaluations}",
-            f"  goals satisfied: {self.assessment.satisfied}",
-        ]
-        if self.assessment.unavailability is not None:
-            lines.append(
-                f"  system unavailability: "
-                f"{self.assessment.unavailability:.3e}"
-            )
-        if self.assessment.performability is not None:
-            worst = self.assessment.performability.max_expected_waiting_time
-            lines.append(f"  worst expected waiting time: {worst:.6f}")
-        return "\n".join(lines)
-
-
-def _initial_configuration(
-    evaluator: GoalEvaluator, constraints: ReplicationConstraints
-) -> SystemConfiguration:
-    return SystemConfiguration(
-        {
-            name: constraints.lower_bound(name)
-            for name in evaluator.server_types.names
-        }
-    )
-
-
-def _most_critical_for_availability(
-    assessment: GoalAssessment,
-    configuration: SystemConfiguration,
-    constraints: ReplicationConstraints,
-) -> str | None:
-    """Type whose complete failure contributes most to unavailability.
-
-    Types violating their own per-type availability goal take precedence
-    (ordered by relative excess); among the rest, the largest absolute
-    per-type unavailability wins.
-    """
-    candidates = []
-    for name, unavailability in assessment.per_type_unavailability.items():
-        if not constraints.can_add(configuration, name):
-            continue
-        threshold = assessment.goals.type_unavailability_threshold(name)
-        excess = (
-            unavailability / threshold if math.isfinite(threshold) else 0.0
-        )
-        candidates.append(((excess > 1.0, excess, unavailability), name))
-    if not candidates:
-        return None
-    candidates.sort(reverse=True)
-    return candidates[0][1]
-
-
-def _most_critical_for_performance(
-    assessment: GoalAssessment,
-    configuration: SystemConfiguration,
-    constraints: ReplicationConstraints,
-    goals: PerformabilityGoals,
-) -> str | None:
-    """Type with the largest relative waiting-time excess.
-
-    Infinite waiting times (down or saturated types) dominate; ties are
-    broken by utilization, so the most loaded type is relieved first.
-    """
-    report = assessment.performability
-    if report is None:
-        return None
-    best_key: tuple[float, float] | None = None
-    best_name: str | None = None
-    for name, value in report.expected_waiting_times.items():
-        if not constraints.can_add(configuration, name):
-            continue
-        threshold = goals.waiting_time_threshold(name)
-        if math.isinf(value):
-            excess = math.inf
-        elif math.isinf(threshold):
-            excess = 0.0
-        else:
-            excess = value / threshold
-        key = (excess, assessment.utilizations.get(name, 0.0))
-        if best_key is None or key > best_key:
-            best_key = key
-            best_name = name
-    return best_name
+__all__ = [
+    "ConfigurationRecommendation",
+    "ReplicationConstraints",
+    "SearchStep",
+    "branch_and_bound_configuration",
+    "exhaustive_configuration",
+    "greedy_configuration",
+    "simulated_annealing_configuration",
+]
 
 
 def greedy_configuration(
@@ -214,131 +55,29 @@ def greedy_configuration(
     goals: PerformabilityGoals,
     constraints: ReplicationConstraints | None = None,
     initial: SystemConfiguration | None = None,
+    executor: CandidateEvaluator | None = None,
 ) -> ConfigurationRecommendation:
     """The paper's greedy heuristic (Section 7.2).
 
-    Starting from the minimal admissible configuration, each loop
-    iteration evaluates both criteria and adds one replica of the most
-    critical server type for whichever goal is still violated — first the
-    availability criterion, then (after re-evaluating) the performability
-    criterion — until both goals hold.  Raises
-    :class:`InfeasibleConfigurationError` when the constraint bounds are
-    exhausted first (the best configuration found is attached).
+    Starting from the minimal admissible configuration, each step
+    evaluates both criteria and adds one replica of the most critical
+    server type for whichever goal is still violated — first the
+    availability criterion, then (after re-evaluating) the
+    performability criterion — until both goals hold.  Raises
+    :class:`~repro.exceptions.InfeasibleConfigurationError` when the
+    constraint bounds are exhausted first (the best configuration found
+    is attached).
     """
     constraints = constraints or ReplicationConstraints()
-    configuration = initial or _initial_configuration(evaluator, constraints)
-    if not constraints.admits(configuration):
-        raise ValidationError(
-            f"initial configuration {configuration} violates the constraints"
-        )
-    trace: list[SearchStep] = []
-    evaluations_before = evaluator.evaluation_count
-    added_type: str | None = None
-    criterion: str | None = None
-
-    with obs.span("configuration.search", algorithm="greedy") as span:
-        return _greedy_loop(
-            evaluator, goals, constraints, configuration,
-            trace, evaluations_before, added_type, criterion, span,
-        )
-
-
-def _greedy_loop(
-    evaluator: GoalEvaluator,
-    goals: PerformabilityGoals,
-    constraints: ReplicationConstraints,
-    configuration: SystemConfiguration,
-    trace: list[SearchStep],
-    evaluations_before: int,
-    added_type: str | None,
-    criterion: str | None,
-    span,
-) -> ConfigurationRecommendation:
-    while True:
-        obs.count("configuration.search.iterations")
-        assessment = evaluator.assess(configuration, goals)
-        trace.append(
-            SearchStep(
-                configuration=configuration,
-                cost=configuration.cost(evaluator.server_types),
-                satisfied=assessment.satisfied,
-                added_server_type=added_type,
-                criterion=criterion,
-            )
-        )
-        if assessment.satisfied:
-            span.set("iterations", len(trace))
-            span.set(
-                "evaluations",
-                evaluator.evaluation_count - evaluations_before,
-            )
-            return ConfigurationRecommendation(
-                configuration=configuration,
-                cost=configuration.cost(evaluator.server_types),
-                assessment=assessment,
-                evaluations=evaluator.evaluation_count - evaluations_before,
-                trace=tuple(trace),
-                algorithm="greedy",
-            )
-        # Interleave the two criteria: fix availability first, then
-        # re-evaluate before touching performance (Section 7.2).
-        if not assessment.availability_satisfied:
-            criterion = "availability"
-            added_type = _most_critical_for_availability(
-                assessment, configuration, constraints
-            )
-        else:
-            criterion = "performability"
-            added_type = _most_critical_for_performance(
-                assessment, configuration, constraints, goals
-            )
-        if added_type is None:
-            raise InfeasibleConfigurationError(
-                f"constraints exhausted at {configuration} with goals "
-                "still violated: "
-                + "; ".join(str(v) for v in assessment.violations),
-                best_found=ConfigurationRecommendation(
-                    configuration=configuration,
-                    cost=configuration.cost(evaluator.server_types),
-                    assessment=assessment,
-                    evaluations=(evaluator.evaluation_count
-                                 - evaluations_before),
-                    trace=tuple(trace),
-                    algorithm="greedy",
-                ),
-            )
-        configuration = configuration.with_added_replica(added_type)
-
-
-def _configurations_by_cost(
-    evaluator: GoalEvaluator, constraints: ReplicationConstraints
-) -> Iterator[SystemConfiguration]:
-    """All admissible configurations in non-decreasing cost order."""
-    names = evaluator.server_types.names
-    ranges = [
-        range(constraints.lower_bound(name),
-              constraints.upper_bound(name) + 1)
-        for name in names
-    ]
-    candidates = [
-        SystemConfiguration(dict(zip(names, counts)))
-        for counts in itertools.product(*ranges)
-        if sum(counts) <= constraints.max_total_servers
-    ]
-    candidates.sort(
-        key=lambda configuration: (
-            configuration.cost(evaluator.server_types),
-            configuration.total_servers,
-            str(configuration),
-        )
-    )
-    yield from candidates
+    strategy = GreedyStrategy(evaluator, goals, constraints, initial)
+    return SearchEngine(evaluator, goals, executor).run(strategy)
 
 
 def exhaustive_configuration(
     evaluator: GoalEvaluator,
     goals: PerformabilityGoals,
     constraints: ReplicationConstraints | None = None,
+    executor: CandidateEvaluator | None = None,
 ) -> ConfigurationRecommendation:
     """Exact minimum-cost configuration by enumeration in cost order.
 
@@ -346,177 +85,27 @@ def exhaustive_configuration(
     against which the greedy heuristic's near-minimality is measured.
     """
     constraints = constraints or ReplicationConstraints(max_total_servers=16)
-    evaluations_before = evaluator.evaluation_count
-    best: GoalAssessment | None = None
-    with obs.span("configuration.search", algorithm="exhaustive") as span:
-        for configuration in _configurations_by_cost(evaluator, constraints):
-            obs.count("configuration.search.iterations")
-            assessment = evaluator.assess(configuration, goals)
-            if assessment.satisfied:
-                best = assessment
-                break
-        span.set(
-            "evaluations", evaluator.evaluation_count - evaluations_before
-        )
-    if best is None:
-        raise InfeasibleConfigurationError(
-            "no admissible configuration satisfies the goals"
-        )
-    return ConfigurationRecommendation(
-        configuration=best.configuration,
-        cost=best.configuration.cost(evaluator.server_types),
-        assessment=best,
-        evaluations=evaluator.evaluation_count - evaluations_before,
-        algorithm="exhaustive",
-    )
-
-
-def _per_type_lower_bounds(
-    evaluator: GoalEvaluator,
-    goals: PerformabilityGoals,
-    constraints: ReplicationConstraints,
-) -> dict[str, int]:
-    """Per-type replica lower bounds implied by the goals.
-
-    Both metrics are monotone in the replication degree, so a
-    configuration can only be feasible if every type alone satisfies the
-    *necessary* conditions: (i) the type's own unavailability must not
-    already exceed the system goal (the system is down whenever the type
-    is fully down), and (ii) the failure-free waiting time — a lower
-    bound on the performability waiting time — must meet the threshold,
-    which in particular requires an unsaturated replica pool.  These
-    bounds let branch-and-bound skip the infeasible corner of the
-    search space without evaluating it.
-    """
-    from repro.core.availability import (
-        ServerPoolAvailability,
-        minimum_replicas_for_availability,
-    )
-    from repro.queueing import mg1_mean_waiting_time
-
-    totals = evaluator.performance.total_request_rates()
-    bounds: dict[str, int] = {}
-    for i, spec in enumerate(evaluator.server_types.specs):
-        bound = constraints.lower_bound(spec.name)
-        upper = constraints.upper_bound(spec.name)
-
-        availability_target = min(
-            goals.max_unavailability
-            if goals.max_unavailability is not None else math.inf,
-            goals.type_unavailability_threshold(spec.name),
-        )
-        if math.isfinite(availability_target) and spec.failure_rate > 0.0:
-            single = ServerPoolAvailability(spec, 1, evaluator.repair_policy)
-            if single.unavailability > availability_target:
-                try:
-                    bound = max(
-                        bound,
-                        minimum_replicas_for_availability(
-                            spec, availability_target,
-                            policy=evaluator.repair_policy,
-                            max_replicas=upper,
-                        ),
-                    )
-                except ValidationError:
-                    bound = upper + 1  # provably infeasible within bounds
-
-        waiting_target = goals.waiting_time_threshold(spec.name)
-        if math.isfinite(waiting_target) and totals[i] > 0.0:
-            count = bound
-            while count <= upper:
-                waiting = mg1_mean_waiting_time(
-                    totals[i] / count,
-                    spec.mean_service_time,
-                    spec.second_moment_service_time,
-                )
-                if waiting <= waiting_target:
-                    break
-                count += 1
-            bound = count
-        bounds[spec.name] = bound
-    return bounds
+    strategy = ExhaustiveStrategy(evaluator, goals, constraints)
+    return SearchEngine(evaluator, goals, executor).run(strategy)
 
 
 def branch_and_bound_configuration(
     evaluator: GoalEvaluator,
     goals: PerformabilityGoals,
     constraints: ReplicationConstraints | None = None,
+    executor: CandidateEvaluator | None = None,
 ) -> ConfigurationRecommendation:
     """Exact minimum-cost search with monotonicity-based pruning.
 
-    The paper notes the search "may eventually entail full-fledged
-    algorithms for mathematical optimization such as branch-and-bound".
-    Both goal metrics improve monotonically when replicas are added, so:
-
-    1. per-type *lower bounds* are derived analytically (availability and
-       failure-free waiting time are necessary conditions), pruning the
-       infeasible corner without any model evaluation;
-    2. candidates are expanded best-first in cost order from the
-       lower-bound corner, so the first feasible configuration found is
-       a provably minimum-cost one.
-
-    Exact like :func:`exhaustive_configuration`, typically at a small
+    Analytic per-type lower bounds prune the infeasible corner without
+    model evaluations; best-first expansion in cost order makes the
+    first feasible configuration a provably minimum-cost one.  Exact
+    like :func:`exhaustive_configuration`, typically at a small
     fraction of its model evaluations.
     """
-    import heapq
-
     constraints = constraints or ReplicationConstraints(max_total_servers=32)
-    evaluations_before = evaluator.evaluation_count
-    names = evaluator.server_types.names
-    lower = _per_type_lower_bounds(evaluator, goals, constraints)
-    if any(lower[name] > constraints.upper_bound(name) for name in names):
-        raise InfeasibleConfigurationError(
-            "analytic lower bounds already exceed the constraints; no "
-            "admissible configuration can satisfy the goals"
-        )
-
-    start = SystemConfiguration({name: lower[name] for name in names})
-    if not constraints.admits(start):
-        raise InfeasibleConfigurationError(
-            f"lower-bound configuration {start} violates the total-server "
-            "constraint"
-        )
-
-    def cost_of(configuration: SystemConfiguration) -> float:
-        return configuration.cost(evaluator.server_types)
-
-    counter = 0
-    frontier: list[tuple[float, int, SystemConfiguration]] = []
-    heapq.heappush(frontier, (cost_of(start), counter, start))
-    seen = {tuple(sorted(start.replicas.items()))}
-    with obs.span(
-        "configuration.search", algorithm="branch_and_bound"
-    ) as span:
-        while frontier:
-            _, _, configuration = heapq.heappop(frontier)
-            obs.count("configuration.search.iterations")
-            assessment = evaluator.assess(configuration, goals)
-            if assessment.satisfied:
-                span.set(
-                    "evaluations",
-                    evaluator.evaluation_count - evaluations_before,
-                )
-                return ConfigurationRecommendation(
-                    configuration=configuration,
-                    cost=cost_of(configuration),
-                    assessment=assessment,
-                    evaluations=(evaluator.evaluation_count
-                                 - evaluations_before),
-                    algorithm="branch_and_bound",
-                )
-            for name in names:
-                if not constraints.can_add(configuration, name):
-                    continue
-                child = configuration.with_added_replica(name)
-                key = tuple(sorted(child.replicas.items()))
-                if key in seen:
-                    continue
-                seen.add(key)
-                counter += 1
-                heapq.heappush(frontier, (cost_of(child), counter, child))
-    raise InfeasibleConfigurationError(
-        "no admissible configuration satisfies the goals"
-    )
+    strategy = BranchAndBoundStrategy(evaluator, goals, constraints)
+    return SearchEngine(evaluator, goals, executor).run(strategy)
 
 
 def simulated_annealing_configuration(
@@ -528,6 +117,7 @@ def simulated_annealing_configuration(
     cooling: float = 0.98,
     violation_penalty: float = 100.0,
     seed: int = 0,
+    executor: CandidateEvaluator | None = None,
 ) -> ConfigurationRecommendation:
     """Simulated-annealing search over the configuration space.
 
@@ -536,67 +126,14 @@ def simulated_annealing_configuration(
     constraint bounds.  Deterministic for a fixed ``seed``.
     """
     constraints = constraints or ReplicationConstraints(max_total_servers=32)
-    rng = random.Random(seed)
-    names = list(evaluator.server_types.names)
-    evaluations_before = evaluator.evaluation_count
-
-    def objective(assessment: GoalAssessment) -> float:
-        return (assessment.configuration.cost(evaluator.server_types)
-                + violation_penalty * len(assessment.violations))
-
-    current = _initial_configuration(evaluator, constraints)
-    current_assessment = evaluator.assess(current, goals)
-    best_assessment = current_assessment
-    temperature = initial_temperature
-    with obs.span(
-        "configuration.search",
-        algorithm="simulated_annealing",
+    strategy = SimulatedAnnealingStrategy(
+        evaluator,
+        goals,
+        constraints,
         iterations=iterations,
-    ) as span:
-        for _ in range(iterations):
-            obs.count("configuration.search.iterations")
-            name = rng.choice(names)
-            delta = rng.choice((-1, 1))
-            count = current.count(name) + delta
-            if not (constraints.lower_bound(name) <= count
-                    <= constraints.upper_bound(name)):
-                continue
-            replicas = dict(current.replicas)
-            replicas[name] = count
-            neighbour = SystemConfiguration(replicas)
-            if neighbour.total_servers > constraints.max_total_servers:
-                continue
-            neighbour_assessment = evaluator.assess(neighbour, goals)
-            # Track the best feasible configuration on *evaluation*, not
-            # on acceptance: a satisfied, cheaper neighbour whose
-            # Metropolis move is rejected must still be remembered.
-            if (neighbour_assessment.satisfied
-                    and (not best_assessment.satisfied
-                         or objective(neighbour_assessment)
-                         < objective(best_assessment))):
-                best_assessment = neighbour_assessment
-            difference = objective(neighbour_assessment) - objective(
-                current_assessment
-            )
-            if difference <= 0.0 or rng.random() < math.exp(
-                -difference / max(temperature, 1e-9)
-            ):
-                current = neighbour
-                current_assessment = neighbour_assessment
-            temperature *= cooling
-        span.set(
-            "evaluations", evaluator.evaluation_count - evaluations_before
-        )
-
-    if not best_assessment.satisfied:
-        raise InfeasibleConfigurationError(
-            "simulated annealing found no configuration satisfying the "
-            "goals; increase iterations or relax constraints"
-        )
-    return ConfigurationRecommendation(
-        configuration=best_assessment.configuration,
-        cost=best_assessment.configuration.cost(evaluator.server_types),
-        assessment=best_assessment,
-        evaluations=evaluator.evaluation_count - evaluations_before,
-        algorithm="simulated_annealing",
+        initial_temperature=initial_temperature,
+        cooling=cooling,
+        violation_penalty=violation_penalty,
+        seed=seed,
     )
+    return SearchEngine(evaluator, goals, executor).run(strategy)

@@ -291,6 +291,46 @@ class PerformanceModel:
                     method=visit_method, confidence=confidence
                 )
 
+    @classmethod
+    def from_request_totals(
+        cls,
+        server_types: ServerTypeIndex,
+        total_request_rates: Sequence[float],
+    ) -> "PerformanceModel":
+        """A partial model rebuilt from its configuration-search inputs.
+
+        Every configuration-evaluation path (utilizations, waiting
+        times, goal assessment) depends on the workload only through the
+        per-type total request rates ``l_x`` — exactly the second half
+        of :func:`~repro.core.evaluation_cache.model_fingerprint`.  A
+        search worker process therefore rebuilds its model from the
+        fingerprint alone instead of pickling the per-workflow CTMCs,
+        and computes bitwise-identical results because the floats are
+        carried over verbatim.
+
+        The partial model has no workload: the per-workflow analyses
+        (turnaround times, request counts, throughput, load breakdown)
+        raise on use.
+        """
+        totals = np.asarray(total_request_rates, dtype=float).copy()
+        if totals.shape != (len(server_types),):
+            raise ValidationError(
+                f"need one total request rate per server type "
+                f"({len(server_types)}), got shape {totals.shape}"
+            )
+        model = cls.__new__(cls)
+        model.server_types = server_types
+        model.workload = None
+        model._visit_method = "fundamental"
+        model._confidence = 0.99
+        model._models = {}
+        model._turnarounds = {}
+        model._requests = {}
+        totals.flags.writeable = False
+        # Seed the cached_property so the totals are authoritative.
+        model.__dict__["_total_request_rates"] = totals
+        return model
+
     # ------------------------------------------------------------------
     # Stage 1 + 2: per-workflow quantities
     # ------------------------------------------------------------------

@@ -1,0 +1,62 @@
+"""The configuration-search engine (Section 7.2).
+
+One engine, four candidate-proposal strategies, two evaluation
+backends:
+
+* :class:`SearchEngine` — the unified propose → evaluate → consume →
+  record loop that the four per-algorithm loops in
+  :mod:`repro.core.configuration` collapsed into;
+* :class:`GreedyStrategy`, :class:`ExhaustiveStrategy`,
+  :class:`BranchAndBoundStrategy`, :class:`SimulatedAnnealingStrategy`
+  — the paper's algorithms as pure proposal logic;
+* :class:`SerialEvaluator` (default) and :class:`ProcessPoolEvaluator`
+  (spawn workers, cache merge-back, bit-identical to serial) — where
+  candidate evaluation runs.
+
+The public convenience wrappers (``greedy_configuration`` etc.) live in
+:mod:`repro.core.configuration` for API compatibility.
+"""
+
+from repro.core.search.candidates import (
+    configurations_by_cost,
+    initial_configuration,
+    per_type_lower_bounds,
+)
+from repro.core.search.engine import SearchEngine
+from repro.core.search.executors import (
+    CandidateEvaluator,
+    ProcessPoolEvaluator,
+    SerialEvaluator,
+)
+from repro.core.search.strategies import (
+    BranchAndBoundStrategy,
+    Candidate,
+    ExhaustiveStrategy,
+    GreedyStrategy,
+    SearchStrategy,
+    SimulatedAnnealingStrategy,
+)
+from repro.core.search.types import (
+    ConfigurationRecommendation,
+    ReplicationConstraints,
+    SearchStep,
+)
+
+__all__ = [
+    "BranchAndBoundStrategy",
+    "Candidate",
+    "CandidateEvaluator",
+    "ConfigurationRecommendation",
+    "ExhaustiveStrategy",
+    "GreedyStrategy",
+    "ProcessPoolEvaluator",
+    "ReplicationConstraints",
+    "SearchEngine",
+    "SearchStep",
+    "SearchStrategy",
+    "SerialEvaluator",
+    "SimulatedAnnealingStrategy",
+    "configurations_by_cost",
+    "initial_configuration",
+    "per_type_lower_bounds",
+]

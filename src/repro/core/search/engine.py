@@ -1,0 +1,120 @@
+"""The unified configuration-search loop (Section 7.2).
+
+:class:`SearchEngine` owns everything the four search algorithms used
+to duplicate: proposing candidate batches from a strategy, evaluating
+them through a pluggable executor, consuming assessments in proposal
+order, recording the :class:`SearchStep` trace, counting evaluations,
+and emitting the ``configuration.search`` span and counters.  The
+strategies (:mod:`repro.core.search.strategies`) contain only search
+logic; the executors (:mod:`repro.core.search.executors`) contain only
+evaluation placement.  One loop, four algorithms, two backends.
+"""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.core.goals import GoalAssessment, GoalEvaluator, PerformabilityGoals
+from repro.core.search.executors import CandidateEvaluator, SerialEvaluator
+from repro.core.search.strategies import SearchExhausted, SearchStrategy
+from repro.core.search.types import (
+    ConfigurationRecommendation,
+    SearchStep,
+)
+from repro.exceptions import InfeasibleConfigurationError
+
+
+class SearchEngine:
+    """Runs one candidate-proposal strategy to a recommendation.
+
+    The engine consumes assessments strictly in proposal order and
+    stops at the strategy's terminal assessment, so the outcome is
+    independent of the executor: a parallel backend may evaluate ahead
+    speculatively, but only the consumed prefix is ever committed.
+    """
+
+    def __init__(
+        self,
+        evaluator: GoalEvaluator,
+        goals: PerformabilityGoals,
+        executor: CandidateEvaluator | None = None,
+    ) -> None:
+        self.evaluator = evaluator
+        self.goals = goals
+        self.executor = executor if executor is not None else SerialEvaluator()
+
+    def run(self, strategy: SearchStrategy) -> ConfigurationRecommendation:
+        evaluator = self.evaluator
+        evaluations_before = evaluator.evaluation_count
+        trace: list[SearchStep] = []
+        record_trace = getattr(strategy, "record_trace", False)
+
+        def recommendation(
+            assessment: GoalAssessment,
+        ) -> ConfigurationRecommendation:
+            configuration = assessment.configuration
+            return ConfigurationRecommendation(
+                configuration=configuration,
+                cost=configuration.cost(evaluator.server_types),
+                assessment=assessment,
+                evaluations=evaluator.evaluation_count - evaluations_before,
+                trace=tuple(trace) if record_trace else (),
+                algorithm=strategy.name,
+            )
+
+        with obs.span(
+            "configuration.search",
+            algorithm=strategy.name,
+            executor=self.executor.name,
+        ) as span:
+            try:
+                final = self._loop(strategy, trace)
+            except SearchExhausted as exc:
+                best = (
+                    recommendation(exc.best_assessment)
+                    if exc.best_assessment is not None else None
+                )
+                raise InfeasibleConfigurationError(
+                    exc.message, best_found=best
+                ) from None
+            span.set(
+                "evaluations",
+                evaluator.evaluation_count - evaluations_before,
+            )
+            if record_trace:
+                span.set("iterations", len(trace))
+            return recommendation(final)
+
+    def _loop(
+        self, strategy: SearchStrategy, trace: list[SearchStep]
+    ) -> GoalAssessment:
+        evaluator, goals, executor = self.evaluator, self.goals, self.executor
+        limit = max(1, executor.batch_limit)
+        while True:
+            batch = strategy.propose(limit)
+            if not batch:
+                return strategy.exhausted()
+            obs.count("configuration.search.batches")
+            slots = executor.evaluate_batch(evaluator, goals, batch)
+            for index, (candidate, slot) in enumerate(zip(batch, slots)):
+                obs.count("configuration.search.iterations")
+                assessment = slot()
+                trace.append(
+                    SearchStep(
+                        configuration=candidate.configuration,
+                        cost=candidate.configuration.cost(
+                            evaluator.server_types
+                        ),
+                        satisfied=assessment.satisfied,
+                        added_server_type=candidate.added_server_type,
+                        criterion=candidate.criterion,
+                    )
+                )
+                final = strategy.observe(candidate, assessment)
+                if final is not None:
+                    discarded = len(batch) - index - 1
+                    if discarded and executor.eager:
+                        obs.count(
+                            "configuration.search.speculative_evaluations",
+                            discarded,
+                        )
+                    return final

@@ -1,0 +1,271 @@
+"""Pluggable candidate-evaluation backends for the search engine.
+
+The engine hands an executor one batch of candidates and gets back one
+*assessment slot* per candidate, in order.  A slot is a zero-argument
+callable; invoking it yields the :class:`GoalAssessment` **committed to
+the parent evaluator** (cache bookkeeping and evaluation counting
+included).  The engine invokes slots lazily, in proposal order, and
+stops at the first terminal one — so whatever an executor computed for
+the remaining slots is speculative and simply never committed.
+
+Two backends:
+
+* :class:`SerialEvaluator` — today's path: each slot runs
+  ``GoalEvaluator.assess`` in-process when invoked.  Nothing is
+  evaluated ahead of time; this is the reference semantics.
+* :class:`ProcessPoolEvaluator` — spawn-safe worker processes, each
+  holding a :class:`~repro.core.goals.GoalEvaluator` rebuilt from the
+  parent model's fingerprint.  Batches are evaluated eagerly in
+  parallel; the parent then *adopts* consumed assessments one by one
+  (replaying the exact serial bookkeeping) and merges the workers'
+  warmed waiting-time curves and pool marginals back into its own
+  evaluation cache.  Because the models are rebuilt from identical
+  floats and the adoption replays the serial cache protocol on the
+  consumed prefix only, results are bit-identical to the serial path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Sequence
+
+from repro import obs
+from repro.core.availability import RepairPolicy
+from repro.core.evaluation_cache import EvaluationCache, model_fingerprint
+from repro.core.goals import (
+    GoalAssessment,
+    GoalEvaluator,
+    PerformabilityGoals,
+)
+from repro.core.model_types import ServerTypeIndex
+from repro.core.performability import DegradedStatePolicy
+from repro.core.performance import PerformanceModel, SystemConfiguration
+from repro.core.search.strategies import Candidate
+from repro.exceptions import ValidationError
+
+#: A deferred, committed-on-call candidate assessment.
+AssessmentSlot = Callable[[], GoalAssessment]
+
+
+class CandidateEvaluator:
+    """Executor interface: turn a candidate batch into assessment slots."""
+
+    name: str = "abstract"
+    #: Largest useful batch; the engine never proposes more per round.
+    batch_limit: int = 1
+    #: Whether slots are computed ahead of consumption (speculatively).
+    eager: bool = False
+
+    def evaluate_batch(
+        self,
+        evaluator: GoalEvaluator,
+        goals: PerformabilityGoals,
+        candidates: Sequence[Candidate],
+    ) -> list[AssessmentSlot]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources (worker processes); idempotent."""
+
+    def __enter__(self) -> "CandidateEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialEvaluator(CandidateEvaluator):
+    """In-process, one-at-a-time evaluation (the default path)."""
+
+    name = "serial"
+    batch_limit = 1
+    eager = False
+
+    def evaluate_batch(
+        self,
+        evaluator: GoalEvaluator,
+        goals: PerformabilityGoals,
+        candidates: Sequence[Candidate],
+    ) -> list[AssessmentSlot]:
+        return [
+            lambda candidate=candidate: evaluator.assess(
+                candidate.configuration, goals
+            )
+            for candidate in candidates
+        ]
+
+
+# ----------------------------------------------------------------------
+# Worker-process side of the process pool
+# ----------------------------------------------------------------------
+#: Per-worker evaluator, rebuilt from the parent model's fingerprint by
+#: the pool initializer (spawn start method: nothing is inherited).
+_WORKER: GoalEvaluator | None = None
+
+
+def _initialize_worker(
+    fingerprint: tuple,
+    repair_policy_value: str,
+    degraded_policy_value: str,
+    penalty_waiting_time: float | None,
+    snapshot: dict,
+) -> None:
+    global _WORKER
+    specs, totals = fingerprint
+    performance = PerformanceModel.from_request_totals(
+        ServerTypeIndex(specs), totals
+    )
+    _WORKER = GoalEvaluator(
+        performance,
+        repair_policy=RepairPolicy(repair_policy_value),
+        degraded_policy=DegradedStatePolicy(degraded_policy_value),
+        penalty_waiting_time=penalty_waiting_time,
+        cache=EvaluationCache(),
+    )
+    _WORKER.cache.merge_snapshot(snapshot)
+
+
+def _evaluate_chunk(
+    goals: PerformabilityGoals,
+    replicas_list: list[dict[str, int]],
+) -> tuple[list[GoalAssessment], dict]:
+    assert _WORKER is not None, "worker initializer did not run"
+    configurations = [
+        SystemConfiguration(replicas) for replicas in replicas_list
+    ]
+    assessments = _WORKER.assess_many(configurations, goals)
+    return assessments, _WORKER.cache.export_snapshot()
+
+
+def _worker_ready(delay: float) -> int:
+    time.sleep(delay)
+    return os.getpid()
+
+
+class ProcessPoolEvaluator(CandidateEvaluator):
+    """Parallel batch evaluation on spawn-started worker processes.
+
+    Workers are started lazily on the first multi-candidate batch and
+    initialized from the parent evaluator's model fingerprint plus a
+    snapshot of its evaluation cache, so they never pickle the full
+    performance model (the per-workflow CTMCs stay in the parent).  One
+    pool serves any number of searches as long as the evaluator's model
+    and policies stay the same; a different evaluator transparently
+    restarts the pool.
+
+    Determinism: candidates are assessed from bitwise-identical model
+    inputs in the workers, consumed in proposal order by the parent via
+    :meth:`GoalEvaluator.adopt_assessment` (which replays the serial
+    cache lookup/count/store protocol), and assessments past the
+    terminal candidate are discarded — so recommendations, traces, and
+    evaluation counts are bit-identical to :class:`SerialEvaluator`.
+    """
+
+    name = "process_pool"
+    eager = True
+
+    def __init__(self, workers: int = 2, chunk_size: int = 4) -> None:
+        if workers < 1:
+            raise ValidationError("workers must be >= 1")
+        if chunk_size < 1:
+            raise ValidationError("chunk_size must be >= 1")
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.batch_limit = workers * chunk_size
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_key: tuple | None = None
+
+    def _evaluator_key(self, evaluator: GoalEvaluator) -> tuple:
+        return (
+            model_fingerprint(evaluator.performance),
+            evaluator.repair_policy.value,
+            evaluator.degraded_policy.value,
+            evaluator.penalty_waiting_time,
+        )
+
+    def _ensure_pool(self, evaluator: GoalEvaluator) -> ProcessPoolExecutor:
+        key = self._evaluator_key(evaluator)
+        if self._pool is not None and self._pool_key != key:
+            self.close()
+        if self._pool is None:
+            fingerprint, repair, degraded, penalty = key
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("spawn"),
+                initializer=_initialize_worker,
+                initargs=(
+                    fingerprint, repair, degraded, penalty,
+                    evaluator.cache.export_snapshot(),
+                ),
+            )
+            self._pool_key = key
+            obs.set_gauge("configuration.search.workers", self.workers)
+        return self._pool
+
+    def warm_up(self, evaluator: GoalEvaluator, timeout: float = 60.0) -> int:
+        """Start the worker processes ahead of the first batch.
+
+        Spawn-started workers pay a one-time interpreter and import cost
+        before their first chunk; this blocks until every worker has run
+        its initializer (or ``timeout`` seconds elapsed), so a
+        latency-sensitive search — or a benchmark — measures evaluation
+        work rather than process startup.  Worker evaluation caches are
+        untouched.  Returns the number of distinct workers confirmed.
+        """
+        pool = self._ensure_pool(evaluator)
+        deadline = time.monotonic() + timeout
+        ready: set[int] = set()
+        while len(ready) < self.workers and time.monotonic() < deadline:
+            futures = [
+                pool.submit(_worker_ready, 0.05)
+                for _ in range(self.workers)
+            ]
+            ready.update(future.result() for future in futures)
+        return len(ready)
+
+    def evaluate_batch(
+        self,
+        evaluator: GoalEvaluator,
+        goals: PerformabilityGoals,
+        candidates: Sequence[Candidate],
+    ) -> list[AssessmentSlot]:
+        if len(candidates) == 1:
+            # A sequential strategy step: dispatching one candidate to a
+            # worker costs IPC and wins nothing; assess in-process.
+            candidate = candidates[0]
+            return [
+                lambda: evaluator.assess(candidate.configuration, goals)
+            ]
+        pool = self._ensure_pool(evaluator)
+        chunks: list[Sequence[Candidate]] = [
+            candidates[start:start + self.chunk_size]
+            for start in range(0, len(candidates), self.chunk_size)
+        ]
+        futures = [
+            pool.submit(
+                _evaluate_chunk,
+                goals,
+                [dict(c.configuration.replicas) for c in chunk],
+            )
+            for chunk in chunks
+        ]
+        assessments: list[GoalAssessment] = []
+        for future in futures:
+            chunk_assessments, snapshot = future.result()
+            evaluator.cache.merge_snapshot(snapshot)
+            assessments.extend(chunk_assessments)
+        return [
+            lambda assessment=assessment: evaluator.adopt_assessment(
+                assessment
+            )
+            for assessment in assessments
+        ]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_key = None

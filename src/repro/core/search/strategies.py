@@ -1,0 +1,464 @@
+"""Candidate-proposal strategies of the configuration search engine.
+
+Each of the paper's search algorithms (Section 7.2) is expressed as a
+:class:`SearchStrategy`: a stateful proposer that hands the engine
+batches of candidate configurations and consumes their goal assessments
+*in proposal order*.  The engine owns evaluation (via a pluggable
+executor), trace recording, and observability; the strategy owns the
+search logic — what to propose next and when the search is finished.
+
+Strategies must be **batch-invariant**: the sequence of consumed
+(candidate, assessment) pairs up to termination may not depend on how
+many candidates the engine requested per round.  Greedy and simulated
+annealing are inherently sequential and propose one candidate at a
+time; exhaustive proposes any prefix of the cost-ordered enumeration;
+branch-and-bound limits each batch to frontier nodes that provably
+precede every still-unexpanded child in cost order.  This is what makes
+parallel evaluation bit-identical to serial.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import random
+from dataclasses import dataclass
+
+from repro.core.goals import GoalAssessment, GoalEvaluator, PerformabilityGoals
+from repro.core.performance import SystemConfiguration
+from repro.core.search.candidates import (
+    configurations_by_cost,
+    initial_configuration,
+    per_type_lower_bounds,
+)
+from repro.core.search.types import ReplicationConstraints
+from repro.exceptions import InfeasibleConfigurationError, ValidationError
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One proposed configuration plus the step metadata for the trace."""
+
+    configuration: SystemConfiguration
+    added_server_type: str | None = None
+    criterion: str | None = None
+
+
+class SearchExhausted(Exception):
+    """Internal signal: the strategy ran out of admissible candidates.
+
+    The engine translates it into
+    :class:`~repro.exceptions.InfeasibleConfigurationError`, attaching a
+    ``best_found`` recommendation when the strategy supplies the best
+    assessment it saw (the greedy heuristic does).
+    """
+
+    def __init__(
+        self, message: str, best_assessment: GoalAssessment | None = None
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.best_assessment = best_assessment
+
+
+class SearchStrategy:
+    """Base class: propose candidates, observe assessments in order."""
+
+    name: str = "abstract"
+    #: Whether consumed steps appear in the recommendation's trace
+    #: (the greedy heuristic's step-by-step justification; the other
+    #: algorithms historically return an empty trace).
+    record_trace: bool = False
+
+    def propose(self, limit: int) -> list[Candidate]:
+        """Up to ``limit`` candidates to evaluate next (may be fewer).
+
+        An empty list means no candidate is currently proposable; the
+        engine then calls :meth:`exhausted`.
+        """
+        raise NotImplementedError
+
+    def observe(
+        self, candidate: Candidate, assessment: GoalAssessment
+    ) -> GoalAssessment | None:
+        """Consume one assessment; non-``None`` ends the search with it.
+
+        Called in proposal order.  Once a final assessment is returned
+        the engine discards any unconsumed candidates of the batch.
+        """
+        raise NotImplementedError
+
+    def exhausted(self) -> GoalAssessment:
+        """Outcome when :meth:`propose` has nothing left to offer.
+
+        Either returns the final assessment (simulated annealing ends
+        this way) or raises :class:`SearchExhausted`.
+        """
+        raise SearchExhausted(
+            "no admissible configuration satisfies the goals"
+        )
+
+
+def _most_critical_for_availability(
+    assessment: GoalAssessment,
+    configuration: SystemConfiguration,
+    constraints: ReplicationConstraints,
+) -> str | None:
+    """Type whose complete failure contributes most to unavailability.
+
+    Types violating their own per-type availability goal take precedence
+    (ordered by relative excess); among the rest, the largest absolute
+    per-type unavailability wins.
+    """
+    candidates = []
+    for name, unavailability in assessment.per_type_unavailability.items():
+        if not constraints.can_add(configuration, name):
+            continue
+        threshold = assessment.goals.type_unavailability_threshold(name)
+        excess = (
+            unavailability / threshold if math.isfinite(threshold) else 0.0
+        )
+        candidates.append(((excess > 1.0, excess, unavailability), name))
+    if not candidates:
+        return None
+    candidates.sort(reverse=True)
+    return candidates[0][1]
+
+
+def _most_critical_for_performance(
+    assessment: GoalAssessment,
+    configuration: SystemConfiguration,
+    constraints: ReplicationConstraints,
+    goals: PerformabilityGoals,
+) -> str | None:
+    """Type with the largest relative waiting-time excess.
+
+    Infinite waiting times (down or saturated types) dominate; ties are
+    broken by utilization, so the most loaded type is relieved first.
+    """
+    report = assessment.performability
+    if report is None:
+        return None
+    best_key: tuple[float, float] | None = None
+    best_name: str | None = None
+    for name, value in report.expected_waiting_times.items():
+        if not constraints.can_add(configuration, name):
+            continue
+        threshold = goals.waiting_time_threshold(name)
+        if math.isinf(value):
+            excess = math.inf
+        elif math.isinf(threshold):
+            excess = 0.0
+        else:
+            excess = value / threshold
+        key = (excess, assessment.utilizations.get(name, 0.0))
+        if best_key is None or key > best_key:
+            best_key = key
+            best_name = name
+    return best_name
+
+
+class GreedyStrategy(SearchStrategy):
+    """The paper's greedy heuristic (Section 7.2).
+
+    Starting from the minimal admissible configuration, each step
+    evaluates the current candidate and adds one replica of the most
+    critical server type for whichever goal is still violated — first
+    the availability criterion, then (after re-evaluating) the
+    performability criterion — until both goals hold.  Strictly
+    sequential: every proposal depends on the previous assessment, so
+    batches are always of size one.
+    """
+
+    name = "greedy"
+    record_trace = True
+
+    def __init__(
+        self,
+        evaluator: GoalEvaluator,
+        goals: PerformabilityGoals,
+        constraints: ReplicationConstraints,
+        initial: SystemConfiguration | None = None,
+    ) -> None:
+        self._goals = goals
+        self._constraints = constraints
+        configuration = initial or initial_configuration(
+            evaluator.server_types, constraints
+        )
+        if not constraints.admits(configuration):
+            raise ValidationError(
+                f"initial configuration {configuration} violates the "
+                "constraints"
+            )
+        self._next: Candidate | None = Candidate(configuration)
+
+    def propose(self, limit: int) -> list[Candidate]:
+        return [self._next] if self._next is not None else []
+
+    def observe(
+        self, candidate: Candidate, assessment: GoalAssessment
+    ) -> GoalAssessment | None:
+        self._next = None
+        if assessment.satisfied:
+            return assessment
+        # Interleave the two criteria: fix availability first, then
+        # re-evaluate before touching performance (Section 7.2).
+        configuration = candidate.configuration
+        if not assessment.availability_satisfied:
+            criterion = "availability"
+            added_type = _most_critical_for_availability(
+                assessment, configuration, self._constraints
+            )
+        else:
+            criterion = "performability"
+            added_type = _most_critical_for_performance(
+                assessment, configuration, self._constraints, self._goals
+            )
+        if added_type is None:
+            raise SearchExhausted(
+                f"constraints exhausted at {configuration} with goals "
+                "still violated: "
+                + "; ".join(str(v) for v in assessment.violations),
+                best_assessment=assessment,
+            )
+        self._next = Candidate(
+            configuration.with_added_replica(added_type),
+            added_server_type=added_type,
+            criterion=criterion,
+        )
+        return None
+
+
+class ExhaustiveStrategy(SearchStrategy):
+    """Exact minimum-cost search by enumeration in cost order.
+
+    Exponential in the number of server types, but exact — the oracle
+    against which the greedy heuristic's near-minimality is measured.
+    Any prefix of the cost-ordered enumeration may be evaluated ahead
+    of time, so this strategy parallelizes freely: the first satisfied
+    candidate *in enumeration order* is the minimum-cost answer no
+    matter how many candidates were evaluated speculatively.
+    """
+
+    name = "exhaustive"
+
+    def __init__(
+        self,
+        evaluator: GoalEvaluator,
+        goals: PerformabilityGoals,
+        constraints: ReplicationConstraints,
+    ) -> None:
+        self._candidates = configurations_by_cost(
+            evaluator.server_types, constraints
+        )
+
+    def propose(self, limit: int) -> list[Candidate]:
+        return [
+            Candidate(configuration)
+            for configuration in itertools.islice(self._candidates, limit)
+        ]
+
+    def observe(
+        self, candidate: Candidate, assessment: GoalAssessment
+    ) -> GoalAssessment | None:
+        return assessment if assessment.satisfied else None
+
+
+class BranchAndBoundStrategy(SearchStrategy):
+    """Exact minimum-cost search with monotonicity-based pruning.
+
+    The paper notes the search "may eventually entail full-fledged
+    algorithms for mathematical optimization such as branch-and-bound".
+    Both goal metrics improve monotonically when replicas are added, so:
+
+    1. per-type *lower bounds* are derived analytically (availability and
+       failure-free waiting time are necessary conditions), pruning the
+       infeasible corner without any model evaluation;
+    2. candidates are expanded best-first in cost order from the
+       lower-bound corner, so the first feasible configuration found is
+       a provably minimum-cost one.
+
+    Exact like :class:`ExhaustiveStrategy`, typically at a small
+    fraction of its model evaluations.  Batches are *cost-safe*: a
+    frontier node joins a batch only while its cost does not exceed the
+    first node's cost plus the cheapest possible replica addition, so
+    no yet-unexpanded child could precede any batch member in the
+    serial (cost, insertion) order — parallel evaluation therefore
+    consumes candidates in exactly the serial sequence.
+    """
+
+    name = "branch_and_bound"
+
+    def __init__(
+        self,
+        evaluator: GoalEvaluator,
+        goals: PerformabilityGoals,
+        constraints: ReplicationConstraints,
+    ) -> None:
+        self._constraints = constraints
+        self._server_types = evaluator.server_types
+        names = evaluator.server_types.names
+        lower = per_type_lower_bounds(evaluator, goals, constraints)
+        if any(lower[name] > constraints.upper_bound(name) for name in names):
+            raise InfeasibleConfigurationError(
+                "analytic lower bounds already exceed the constraints; no "
+                "admissible configuration can satisfy the goals"
+            )
+        start = SystemConfiguration({name: lower[name] for name in names})
+        if not constraints.admits(start):
+            raise InfeasibleConfigurationError(
+                f"lower-bound configuration {start} violates the "
+                "total-server constraint"
+            )
+        self._counter = 0
+        self._frontier: list[tuple[float, int, SystemConfiguration]] = []
+        heapq.heappush(
+            self._frontier, (self._cost(start), self._counter, start)
+        )
+        self._seen = {tuple(sorted(start.replicas.items()))}
+        self._min_add_cost = min(
+            spec.cost for spec in evaluator.server_types.specs
+        )
+
+    def _cost(self, configuration: SystemConfiguration) -> float:
+        return configuration.cost(self._server_types)
+
+    def propose(self, limit: int) -> list[Candidate]:
+        if not self._frontier:
+            return []
+        first_cost, _, first = heapq.heappop(self._frontier)
+        batch = [Candidate(first)]
+        # Cost-safe batching: any child pushed while consuming this batch
+        # costs at least first_cost + min_add_cost, and insertion-order
+        # tie-breaking favours already-queued nodes, so every frontier
+        # node within that bound is consumed before any new child would
+        # be under serial best-first order.
+        while (self._frontier and len(batch) < limit
+               and self._frontier[0][0] <= first_cost + self._min_add_cost):
+            _, _, configuration = heapq.heappop(self._frontier)
+            batch.append(Candidate(configuration))
+        return batch
+
+    def observe(
+        self, candidate: Candidate, assessment: GoalAssessment
+    ) -> GoalAssessment | None:
+        if assessment.satisfied:
+            return assessment
+        configuration = candidate.configuration
+        for name in self._server_types.names:
+            if not self._constraints.can_add(configuration, name):
+                continue
+            child = configuration.with_added_replica(name)
+            key = tuple(sorted(child.replicas.items()))
+            if key in self._seen:
+                continue
+            self._seen.add(key)
+            self._counter += 1
+            heapq.heappush(
+                self._frontier, (self._cost(child), self._counter, child)
+            )
+        return None
+
+
+class SimulatedAnnealingStrategy(SearchStrategy):
+    """Simulated-annealing search over the configuration space.
+
+    The objective is ``cost + violation_penalty * (#violated goals)``;
+    neighbour moves add or remove one replica of a random type within the
+    constraint bounds.  Deterministic for a fixed ``seed``.  Inherently
+    sequential — each move depends on the previous acceptance decision
+    and the random stream — so batches are always of size one and the
+    walk gains nothing from parallel evaluation.
+    """
+
+    name = "simulated_annealing"
+
+    def __init__(
+        self,
+        evaluator: GoalEvaluator,
+        goals: PerformabilityGoals,
+        constraints: ReplicationConstraints,
+        iterations: int = 400,
+        initial_temperature: float = 4.0,
+        cooling: float = 0.98,
+        violation_penalty: float = 100.0,
+        seed: int = 0,
+    ) -> None:
+        self._server_types = evaluator.server_types
+        self._constraints = constraints
+        self._names = list(evaluator.server_types.names)
+        self._rng = random.Random(seed)
+        self._remaining = iterations
+        self._temperature = initial_temperature
+        self._cooling = cooling
+        self._violation_penalty = violation_penalty
+        self._current = initial_configuration(
+            evaluator.server_types, constraints
+        )
+        self._current_assessment: GoalAssessment | None = None
+        self._best_assessment: GoalAssessment | None = None
+        self._started = False
+
+    def _objective(self, assessment: GoalAssessment) -> float:
+        return (assessment.configuration.cost(self._server_types)
+                + self._violation_penalty * len(assessment.violations))
+
+    def propose(self, limit: int) -> list[Candidate]:
+        if not self._started:
+            return [Candidate(self._current)]
+        # Draw neighbour moves until one stays within the bounds; the
+        # random stream consumption matches the historical loop exactly
+        # (two draws per attempted move, cooling only after evaluations).
+        while self._remaining > 0:
+            self._remaining -= 1
+            name = self._rng.choice(self._names)
+            delta = self._rng.choice((-1, 1))
+            count = self._current.count(name) + delta
+            if not (self._constraints.lower_bound(name) <= count
+                    <= self._constraints.upper_bound(name)):
+                continue
+            replicas = dict(self._current.replicas)
+            replicas[name] = count
+            neighbour = SystemConfiguration(replicas)
+            if neighbour.total_servers > self._constraints.max_total_servers:
+                continue
+            return [Candidate(neighbour)]
+        return []
+
+    def observe(
+        self, candidate: Candidate, assessment: GoalAssessment
+    ) -> GoalAssessment | None:
+        if not self._started:
+            self._started = True
+            self._current_assessment = assessment
+            self._best_assessment = assessment
+            return None
+        assert self._current_assessment is not None
+        assert self._best_assessment is not None
+        # Track the best feasible configuration on *evaluation*, not
+        # on acceptance: a satisfied, cheaper neighbour whose
+        # Metropolis move is rejected must still be remembered.
+        if (assessment.satisfied
+                and (not self._best_assessment.satisfied
+                     or self._objective(assessment)
+                     < self._objective(self._best_assessment))):
+            self._best_assessment = assessment
+        difference = (self._objective(assessment)
+                      - self._objective(self._current_assessment))
+        if difference <= 0.0 or self._rng.random() < math.exp(
+            -difference / max(self._temperature, 1e-9)
+        ):
+            self._current = candidate.configuration
+            self._current_assessment = assessment
+        self._temperature *= self._cooling
+        return None
+
+    def exhausted(self) -> GoalAssessment:
+        if (self._best_assessment is not None
+                and self._best_assessment.satisfied):
+            return self._best_assessment
+        raise SearchExhausted(
+            "simulated annealing found no configuration satisfying the "
+            "goals; increase iterations or relax constraints"
+        )

@@ -104,12 +104,20 @@ DECLARED_METRICS: tuple[tuple[str, str, str], ...] = (
      "Per-pool birth-death marginal cache misses"),
     ("counter", "evaluation_cache.evictions",
      "Entries evicted from the bounded evaluation caches"),
+    ("counter", "evaluation_cache.merges",
+     "Worker cache snapshots merged back into a parent cache"),
     ("counter", "availability.steady_state_solves",
      "Availability CTMC steady-state solves"),
     ("counter", "performability.evaluations",
      "Section 6 performability expectations computed"),
     ("counter", "configuration.search.iterations",
      "Configuration-search loop iterations across all algorithms"),
+    ("counter", "configuration.search.batches",
+     "Candidate batches proposed by the search engine"),
+    ("counter", "configuration.search.speculative_evaluations",
+     "Parallel candidate evaluations discarded after early termination"),
+    ("gauge", "configuration.search.workers",
+     "Worker processes serving the most recent parallel search"),
     ("counter", "configuration.candidates_evaluated",
      "Candidate configurations evaluated against the goals"),
     ("counter", "configuration.goal_violations",

@@ -199,6 +199,41 @@ class TestRecommend:
         assert status == 2
         assert "at least one goal" in capsys.readouterr().err
 
+    def test_json_output(self, project_path, capsys):
+        status = main(
+            [
+                "recommend",
+                "--project", str(project_path),
+                "--max-waiting", "0.15",
+                "--max-unavailability", "1e-5",
+                "--max-total-servers", "12",
+                "--json",
+            ]
+        )
+        assert status == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["algorithm"] == "greedy"
+        assert document["satisfied"] is True
+        assert document["cost"] == 7
+        assert sum(document["configuration"].values()) <= 12
+        assert document["trace"]
+
+    def test_parallel_workers_match_serial(self, project_path, capsys):
+        arguments = [
+            "recommend",
+            "--project", str(project_path),
+            "--max-waiting", "0.15",
+            "--max-unavailability", "1e-5",
+            "--algorithm", "exhaustive",
+            "--max-total-servers", "12",
+            "--json",
+        ]
+        assert main(arguments) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(arguments + ["--workers", "2"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        assert parallel == serial
+
 
 class TestSimulate:
     def test_runs_demo_project(self, project_path, capsys):
