@@ -1,12 +1,16 @@
 # Development targets for the repro package.
 
-.PHONY: install test bench bench-search bench-search-parallel examples all
+.PHONY: install test docstrings bench bench-search bench-search-parallel \
+	campaign bench-campaign examples all
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	PYTHONPATH=src python -m pytest -x -q
+
+docstrings:
+	python tools/check_docstrings.py --threshold 100 --quiet src/repro
 
 bench:
 	PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only -s
@@ -17,6 +21,17 @@ bench-search:
 bench-search-parallel:
 	PYTHONPATH=src python benchmarks/bench_search.py --parallel-only --check \
 		--output BENCH_search_parallel.json
+
+campaign:
+	PYTHONPATH=src python -m repro.cli init-demo /tmp/repro_demo.json
+	PYTHONPATH=src python -m repro.cli campaign \
+		--project /tmp/repro_demo.json \
+		--config comm-server=1,wf-engine=2,app-server=3 \
+		--duration 2000 --warmup 200 --replications 5 --workers 2 \
+		--no-failures
+
+bench-campaign:
+	PYTHONPATH=src python benchmarks/bench_campaign.py --check
 
 examples:
 	PYTHONPATH=src python examples/quickstart.py

@@ -1,0 +1,175 @@
+"""Campaign benchmark: serial vs parallel replication fan-out.
+
+Runs the same :class:`~repro.sim.campaign.CampaignPlan` (the EP +
+order-processing mix on the department-scale configuration) twice —
+serially and across two spawn-started worker processes — and records
+both wall-clock times plus the byte-identity of the aggregated campaign
+documents to ``BENCH_campaign.json``.
+
+Replications are fully determined by their derived seeds and the parent
+aggregates in replication order, so the parallel aggregate must be
+byte-identical to the serial one; ``--check`` always gates on that.
+Wall-clock speedup is recorded too, but only gated on machines with
+more than one CPU: on a single core the spawn/import overhead of the
+worker processes makes the parallel path strictly slower, which is
+expected and not a defect (the same convention as ``bench_search.py``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_campaign.py --quick --check
+
+``--quick`` shrinks replication count and duration for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.core.performance import SystemConfiguration
+from repro.sim.campaign import CampaignPlan, run_campaign
+from repro.wfms import RoutingPolicy, SimulatedWorkflowType
+from repro.workflows import (
+    ecommerce_activities,
+    ecommerce_chart,
+    order_processing_activities,
+    order_processing_chart,
+    standard_server_types,
+)
+
+EP_RATE = 0.4
+OP_RATE = 0.2
+CONFIGURATION = {"comm-server": 1, "wf-engine": 2, "app-server": 3}
+PARALLEL_WORKERS = 2
+
+#: (replications, measured duration, warm-up) per mode.  Full mode gives
+#: each worker several replications so the spawn cost amortizes; quick
+#: mode is sized for CI smoke.
+FULL_SHAPE = (8, 2_000.0, 200.0)
+QUICK_SHAPE = (4, 300.0, 50.0)
+
+
+def make_plan(quick: bool) -> CampaignPlan:
+    """The benchmark scenario: paper mix, department-scale configuration."""
+    replications, duration, warmup = QUICK_SHAPE if quick else FULL_SHAPE
+    return CampaignPlan(
+        server_types=standard_server_types(),
+        configuration=SystemConfiguration(CONFIGURATION),
+        workflow_types=(
+            SimulatedWorkflowType(
+                ecommerce_chart(), ecommerce_activities(), EP_RATE
+            ),
+            SimulatedWorkflowType(
+                order_processing_chart(),
+                order_processing_activities(),
+                OP_RATE,
+            ),
+        ),
+        duration=duration,
+        warmup=warmup,
+        replications=replications,
+        base_seed=23,
+        routing_policy=RoutingPolicy.ROUND_ROBIN,
+        inject_failures=True,
+    )
+
+
+def run_benchmark(quick: bool) -> dict:
+    """Time the serial and parallel paths and compare their documents."""
+    serial_plan = make_plan(quick)
+    start = time.perf_counter()
+    serial = run_campaign(serial_plan, workers=1)
+    serial_seconds = time.perf_counter() - start
+
+    parallel_plan = make_plan(quick)
+    start = time.perf_counter()
+    parallel = run_campaign(parallel_plan, workers=PARALLEL_WORKERS)
+    parallel_seconds = time.perf_counter() - start
+
+    serial_document = json.dumps(serial.to_document(), sort_keys=True)
+    parallel_document = json.dumps(parallel.to_document(), sort_keys=True)
+    return {
+        "mode": "quick" if quick else "full",
+        "cpu_count": os.cpu_count(),
+        "replications": serial_plan.replications,
+        "duration": serial_plan.duration,
+        "warmup": serial_plan.warmup,
+        "workers": PARALLEL_WORKERS,
+        "total_events": serial.total_events,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "parallel_speedup": serial_seconds / parallel_seconds,
+        "documents_identical": serial_document == parallel_document,
+        "turnaround_EP_mean": (
+            serial.workflow_types["EP"].turnaround.mean
+        ),
+        "turnaround_EP_ci95": list(
+            serial.workflow_types["EP"].turnaround.ci95
+        ),
+        "system_unavailability_mean": serial.system_unavailability.mean,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small replication count/duration for CI smoke runs",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless the parallel aggregate is "
+        "byte-identical to the serial one (and, on multi-core "
+        "machines, faster than it)",
+    )
+    parser.add_argument("--output", default="BENCH_campaign.json")
+    args = parser.parse_args(argv)
+
+    record = run_benchmark(quick=args.quick)
+    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
+
+    print(
+        f"campaign: {record['replications']} replications x "
+        f"{record['duration']:g} time units, "
+        f"{record['total_events']} events"
+    )
+    print(
+        f"  serial   {record['serial_seconds']:8.2f} s"
+    )
+    print(
+        f"  parallel {record['parallel_seconds']:8.2f} s "
+        f"({record['workers']} workers, "
+        f"{record['parallel_speedup']:.2f}x, "
+        f"cpu_count={record['cpu_count']})"
+    )
+    print(
+        "  documents identical: "
+        f"{'yes' if record['documents_identical'] else 'NO'}"
+    )
+    print(f"wrote {args.output}")
+
+    if args.check:
+        if not record["documents_identical"]:
+            print(
+                "CHECK FAILED: parallel aggregate differs from serial",
+                file=sys.stderr,
+            )
+            return 1
+        multi_core = (record["cpu_count"] or 1) > 1
+        if multi_core and record["parallel_speedup"] <= 1.0:
+            print(
+                "CHECK FAILED: no parallel speedup on a multi-core "
+                f"machine ({record['parallel_speedup']:.2f}x)",
+                file=sys.stderr,
+            )
+            return 1
+        print("CHECK PASSED")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

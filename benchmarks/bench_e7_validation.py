@@ -1,25 +1,48 @@
-"""E7 — model validation against the simulated WFMS.
+"""E7 — model validation against replicated simulation campaigns.
 
 The paper validates its models against measurements of real WFMS
 products ("these measurements are a first touchstone for the accuracy of
-our models"); our substitute testbed is the discrete-event WFMS.  For
-three configurations of the EP + order-processing mix, the analytic
-predictions (turnaround, utilization, waiting ranking, bottleneck,
-availability) are compared with simulation measurements.
+our models"); our substitute testbed is the discrete-event WFMS, now
+driven through :mod:`repro.sim.campaign` so every comparison carries a
+95% confidence interval over independent replications instead of a
+single point estimate.
 
-Expected agreement: turnaround and utilization quantitatively (the
-CTMC's assumptions hold exactly in the simulator); waiting times in
-shape (same ranking and bottleneck — the analytic M/G/1 under-predicts
-absolute waits because requests of one activity arrive clustered, a
-burstier-than-Poisson pattern the paper's model idealizes away).
+Three campaigns, three regimes:
+
+* **E7a (department scale)** — the paper's EP + order-processing mix at
+  0.4/0.2 arrivals per minute on the smallest passing configuration
+  ``(1, 2, 3)``.  Turnaround and utilization must fall inside the
+  simulated 95% CI (the CTMC's control-flow assumptions hold exactly in
+  the simulator).  Waiting times only agree in *shape* here: requests of
+  one activity reach the pools clustered inside a short window, a
+  burstier-than-Poisson pattern the M/G/1 model idealizes away, so the
+  model under-predicts the absolute level (see EXPERIMENTS.md).
+* **E7b (enterprise scale)** — the same mix with arrival rates and
+  replica counts scaled x40.  Superposing many more independent
+  instance streams makes the aggregate request process near-Poisson
+  (Palm-Khintchine), so here the *waiting times* must fall inside the
+  95% CI as well — the quantitative validation of the paper's M/G/1
+  approximation in its intended operating regime.
+* **E7c (availability)** — accelerated failure/repair rates so a
+  modest campaign observes hundreds of outages; the Section 5 CTMC's
+  predicted system unavailability must fall inside the simulated CI.
+
+All campaign seeds are fixed: the verdicts below are reproducible
+byte-for-byte (``run_campaign`` is deterministic for any worker count).
 """
 
 import pytest
 
 from benchmarks.conftest import configuration, emit
 from repro.core.availability import AvailabilityModel
+from repro.core.model_types import ServerTypeIndex, ServerTypeSpec
 from repro.core.performance import PerformanceModel, Workload, WorkloadItem
-from repro.wfms import RoutingPolicy, SimulatedWFMS, SimulatedWorkflowType
+from repro.sim.campaign import (
+    CampaignPlan,
+    run_campaign,
+    validate_against_models,
+)
+from repro.wfms import RoutingPolicy, SimulatedWorkflowType
 from repro.workflows import (
     ecommerce_activities,
     ecommerce_chart,
@@ -32,125 +55,76 @@ from repro.workflows import (
 
 EP_RATE = 0.4
 OP_RATE = 0.2
-CONFIGURATIONS = [(1, 2, 3), (2, 2, 4), (2, 3, 5)]
-SIM_DURATION = 12_000.0
-SIM_WARMUP = 1_000.0
+DEPARTMENT = (1, 2, 3)
+
+#: Enterprise scale: arrival rates and replica counts both x40.  The
+#: configuration keeps every pool at the department-scale utilization.
+ENTERPRISE_SCALE = 40.0
+ENTERPRISE = (28, 64, 120)
+
+REPLICATIONS = 5
+BASE_SEED = 11
 
 
-def simulate(counts, seed=101):
-    types = standard_server_types()
-    wfms = SimulatedWFMS(
-        server_types=types,
-        configuration=configuration(types, counts),
-        workflow_types=[
-            SimulatedWorkflowType(
-                ecommerce_chart(), ecommerce_activities(), EP_RATE
-            ),
-            SimulatedWorkflowType(
-                order_processing_chart(), order_processing_activities(),
-                OP_RATE,
-            ),
-        ],
-        seed=seed,
-        routing_policy=RoutingPolicy.ROUND_ROBIN,
-        inject_failures=False,
+def mix_workflow_types(scale: float = 1.0) -> tuple:
+    """The paper's EP + order-processing mix, rates scaled by ``scale``."""
+    return (
+        SimulatedWorkflowType(
+            ecommerce_chart(), ecommerce_activities(), EP_RATE * scale
+        ),
+        SimulatedWorkflowType(
+            order_processing_chart(),
+            order_processing_activities(),
+            OP_RATE * scale,
+        ),
     )
-    return wfms.run(duration=SIM_DURATION, warmup=SIM_WARMUP)
 
 
-@pytest.fixture(scope="module")
-def analytic():
-    types = standard_server_types()
-    workload = Workload(
+def mix_workload(scale: float = 1.0) -> Workload:
+    """Analytic twin of :func:`mix_workflow_types`."""
+    return Workload(
         [
-            WorkloadItem(ecommerce_workflow(), EP_RATE),
-            WorkloadItem(order_processing_workflow(), OP_RATE),
+            WorkloadItem(ecommerce_workflow(), EP_RATE * scale),
+            WorkloadItem(order_processing_workflow(), OP_RATE * scale),
         ]
     )
-    return types, PerformanceModel(types, workload)
 
 
-def test_e7_turnaround_and_utilization(analytic, benchmark):
-    types, model = analytic
-    counts = CONFIGURATIONS[0]
-    report = benchmark.pedantic(
-        lambda: simulate(counts), rounds=1, iterations=1
+def department_plan() -> CampaignPlan:
+    """E7a: the paper's workload on the smallest passing configuration."""
+    types = standard_server_types()
+    return CampaignPlan(
+        server_types=types,
+        configuration=configuration(types, DEPARTMENT),
+        workflow_types=mix_workflow_types(),
+        duration=2_400.0,
+        warmup=200.0,
+        replications=REPLICATIONS,
+        base_seed=BASE_SEED,
+        routing_policy=RoutingPolicy.RANDOM,
+        inject_failures=False,
     )
 
-    lines = ["metric                         analytic    simulated"]
-    for workflow in ("EP", "OrderProcessing"):
-        predicted = model.turnaround_time(workflow)
-        measured = report.workflow_types[workflow].mean_turnaround_time
-        lines.append(
-            f"turnaround {workflow:18s} {predicted:10.3f} {measured:11.3f}"
-        )
-        assert measured == pytest.approx(predicted, rel=0.06)
-    utilizations = model.utilizations(configuration(types, counts))
-    for i, name in enumerate(types.names):
-        measured = report.server_types[name].utilization
-        lines.append(
-            f"utilization {name:17s} {utilizations[i]:10.4f} {measured:11.4f}"
-        )
-        assert measured == pytest.approx(utilizations[i], rel=0.12)
-    emit(f"E7a: analytic vs simulated, configuration {counts}", lines)
+
+def enterprise_plan() -> CampaignPlan:
+    """E7b: rates and replicas x40, where M/G/1 holds quantitatively."""
+    types = standard_server_types()
+    return CampaignPlan(
+        server_types=types,
+        configuration=configuration(types, ENTERPRISE),
+        workflow_types=mix_workflow_types(ENTERPRISE_SCALE),
+        duration=500.0,
+        warmup=100.0,
+        replications=REPLICATIONS,
+        base_seed=BASE_SEED,
+        routing_policy=RoutingPolicy.RANDOM,
+        inject_failures=False,
+    )
 
 
-def test_e7_waiting_time_shape(analytic, benchmark):
-    types, model = analytic
-
-    def run_all():
-        return {
-            counts: simulate(counts, seed=103)
-            for counts in CONFIGURATIONS
-        }
-
-    reports = benchmark.pedantic(run_all, rounds=1, iterations=1)
-
-    lines = [
-        "config     type          analytic w   simulated w   ratio"
-    ]
-    for counts, report in reports.items():
-        predicted = model.waiting_times(configuration(types, counts))
-        for i, name in enumerate(types.names):
-            measured = report.server_types[name].mean_waiting_time
-            ratio = measured / predicted[i] if predicted[i] > 0 else 0.0
-            lines.append(
-                f"{str(counts):10s} {name:13s} {predicted[i]:10.5f}"
-                f" {measured:12.5f}   x{ratio:.2f}"
-            )
-    emit("E7b: waiting times, analytic vs simulated", lines)
-
-    for counts, report in reports.items():
-        predicted = model.waiting_times(configuration(types, counts))
-        # Shape: identical ranking of server types by waiting time.
-        predicted_ranking = sorted(
-            types.names, key=lambda n: predicted[types.position(n)]
-        )
-        measured_ranking = sorted(
-            types.names,
-            key=lambda n: report.server_types[n].mean_waiting_time,
-        )
-        assert predicted_ranking == measured_ranking
-        # Magnitude: within a small constant factor.
-        for i, name in enumerate(types.names):
-            measured = report.server_types[name].mean_waiting_time
-            assert 0.4 * predicted[i] <= measured <= 4.0 * predicted[i] + 1e-3
-
-    # Replication ordering: more replicas -> shorter measured waits.
-    small = reports[CONFIGURATIONS[0]]
-    large = reports[CONFIGURATIONS[-1]]
-    for name in types.names:
-        assert (
-            large.server_types[name].mean_waiting_time
-            <= small.server_types[name].mean_waiting_time + 1e-6
-        )
-
-
-def test_e7_availability_validation(benchmark):
-    """Accelerated failure rates so the simulation observes real outages."""
-    from repro.core.model_types import ServerTypeIndex, ServerTypeSpec
-
-    fast_types = ServerTypeIndex(
+def accelerated_types() -> ServerTypeIndex:
+    """Failure/repair rates sped up so outages are frequent events."""
+    return ServerTypeIndex(
         [
             ServerTypeSpec("comm-server", 0.02, failure_rate=1 / 60.0,
                            repair_rate=1 / 4.0),
@@ -160,30 +134,127 @@ def test_e7_availability_validation(benchmark):
                            repair_rate=1 / 4.0),
         ]
     )
-    counts = (1, 2, 2)
-    wfms = SimulatedWFMS(
-        server_types=fast_types,
-        configuration=configuration(fast_types, counts),
-        workflow_types=[
+
+
+def availability_plan() -> CampaignPlan:
+    """E7c: light EP load under accelerated failures on ``(1, 2, 2)``."""
+    types = accelerated_types()
+    return CampaignPlan(
+        server_types=types,
+        configuration=configuration(types, (1, 2, 2)),
+        workflow_types=(
             SimulatedWorkflowType(
                 ecommerce_chart(), ecommerce_activities(), 0.05
-            )
-        ],
-        seed=107,
+            ),
+        ),
+        duration=16_000.0,
+        warmup=1_000.0,
+        replications=REPLICATIONS,
+        base_seed=BASE_SEED,
+        inject_failures=True,
     )
-    report = benchmark.pedantic(
-        lambda: wfms.run(duration=80_000.0, warmup=1_000.0),
-        rounds=1, iterations=1,
+
+
+def validation_lines(validation) -> list[str]:
+    """EXPERIMENTS-ready rows: analytic, mean +/- CI, error, verdict."""
+    lines = [
+        "metric                          analytic  "
+        "simulated (mean +/- CI)        rel.err   verdict"
+    ]
+    for row in validation.metrics:
+        interval = (
+            f"{row.simulated.mean:10.5f} +/- {row.simulated.half_width:.5f}"
+        )
+        lines.append(
+            f"{row.metric:30s} {row.analytic:10.5f} {interval:28s}"
+            f" {row.relative_error:+8.2%}   {row.verdict}"
+        )
+    return lines
+
+
+def test_e7a_department_turnaround_and_utilization(benchmark):
+    plan = department_plan()
+    result = benchmark.pedantic(
+        lambda: run_campaign(plan), rounds=1, iterations=1
     )
-    model = AvailabilityModel(fast_types, configuration(fast_types, counts))
-    predicted = model.unavailability()
-    measured = report.system_unavailability
+    types = plan.server_types
+    model = PerformanceModel(types, mix_workload())
+    validation = validate_against_models(result, model)
     emit(
-        "E7c: availability, analytic vs simulated (accelerated rates)",
+        f"E7a: department scale {DEPARTMENT}, "
+        f"{REPLICATIONS} replications x {plan.duration:g} min",
+        validation_lines(validation),
+    )
+
+    # Turnaround and utilization: quantitative agreement, within CI.
+    for workflow in ("EP", "OrderProcessing"):
+        assert validation[f"turnaround[{workflow}]"].within_ci
+    for name in types.names:
+        assert validation[f"utilization[{name}]"].within_ci
+
+    # Waiting times: shape only at this scale.  Clustered arrivals make
+    # the true waits sit above the M/G/1 prediction; the ranking of the
+    # pools (and hence the bottleneck identity) is still reproduced.
+    waits = {
+        name: validation[f"waiting[{name}]"] for name in types.names
+    }
+    predicted_ranking = sorted(
+        types.names, key=lambda name: waits[name].analytic
+    )
+    measured_ranking = sorted(
+        types.names, key=lambda name: waits[name].simulated.mean
+    )
+    assert predicted_ranking == measured_ranking
+    for row in waits.values():
+        assert row.analytic <= row.simulated.mean <= 4.0 * row.analytic
+
+
+def test_e7b_enterprise_waiting_times_within_ci(benchmark):
+    """Acceptance: turnaround AND waiting inside the simulated 95% CI."""
+    plan = enterprise_plan()
+    result = benchmark.pedantic(
+        lambda: run_campaign(plan), rounds=1, iterations=1
+    )
+    types = plan.server_types
+    model = PerformanceModel(types, mix_workload(ENTERPRISE_SCALE))
+    validation = validate_against_models(result, model)
+    emit(
+        f"E7b: enterprise scale {ENTERPRISE} (rates x{ENTERPRISE_SCALE:g}),"
+        f" {REPLICATIONS} replications x {plan.duration:g} min",
+        validation_lines(validation),
+    )
+    for workflow in ("EP", "OrderProcessing"):
+        assert validation[f"turnaround[{workflow}]"].within_ci
+    for name in types.names:
+        assert validation[f"utilization[{name}]"].within_ci
+        assert validation[f"waiting[{name}]"].within_ci
+    assert validation.all_within
+
+
+def test_e7c_availability_within_ci(benchmark):
+    plan = availability_plan()
+    result = benchmark.pedantic(
+        lambda: run_campaign(plan), rounds=1, iterations=1
+    )
+    types = plan.server_types
+    model = PerformanceModel(
+        types, Workload([WorkloadItem(ecommerce_workflow(), 0.05)])
+    )
+    availability = AvailabilityModel(types, plan.configuration)
+    validation = validate_against_models(
+        result, model, availability=availability, waiting_times=False
+    )
+    row = validation["unavailability"]
+    emit(
+        "E7c: availability, accelerated rates on (1, 2, 2), "
+        f"{REPLICATIONS} replications x {plan.duration:g} min",
         [
-            f"predicted system unavailability: {predicted:.5e}",
-            f"measured  system unavailability: {measured:.5e}",
-            f"ratio: x{measured / predicted:.3f}",
+            f"predicted system unavailability: {row.analytic:.5e}",
+            "measured  system unavailability: "
+            f"{row.simulated.mean:.5e} +/- {row.simulated.half_width:.5e}",
+            f"relative error: {row.relative_error:+.2%}   {row.verdict}",
         ],
     )
-    assert measured == pytest.approx(predicted, rel=0.35)
+    assert row.within_ci
+    # Sanity: the accelerated rates do produce real outage mass.
+    assert row.simulated.mean > 1e-3

@@ -1,9 +1,11 @@
-"""Validate the analytic models against the simulated WFMS.
+"""Validate the analytic models with a replicated simulation campaign.
 
 Runs the EP workflow on the discrete-event WFMS (the reproduction's
-stand-in for the real products the authors measured), compares the
-measurements with the Section 4/5 predictions, and closes the loop by
-recalibrating the models from the run's audit trail (Section 7.1).
+stand-in for the real products the authors measured) as a campaign of
+independent replications, compares the Section 4/5 predictions against
+the simulated 95% confidence intervals, and closes the loop by
+recalibrating the models from one replication's audit trail
+(Section 7.1).
 
 Run:  python examples/simulation_validation.py   (~30 s)
 """
@@ -19,8 +21,14 @@ from repro.monitor.calibration import (
     estimate_transition_probabilities,
     estimate_turnaround_time,
 )
+from repro.sim.campaign import (
+    CampaignPlan,
+    run_campaign,
+    run_replication,
+    validate_against_models,
+)
 from repro.tool import ConfigurationTool, WorkflowRepository
-from repro.wfms import RoutingPolicy, SimulatedWFMS, SimulatedWorkflowType
+from repro.wfms import RoutingPolicy, SimulatedWorkflowType
 from repro.workflows import (
     ecommerce_activities,
     ecommerce_chart,
@@ -29,8 +37,9 @@ from repro.workflows import (
 )
 
 ARRIVAL_RATE = 0.4      # EP instances per minute
-DURATION = 20_000.0     # observed minutes
-WARMUP = 1_000.0
+REPLICATIONS = 4
+DURATION = 4_000.0      # observed minutes per replication
+WARMUP = 400.0
 
 
 def main() -> None:
@@ -40,48 +49,53 @@ def main() -> None:
     )
 
     # ------------------------------------------------------------------
-    # Run the simulated WFMS.
+    # Run the replicated campaign.
     # ------------------------------------------------------------------
-    print(f"Simulating {DURATION:g} minutes of EP traffic "
-          f"({ARRIVAL_RATE} arrivals/min) ...")
-    wfms = SimulatedWFMS(
+    plan = CampaignPlan(
         server_types=types,
         configuration=configuration,
-        workflow_types=[
+        workflow_types=(
             SimulatedWorkflowType(
                 ecommerce_chart(), ecommerce_activities(), ARRIVAL_RATE
-            )
-        ],
-        seed=42,
-        routing_policy=RoutingPolicy.ROUND_ROBIN,
+            ),
+        ),
+        duration=DURATION,
+        warmup=WARMUP,
+        replications=REPLICATIONS,
+        base_seed=42,
+        routing_policy=RoutingPolicy.RANDOM,
+        inject_failures=False,
     )
-    report = wfms.run(duration=DURATION, warmup=WARMUP)
-    print(report.format_text())
+    print(f"Simulating {REPLICATIONS} x {DURATION:g} minutes of EP traffic "
+          f"({ARRIVAL_RATE} arrivals/min) ...")
+    result = run_campaign(plan)
+    print(result.format_text())
 
     # ------------------------------------------------------------------
-    # Analytic predictions side by side.
+    # Analytic predictions against the replication CIs.
     # ------------------------------------------------------------------
     model = PerformanceModel(
         types, Workload([WorkloadItem(ecommerce_workflow(), ARRIVAL_RATE)])
     )
+    validation = validate_against_models(result, model)
+    print()
+    print(validation.format_text())
+    print()
+    print("Note: at this department-scale arrival rate the waiting-time")
+    print("rows sit above their CI by design — requests of one activity")
+    print("reach the pools clustered in a short window, a pattern the")
+    print("M/G/1 model idealizes away.  Turnaround and utilization match")
+    print("quantitatively; see EXPERIMENTS.md (E7) for the enterprise-")
+    print("scale campaign where the waiting times validate within CI too.")
     availability = AvailabilityModel(types, configuration)
-    print("\nAnalytic vs simulated:")
-    print(f"  turnaround  EP: {model.turnaround_time('EP'):10.3f}  vs  "
-          f"{report.workflow_types['EP'].mean_turnaround_time:10.3f}")
-    utilizations = model.utilizations(configuration)
-    waits = model.waiting_times(configuration)
-    for i, name in enumerate(types.names):
-        measured = report.server_types[name]
-        print(f"  {name:14s} utilization {utilizations[i]:7.4f} vs "
-              f"{measured.utilization:7.4f}   waiting {waits[i]:8.5f} vs "
-              f"{measured.mean_waiting_time:8.5f}")
-    print(f"  unavailability: {availability.unavailability():.3e}  vs  "
-          f"{report.system_unavailability:.3e}")
+    print(f"\nModel unavailability (not simulated here): "
+          f"{availability.unavailability():.3e}")
 
     # ------------------------------------------------------------------
     # Calibration round trip (Section 7.1): re-estimate parameters from
-    # the audit trail the run produced.
+    # the audit trail of one replication (run_replication keeps it).
     # ------------------------------------------------------------------
+    report = run_replication(plan, 0)
     repository = WorkflowRepository()
     repository.register(ecommerce_chart(), ecommerce_activities())
     tool = ConfigurationTool(types, repository)
@@ -97,7 +111,8 @@ def main() -> None:
     print(f"  CreditCardCheck -> Shipment: "
           f"{probabilities[('CreditCardCheck', 'Shipment_S')]:.3f} (0.900)")
     measured_turnaround = estimate_turnaround_time(report.trail, "EP")
-    print(f"  measured EP turnaround: {measured_turnaround:.2f} "
+    print(f"  measured EP turnaround (replication 0): "
+          f"{measured_turnaround:.2f} "
           f"(model: {model.turnaround_time('EP'):.2f})")
 
 

@@ -263,6 +263,70 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.sim.campaign import (
+        CampaignPlan,
+        run_campaign,
+        validate_against_models,
+    )
+    from repro.spec.translator import definition_to_chart
+    from repro.wfms.runtime import SimulatedWorkflowType
+
+    project = load_project(args.project)
+    configuration = _parse_configuration(args.config)
+    workflow_types = []
+    for workflow in project.workflows:
+        chart, activities = definition_to_chart(workflow)
+        workflow_types.append(
+            SimulatedWorkflowType(
+                chart=chart,
+                activities=activities,
+                arrival_rate=project.arrival_rates[workflow.name],
+            )
+        )
+    plan = CampaignPlan(
+        server_types=project.server_types,
+        configuration=configuration,
+        workflow_types=tuple(workflow_types),
+        duration=args.duration,
+        warmup=args.warmup,
+        replications=args.replications,
+        base_seed=args.seed,
+        inject_failures=not args.no_failures,
+    )
+    result = run_campaign(plan, workers=args.workers)
+    performance = _performance_model(project)
+    availability = None
+    performability = None
+    if plan.inject_failures:
+        availability = AvailabilityModel(project.server_types, configuration)
+        performability = PerformabilityModel(performance, availability)
+    validation = validate_against_models(
+        result,
+        performance,
+        availability=availability,
+        performability=performability,
+    )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "campaign": result.to_document(),
+                    "validation": validation.to_document(),
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(f"Campaign over configuration {configuration}")
+        print(result.format_text())
+        print()
+        print(validation.format_text())
+    return 0
+
+
 def _cmd_throughput(args: argparse.Namespace) -> int:
     project = load_project(args.project)
     configuration = _parse_configuration(args.config)
@@ -438,6 +502,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable failure injection (failure-free run)",
     )
     simulate.set_defaults(handler=_cmd_simulate)
+
+    campaign = commands.add_parser(
+        "campaign",
+        help="replicated simulation campaign with confidence intervals "
+        "and analytic-model validation verdicts",
+    )
+    add_project(campaign)
+    campaign.add_argument(
+        "--config", required=True,
+        help="replica counts, e.g. comm-server=1,wf-engine=2",
+    )
+    campaign.add_argument(
+        "--duration", type=float, default=2_000.0,
+        help="measured time per replication after its warm-up window",
+    )
+    campaign.add_argument(
+        "--warmup", type=float, default=0.0,
+        help="warm-up time excluded from each replication's measurements",
+    )
+    campaign.add_argument(
+        "--replications", "-n", type=int, default=10,
+        help="number of independent replications",
+    )
+    campaign.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="run replications on N worker processes (the aggregate "
+        "document is byte-identical to the serial run)",
+    )
+    campaign.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed; per-replication seeds are derived from it",
+    )
+    campaign.add_argument(
+        "--no-failures", action="store_true",
+        help="disable failure injection (validates against the "
+        "failure-free M/G/1 waiting times instead of performability)",
+    )
+    campaign.add_argument(
+        "--json", action="store_true",
+        help="print the campaign aggregate and validation verdicts as "
+        "machine-readable JSON",
+    )
+    campaign.set_defaults(handler=_cmd_campaign)
 
     for subcommand in commands.choices.values():
         _add_observability_arguments(subcommand)

@@ -492,6 +492,7 @@ class ErgodicCTMC:
 
     @property
     def num_states(self) -> int:
+        """Number of states in the chain."""
         return self.generator.shape[0]
 
     def steady_state(

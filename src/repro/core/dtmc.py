@@ -194,6 +194,7 @@ class ErgodicDTMC:
 
     @property
     def num_states(self) -> int:
+        """Number of states in the chain."""
         return self.transition_matrix.shape[0]
 
     def steady_state(self) -> np.ndarray:

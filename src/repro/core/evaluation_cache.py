@@ -90,6 +90,7 @@ class BoundedCache:
         return len(self._entries)
 
     def get(self, key: Hashable) -> Any | None:
+        """Cached value for ``key`` (LRU-touching), or ``None`` on a miss."""
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
@@ -113,6 +114,7 @@ class BoundedCache:
         return list(self._entries.items())
 
     def put(self, key: Hashable, value: Any) -> None:
+        """Insert ``key -> value``, evicting oldest entries when full."""
         self._entries[key] = value
         self._entries.move_to_end(key)
         while len(self._entries) > self.maxsize:
@@ -121,6 +123,7 @@ class BoundedCache:
             obs.count("evaluation_cache.evictions")
 
     def clear(self) -> None:
+        """Drop every cached entry."""
         self._entries.clear()
 
 
@@ -191,11 +194,13 @@ class EvaluationCache:
     # Goal assessments
     # ------------------------------------------------------------------
     def assessment(self, key: Hashable) -> Any | None:
+        """Cached goal assessment for ``key`` (``None`` on miss/disabled)."""
         if not self.enabled:
             return None
         return self._assessments.get(key)
 
     def store_assessment(self, key: Hashable, value: Any) -> None:
+        """Cache a goal assessment under ``key`` (no-op when disabled)."""
         if self.enabled:
             self._assessments.put(key, value)
 

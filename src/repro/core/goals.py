@@ -91,11 +91,13 @@ class PerformabilityGoals:
 
     @property
     def has_performance_goal(self) -> bool:
+        """Whether any waiting-time bound (global or per-type) is set."""
         return (self.max_waiting_time is not None
                 or bool(self.max_waiting_times_per_type))
 
     @property
     def has_availability_goal(self) -> bool:
+        """Whether any unavailability bound (global or per-type) is set."""
         return (self.max_unavailability is not None
                 or bool(self.max_unavailability_per_type))
 
@@ -167,6 +169,7 @@ class GoalAssessment:
 
     @property
     def availability_satisfied(self) -> bool:
+        """Whether no (un)availability goal is violated."""
         return not any(
             violation.kind in ("unavailability", "type_unavailability")
             for violation in self.violations
@@ -174,6 +177,7 @@ class GoalAssessment:
 
     @property
     def performance_satisfied(self) -> bool:
+        """Whether no waiting-time goal is violated."""
         return not any(
             violation.kind == "waiting_time" for violation in self.violations
         )
@@ -210,6 +214,7 @@ class GoalEvaluator:
 
     @property
     def server_types(self) -> ServerTypeIndex:
+        """Server-type index shared by the underlying models."""
         return self.performance.server_types
 
     def _cache_key(

@@ -88,6 +88,7 @@ class PerformabilityReport:
         return value / baseline
 
     def format_text(self) -> str:
+        """Human-readable multi-line rendering of the report."""
         lines = [
             f"Performability assessment for configuration "
             f"{self.configuration} (policy: {self.policy.value})",

@@ -71,6 +71,7 @@ class Workload:
 
     @property
     def workflow_names(self) -> tuple[str, ...]:
+        """Names of the workflow types, in declaration order."""
         return tuple(item.definition.name for item in self._items)
 
     @property
@@ -79,6 +80,7 @@ class Workload:
         return sum(item.arrival_rate for item in self._items)
 
     def item(self, workflow_name: str) -> WorkloadItem:
+        """The workload item for ``workflow_name`` (raises if unknown)."""
         for candidate in self._items:
             if candidate.definition.name == workflow_name:
                 return candidate

@@ -70,6 +70,7 @@ class PhaseTypeDistribution:
 
     @property
     def num_phases(self) -> int:
+        """Number of transient phases."""
         return self.initial_probabilities.shape[0]
 
     @cached_property
@@ -90,10 +91,12 @@ class PhaseTypeDistribution:
 
     @property
     def mean(self) -> float:
+        """Mean ``E[T]`` (first raw moment)."""
         return self.moment(1)
 
     @property
     def variance(self) -> float:
+        """Variance ``E[T^2] - E[T]^2``."""
         return self.moment(2) - self.mean**2
 
     @property
@@ -184,6 +187,7 @@ class PhaseTypeRepairPool:
 
     @property
     def num_states(self) -> int:
+        """Dense size of the ``(running, phase)`` space plus ALL_UP."""
         return self.count * self.repair_distribution.num_phases + 1
 
     def generator_matrix(self) -> np.ndarray:
@@ -234,6 +238,7 @@ class PhaseTypeRepairPool:
         return q
 
     def chain(self) -> ErgodicCTMC:
+        """The expanded pool CTMC with named ``(up, phase)`` states."""
         names = [
             f"(up={running},phase={phase})"
             for running in range(self.count)
@@ -255,6 +260,7 @@ class PhaseTypeRepairPool:
 
     @property
     def availability(self) -> float:
+        """Complement of :attr:`unavailability`."""
         return 1.0 - self.unavailability
 
     def running_distribution(self) -> np.ndarray:

@@ -43,6 +43,7 @@ class SearchEngine:
         self.executor = executor if executor is not None else SerialEvaluator()
 
     def run(self, strategy: SearchStrategy) -> ConfigurationRecommendation:
+        """Drive ``strategy`` to exhaustion or acceptance; recommend."""
         evaluator = self.evaluator
         evaluations_before = evaluator.evaluation_count
         trace: list[SearchStep] = []

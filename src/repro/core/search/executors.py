@@ -65,6 +65,7 @@ class CandidateEvaluator:
         goals: PerformabilityGoals,
         candidates: Sequence[Candidate],
     ) -> list[AssessmentSlot]:
+        """One lazy assessment slot per candidate, in candidate order."""
         raise NotImplementedError
 
     def close(self) -> None:
@@ -90,6 +91,7 @@ class SerialEvaluator(CandidateEvaluator):
         goals: PerformabilityGoals,
         candidates: Sequence[Candidate],
     ) -> list[AssessmentSlot]:
+        """Wrap each candidate in a lazy in-process assessment slot."""
         return [
             lambda candidate=candidate: evaluator.assess(
                 candidate.configuration, goals
@@ -232,6 +234,7 @@ class ProcessPoolEvaluator(CandidateEvaluator):
         goals: PerformabilityGoals,
         candidates: Sequence[Candidate],
     ) -> list[AssessmentSlot]:
+        """Fan candidate chunks out to workers; merge cache snapshots."""
         if len(candidates) == 1:
             # A sequential strategy step: dispatching one candidate to a
             # worker costs IPC and wins nothing; assess in-process.
@@ -265,6 +268,7 @@ class ProcessPoolEvaluator(CandidateEvaluator):
         ]
 
     def close(self) -> None:
+        """Shut the worker pool down; idempotent."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None

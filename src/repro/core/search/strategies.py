@@ -194,11 +194,13 @@ class GreedyStrategy(SearchStrategy):
         self._next: Candidate | None = Candidate(configuration)
 
     def propose(self, limit: int) -> list[Candidate]:
+        """The single pending configuration, if any."""
         return [self._next] if self._next is not None else []
 
     def observe(
         self, candidate: Candidate, assessment: GoalAssessment
     ) -> GoalAssessment | None:
+        """Accept a satisfying assessment or derive the next repair step."""
         self._next = None
         if assessment.satisfied:
             return assessment
@@ -254,6 +256,7 @@ class ExhaustiveStrategy(SearchStrategy):
         )
 
     def propose(self, limit: int) -> list[Candidate]:
+        """Next ``limit`` configurations in increasing-cost order."""
         return [
             Candidate(configuration)
             for configuration in itertools.islice(self._candidates, limit)
@@ -262,6 +265,7 @@ class ExhaustiveStrategy(SearchStrategy):
     def observe(
         self, candidate: Candidate, assessment: GoalAssessment
     ) -> GoalAssessment | None:
+        """Accept the assessment iff it satisfies the goals."""
         return assessment if assessment.satisfied else None
 
 
@@ -325,6 +329,7 @@ class BranchAndBoundStrategy(SearchStrategy):
         return configuration.cost(self._server_types)
 
     def propose(self, limit: int) -> list[Candidate]:
+        """Pop a cost-safe batch off the best-first frontier."""
         if not self._frontier:
             return []
         first_cost, _, first = heapq.heappop(self._frontier)
@@ -343,6 +348,7 @@ class BranchAndBoundStrategy(SearchStrategy):
     def observe(
         self, candidate: Candidate, assessment: GoalAssessment
     ) -> GoalAssessment | None:
+        """Accept a satisfying node, otherwise expand its children."""
         if assessment.satisfied:
             return assessment
         configuration = candidate.configuration
@@ -405,6 +411,7 @@ class SimulatedAnnealingStrategy(SearchStrategy):
                 + self._violation_penalty * len(assessment.violations))
 
     def propose(self, limit: int) -> list[Candidate]:
+        """The start point first, then one random in-bounds neighbour."""
         if not self._started:
             return [Candidate(self._current)]
         # Draw neighbour moves until one stays within the bounds; the
@@ -429,6 +436,7 @@ class SimulatedAnnealingStrategy(SearchStrategy):
     def observe(
         self, candidate: Candidate, assessment: GoalAssessment
     ) -> GoalAssessment | None:
+        """Metropolis accept/reject; tracks the best feasible assessment."""
         if not self._started:
             self._started = True
             self._current_assessment = assessment
@@ -455,6 +463,7 @@ class SimulatedAnnealingStrategy(SearchStrategy):
         return None
 
     def exhausted(self) -> GoalAssessment:
+        """Best satisfied assessment seen, else the final current one."""
         if (self._best_assessment is not None
                 and self._best_assessment.satisfied):
             return self._best_assessment

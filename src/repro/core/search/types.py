@@ -114,6 +114,7 @@ class ConfigurationRecommendation:
     algorithm: str = "greedy"
 
     def format_text(self) -> str:
+        """Human-readable multi-line rendering of the recommendation."""
         lines = [
             f"Recommended configuration ({self.algorithm}): "
             f"{self.configuration}",

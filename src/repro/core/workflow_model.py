@@ -76,6 +76,7 @@ class WorkflowState:
 
     @property
     def is_subworkflow_state(self) -> bool:
+        """Whether this state invokes a nested workflow."""
         return bool(self.subworkflows)
 
 
@@ -160,6 +161,7 @@ class WorkflowDefinition:
 
     @property
     def state_names(self) -> tuple[str, ...]:
+        """Names of the states, in definition order."""
         return tuple(state.name for state in self.states)
 
     @property
@@ -219,6 +221,7 @@ class WorkflowCTMC:
 
     @property
     def state_names(self) -> tuple[str, ...]:
+        """Names of the chain's states, in matrix order."""
         return self.chain.state_names
 
     def turnaround_time(self, method: Literal["direct", "gauss_seidel"] = "direct") -> float:

@@ -39,6 +39,7 @@ class StateVisitRecord:
 
     @property
     def residence_time(self) -> float:
+        """Time spent in the state (exit minus entry)."""
         return self.left_at - self.entered_at
 
 
@@ -68,10 +69,12 @@ class ServiceRequestRecord:
 
     @property
     def waiting_time(self) -> float:
+        """Queueing delay before service began."""
         return self.started_at - self.submitted_at
 
     @property
     def service_time(self) -> float:
+        """Busy time at the server (completion minus service start)."""
         return self.completed_at - self.started_at
 
 
@@ -92,6 +95,7 @@ class InstanceRecord:
 
     @property
     def turnaround_time(self) -> float:
+        """Wall-clock time from instance start to completion."""
         return self.completed_at - self.started_at
 
 
@@ -107,12 +111,15 @@ class AuditTrail:
     # Recording
     # ------------------------------------------------------------------
     def record_state_visit(self, record: StateVisitRecord) -> None:
+        """Append one state-visit record."""
         self.state_visits.append(record)
 
     def record_service_request(self, record: ServiceRequestRecord) -> None:
+        """Append one service-request record."""
         self.service_requests.append(record)
 
     def record_instance(self, record: InstanceRecord) -> None:
+        """Append one completed-instance record."""
         self.instances.append(record)
 
     # ------------------------------------------------------------------

@@ -133,6 +133,12 @@ DECLARED_METRICS: tuple[tuple[str, str, str], ...] = (
      "Workflow instances completed"),
     ("gauge", "sim.calendar.max_pending",
      "High-water mark of the event calendar"),
+    ("counter", "campaign.replications_completed",
+     "Simulation-campaign replications finished (serial or parallel)"),
+    ("counter", "campaign.merges",
+     "Replication statistics merged into campaign aggregates"),
+    ("gauge", "campaign.workers",
+     "Worker processes serving the most recent campaign"),
 )
 
 _registry = MetricsRegistry(enabled=False)
@@ -173,6 +179,7 @@ def disable() -> None:
 
 
 def is_enabled() -> bool:
+    """Whether the process-wide observability switch is on."""
     return _enabled
 
 
@@ -202,26 +209,31 @@ def span(name: str, **attributes: Any):
 
 
 def count(name: str, amount: float = 1.0) -> None:
+    """Increment counter ``name`` by ``amount`` (no-op while disabled)."""
     if _enabled:
         _registry.counter(name).inc(amount)
 
 
 def set_gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` to ``value`` (no-op while disabled)."""
     if _enabled:
         _registry.gauge(name).set(value)
 
 
 def set_max(name: str, value: float) -> None:
+    """Raise gauge ``name`` to at least ``value`` (no-op while disabled)."""
     if _enabled:
         _registry.gauge(name).set_max(value)
 
 
 def observe(name: str, value: float) -> None:
+    """Record ``value`` in histogram ``name`` (no-op while disabled)."""
     if _enabled:
         _registry.histogram(name).observe(value)
 
 
 def event(kind: str, **fields: Any) -> None:
+    """Record a point event on the default tracer (no-op while disabled)."""
     if _enabled:
         _tracer.event(kind, **fields)
 
@@ -230,20 +242,25 @@ def event(kind: str, **fields: Any) -> None:
 # Export / reporting over the default instances
 # ----------------------------------------------------------------------
 def metrics_document() -> dict[str, Any]:
+    """JSON-ready document of all metrics plus a trace summary."""
     return _export.metrics_document(_registry, _tracer)
 
 
 def write_metrics_json(path: str | Path | TextIO) -> None:
+    """Write :func:`metrics_document` as JSON to ``path``."""
     _export.write_metrics_json(path, _registry, _tracer)
 
 
 def write_trace_jsonl(path: str | Path | TextIO) -> int:
+    """Write finished spans as JSON lines; returns the span count."""
     return _export.write_trace_jsonl(path, _tracer)
 
 
 def prometheus_text(prefix: str = "repro") -> str:
+    """Prometheus text-format rendering of the default registry."""
     return _export.prometheus_text(_registry, prefix)
 
 
 def run_report() -> str:
+    """Human-readable run summary over the default metrics and spans."""
     return _report.run_report(_registry, _tracer)

@@ -38,6 +38,7 @@ class Counter:
 
     @property
     def value(self) -> float:
+        """Current cumulative value."""
         return self._value
 
     def inc(self, amount: float = 1.0) -> None:
@@ -49,9 +50,11 @@ class Counter:
         self._value += amount
 
     def reset(self) -> None:
+        """Zero the counter."""
         self._value = 0.0
 
     def snapshot(self) -> dict:
+        """JSON-ready document of the counter's state."""
         return {"type": self.kind, "value": self._value, "help": self.help}
 
 
@@ -68,9 +71,11 @@ class Gauge:
 
     @property
     def value(self) -> float:
+        """Current level."""
         return self._value
 
     def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
         self._value = float(value)
 
     def set_max(self, value: float) -> None:
@@ -79,9 +84,11 @@ class Gauge:
             self._value = float(value)
 
     def reset(self) -> None:
+        """Zero the gauge."""
         self._value = 0.0
 
     def snapshot(self) -> dict:
+        """JSON-ready document of the gauge's state."""
         return {"type": self.kind, "value": self._value, "help": self.help}
 
 
@@ -121,14 +128,17 @@ class Histogram:
 
     @property
     def count(self) -> int:
+        """Number of observed values."""
         return self._count
 
     @property
     def sum(self) -> float:
+        """Sum of all observed values."""
         return self._sum
 
     @property
     def mean(self) -> float:
+        """Mean of the observed values."""
         return self._sum / self._count if self._count else 0.0
 
     def observe(self, value: float) -> None:
@@ -145,6 +155,7 @@ class Histogram:
                 break
 
     def reset(self) -> None:
+        """Drop all observations, keeping the bucket bounds."""
         self._buckets = [0] * len(self._boundaries)
         self._count = 0
         self._sum = 0.0
@@ -161,6 +172,7 @@ class Histogram:
         return pairs
 
     def snapshot(self) -> dict:
+        """JSON-ready document with bucket counts and summary stats."""
         return {
             "type": self.kind,
             "count": self._count,
@@ -200,12 +212,15 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     @property
     def enabled(self) -> bool:
+        """Whether recording is currently on."""
         return self._enabled
 
     def enable(self) -> None:
+        """Turn recording on."""
         self._enabled = True
 
     def disable(self) -> None:
+        """Turn recording off (recorded data is kept)."""
         self._enabled = False
 
     # ------------------------------------------------------------------
@@ -221,6 +236,7 @@ class MetricsRegistry:
         return metric
 
     def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the counter called ``name``."""
         metric = self._get_or_create(name, Counter, help)
         if not isinstance(metric, Counter):
             raise ValidationError(
@@ -229,6 +245,7 @@ class MetricsRegistry:
         return metric
 
     def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the gauge called ``name``."""
         metric = self._get_or_create(name, Gauge, help)
         if not isinstance(metric, Gauge):
             raise ValidationError(
@@ -242,6 +259,7 @@ class MetricsRegistry:
         help: str = "",
         buckets: Iterable[float] | None = None,
     ) -> Histogram:
+        """Get or create the histogram called ``name``."""
         metric = self._metrics.get(name)
         if metric is None:
             metric = Histogram(name, help, buckets)
@@ -256,18 +274,22 @@ class MetricsRegistry:
     # Recording (no-ops while disabled)
     # ------------------------------------------------------------------
     def inc(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter ``name`` when enabled."""
         if self._enabled:
             self.counter(name).inc(amount)
 
     def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` when enabled."""
         if self._enabled:
             self.gauge(name).set(value)
 
     def set_max(self, name: str, value: float) -> None:
+        """Raise gauge ``name`` to at least ``value`` when enabled."""
         if self._enabled:
             self.gauge(name).set_max(value)
 
     def observe(self, name: str, value: float) -> None:
+        """Record ``value`` in histogram ``name`` when enabled."""
         if self._enabled:
             self.histogram(name).observe(value)
 

@@ -81,6 +81,7 @@ class Span:
         return False
 
     def to_dict(self) -> dict[str, Any]:
+        """JSON-ready document of the span."""
         return {
             "type": "span",
             "name": self.name,
@@ -115,12 +116,15 @@ class Tracer:
     # ------------------------------------------------------------------
     @property
     def enabled(self) -> bool:
+        """Whether span recording is currently on."""
         return self._enabled
 
     def enable(self) -> None:
+        """Turn span recording on."""
         self._enabled = True
 
     def disable(self) -> None:
+        """Turn span recording off (recorded spans are kept)."""
         self._enabled = False
 
     # ------------------------------------------------------------------

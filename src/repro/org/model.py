@@ -53,6 +53,7 @@ class Actor:
             )
 
     def has_role(self, role: str) -> bool:
+        """Whether the actor holds the named role."""
         return role in self.roles
 
 
@@ -131,19 +132,23 @@ class Organization:
 
     @property
     def roles(self) -> tuple[Role, ...]:
+        """All roles, in registration order."""
         return tuple(self._roles.values())
 
     @property
     def units(self) -> tuple[OrgUnit, ...]:
+        """All organizational units, in registration order."""
         return tuple(self._units.values())
 
     def actor(self, name: str) -> Actor:
+        """The actor called ``name`` (raises if unknown)."""
         try:
             return self._actors[name]
         except KeyError:
             raise ValidationError(f"unknown actor {name!r}") from None
 
     def unit(self, name: str) -> OrgUnit:
+        """The organizational unit called ``name`` (raises if unknown)."""
         try:
             return self._units[name]
         except KeyError:

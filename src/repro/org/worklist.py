@@ -109,6 +109,7 @@ class WorklistReport:
     actors: dict[str, ActorMeasurement]
 
     def format_text(self) -> str:
+        """Human-readable multi-line rendering of the report."""
         lines = [
             f"Worklist: mean waiting {self.mean_waiting_time:.4f} over "
             f"{self.waiting_samples} items",

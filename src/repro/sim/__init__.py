@@ -11,6 +11,7 @@ from repro.sim.distributions import (
     distribution_for_moments,
 )
 from repro.sim.engine import EventHandle, Simulator
+from repro.sim.seeding import derive_rng, derive_seed
 from repro.sim.statistics import (
     RateCounter,
     RunningStats,
@@ -30,5 +31,7 @@ __all__ = [
     "Simulator",
     "TimeWeightedStats",
     "Uniform",
+    "derive_rng",
+    "derive_seed",
     "distribution_for_moments",
 ]

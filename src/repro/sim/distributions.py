@@ -59,14 +59,17 @@ class Deterministic(Distribution):
             raise ValidationError("value must be >= 0")
 
     def sample(self, rng: random.Random) -> float:
+        """The fixed value (``rng`` is unused)."""
         return self.value
 
     @property
     def mean(self) -> float:
+        """The fixed value."""
         return self.value
 
     @property
     def second_moment(self) -> float:
+        """Square of the fixed value."""
         return self.value**2
 
 
@@ -81,14 +84,17 @@ class Exponential(Distribution):
             raise ValidationError("mean must be positive")
 
     def sample(self, rng: random.Random) -> float:
+        """One exponential variate with the configured mean."""
         return rng.expovariate(1.0 / self.mean_value)
 
     @property
     def mean(self) -> float:
+        """The configured mean."""
         return self.mean_value
 
     @property
     def second_moment(self) -> float:
+        """``2 * mean**2`` (SCV = 1)."""
         return 2.0 * self.mean_value**2
 
 
@@ -104,14 +110,17 @@ class Uniform(Distribution):
             raise ValidationError("need 0 <= low < high")
 
     def sample(self, rng: random.Random) -> float:
+        """One uniform variate on ``[low, high]``."""
         return rng.uniform(self.low, self.high)
 
     @property
     def mean(self) -> float:
+        """Midpoint ``(low + high) / 2``."""
         return 0.5 * (self.low + self.high)
 
     @property
     def second_moment(self) -> float:
+        """``(low^2 + low*high + high^2) / 3``."""
         return (self.low**2 + self.low * self.high + self.high**2) / 3.0
 
 
@@ -133,6 +142,7 @@ class Erlang(Distribution):
             raise ValidationError("mean must be positive")
 
     def sample(self, rng: random.Random) -> float:
+        """Sum of ``stages`` exponential stage variates."""
         stage_mean = self.mean_value / self.stages
         return sum(
             rng.expovariate(1.0 / stage_mean) for _ in range(self.stages)
@@ -140,10 +150,12 @@ class Erlang(Distribution):
 
     @property
     def mean(self) -> float:
+        """The configured mean."""
         return self.mean_value
 
     @property
     def second_moment(self) -> float:
+        """``mean^2 * (1 + 1/stages)`` (SCV = 1/stages)."""
         variance = self.mean_value**2 / self.stages
         return variance + self.mean_value**2
 
@@ -176,6 +188,7 @@ class HyperExponential(Distribution):
             raise ValidationError("branch means must be positive")
 
     def sample(self, rng: random.Random) -> float:
+        """Pick a branch by probability, then draw its exponential."""
         mean = rng.choices(
             self.branch_means, weights=self.branch_probabilities, k=1
         )[0]
@@ -183,6 +196,7 @@ class HyperExponential(Distribution):
 
     @property
     def mean(self) -> float:
+        """Probability-weighted mean of the branches."""
         return sum(
             probability * mean
             for probability, mean in zip(
@@ -192,6 +206,7 @@ class HyperExponential(Distribution):
 
     @property
     def second_moment(self) -> float:
+        """Probability-weighted second moment of the branches."""
         return sum(
             probability * 2.0 * mean**2
             for probability, mean in zip(
@@ -223,15 +238,18 @@ class LogNormal(Distribution):
         return mu, math.sqrt(sigma_squared)
 
     def sample(self, rng: random.Random) -> float:
+        """One log-normal variate matching the configured mean and SCV."""
         mu, sigma = self._parameters()
         return rng.lognormvariate(mu, sigma)
 
     @property
     def mean(self) -> float:
+        """The configured mean."""
         return self.mean_value
 
     @property
     def second_moment(self) -> float:
+        """``mean^2 * (1 + scv)``."""
         return self.mean_value**2 * (1.0 + self.scv)
 
 

@@ -38,6 +38,7 @@ class EventHandle:
 
     @property
     def cancelled(self) -> bool:
+        """Whether the event was cancelled before dispatch."""
         return self._event.cancelled
 
     def cancel(self) -> None:

@@ -40,6 +40,7 @@ class RunningStats:
 
     @property
     def count(self) -> int:
+        """Number of accumulated values."""
         return self._count
 
     @property
@@ -63,14 +64,17 @@ class RunningStats:
 
     @property
     def standard_deviation(self) -> float:
+        """Square root of the unbiased sample variance."""
         return math.sqrt(self.variance)
 
     @property
     def minimum(self) -> float:
+        """Smallest accumulated value (NaN when empty)."""
         return self._minimum if self._count else math.nan
 
     @property
     def maximum(self) -> float:
+        """Largest accumulated value (NaN when empty)."""
         return self._maximum if self._count else math.nan
 
     def confidence_interval_95(self) -> tuple[float, float]:
@@ -81,6 +85,50 @@ class RunningStats:
             self._count
         )
         return (self.mean - half_width, self.mean + half_width)
+
+    def merge(self, other: "RunningStats") -> None:
+        """Fold another collector into this one.
+
+        After merging, this collector reports the same count, mean,
+        variance, second moment, and extrema as one that observed both
+        sample sequences (the parallel-variance combination of Chan,
+        Golub & LeVeque).  ``other`` is left untouched.  Merging is the
+        campaign runner's aggregation primitive: replications collect
+        independently (possibly in different processes) and are folded
+        together afterwards.
+        """
+        if other._count == 0:
+            return
+        if self._count == 0:
+            self._count = other._count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self._sum_squares = other._sum_squares
+            self._minimum = other._minimum
+            self._maximum = other._maximum
+            return
+        total = self._count + other._count
+        delta = other._mean - self._mean
+        self._m2 = (
+            self._m2
+            + other._m2
+            + delta * delta * self._count * other._count / total
+        )
+        self._mean = (
+            self._count * self._mean + other._count * other._mean
+        ) / total
+        self._count = total
+        self._sum_squares += other._sum_squares
+        self._minimum = min(self._minimum, other._minimum)
+        self._maximum = max(self._maximum, other._maximum)
+
+    @classmethod
+    def merged(cls, collectors: "list[RunningStats]") -> "RunningStats":
+        """A fresh collector equal to merging ``collectors`` in order."""
+        result = cls()
+        for collector in collectors:
+            result.merge(collector)
+        return result
 
 
 class TimeWeightedStats:
@@ -97,6 +145,9 @@ class TimeWeightedStats:
         self._start_time = start_time
         self._weighted_sum = 0.0
         self._finalized_at: float | None = None
+        # Closed windows folded in via merge (weight = value x duration).
+        self._merged_weight = 0.0
+        self._merged_duration = 0.0
 
     def update(self, value: float, time: float) -> None:
         """The signal takes ``value`` from ``time`` onwards."""
@@ -110,6 +161,7 @@ class TimeWeightedStats:
 
     @property
     def current_value(self) -> float:
+        """Level set by the most recent update."""
         return self._value
 
     def finalize(self, time: float) -> None:
@@ -126,11 +178,37 @@ class TimeWeightedStats:
         )
         if end < self._last_time:
             raise ValidationError("averaging window ends before last update")
-        total = end - self._start_time
+        total = (end - self._start_time) + self._merged_duration
         if total <= 0.0:
             return self._value
-        weighted = self._weighted_sum + self._value * (end - self._last_time)
+        weighted = (
+            self._weighted_sum
+            + self._value * (end - self._last_time)
+            + self._merged_weight
+        )
         return weighted / total
+
+    def merge(self, other: "TimeWeightedStats") -> None:
+        """Fold another (disjoint) observation window into this one.
+
+        The merged :meth:`time_average` is the duration-weighted average
+        over both windows — exactly what pooling the same signal across
+        independent replications requires.  ``other``'s window must be
+        closed (:meth:`finalize` called); it is left untouched.
+        """
+        if other._finalized_at is None:
+            raise ValidationError(
+                "merge requires the other window to be finalized"
+            )
+        end = other._finalized_at
+        self._merged_weight += (
+            other._weighted_sum
+            + other._value * (end - other._last_time)
+            + other._merged_weight
+        )
+        self._merged_duration += (
+            (end - other._start_time) + other._merged_duration
+        )
 
 
 @dataclass

@@ -47,9 +47,11 @@ class TrueGuard(Guard):
     """The empty condition: always satisfied."""
 
     def evaluate(self, environment: Mapping[str, bool]) -> bool:
+        """Always true."""
         return True
 
     def variables(self) -> frozenset[str]:
+        """The empty set."""
         return frozenset()
 
     def __str__(self) -> str:
@@ -67,9 +69,11 @@ class Var(Guard):
             raise ValidationError("condition variable name must be non-empty")
 
     def evaluate(self, environment: Mapping[str, bool]) -> bool:
+        """Truth value of the variable (unbound reads as false)."""
         return bool(environment.get(self.name, False))
 
     def variables(self) -> frozenset[str]:
+        """The singleton set of this variable's name."""
         return frozenset({self.name})
 
     def __str__(self) -> str:
@@ -83,9 +87,11 @@ class Not(Guard):
     operand: Guard
 
     def evaluate(self, environment: Mapping[str, bool]) -> bool:
+        """Negation of the operand."""
         return not self.operand.evaluate(environment)
 
     def variables(self) -> frozenset[str]:
+        """Variables of the negated operand."""
         return self.operand.variables()
 
     def __str__(self) -> str:
@@ -104,9 +110,11 @@ class And(Guard):
         object.__setattr__(self, "operands", tuple(operands))
 
     def evaluate(self, environment: Mapping[str, bool]) -> bool:
+        """Whether every operand holds."""
         return all(guard.evaluate(environment) for guard in self.operands)
 
     def variables(self) -> frozenset[str]:
+        """Union of the operands' variables."""
         result: frozenset[str] = frozenset()
         for guard in self.operands:
             result |= guard.variables()
@@ -128,9 +136,11 @@ class Or(Guard):
         object.__setattr__(self, "operands", tuple(operands))
 
     def evaluate(self, environment: Mapping[str, bool]) -> bool:
+        """Whether any operand holds."""
         return any(guard.evaluate(environment) for guard in self.operands)
 
     def variables(self) -> frozenset[str]:
+        """Union of the operands' variables."""
         result: frozenset[str] = frozenset()
         for guard in self.operands:
             result |= guard.variables()

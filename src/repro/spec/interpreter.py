@@ -58,6 +58,7 @@ class ActiveState:
 
     @property
     def activity(self) -> str | None:
+        """Name of the activity bound to the underlying state, if any."""
         return self.state.activity
 
 
@@ -91,6 +92,7 @@ class ProbabilisticResolver(BranchResolver):
         event: str | None,
         environment: Mapping[str, bool],
     ) -> ChartTransition:
+        """Sample one transition by the probability annotations."""
         if len(transitions) == 1:
             return transitions[0]
         weights = []
@@ -118,6 +120,7 @@ class GuardedResolver(BranchResolver):
         event: str | None,
         environment: Mapping[str, bool],
     ) -> ChartTransition:
+        """The first transition whose ECA rule is enabled."""
         for transition in transitions:
             if transition.rule.is_enabled(event, environment):
                 return transition

@@ -167,9 +167,11 @@ class StateChart:
     # ------------------------------------------------------------------
     @property
     def state_names(self) -> tuple[str, ...]:
+        """Names of the states, in definition order."""
         return tuple(state.name for state in self.states)
 
     def state(self, name: str) -> ChartState:
+        """The state called ``name`` (raises if unknown)."""
         for candidate in self.states:
             if candidate.name == name:
                 return candidate

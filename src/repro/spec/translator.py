@@ -56,6 +56,7 @@ class ActivityRegistry:
         object.__setattr__(self, "activities", activities)
 
     def get(self, name: str) -> ActivitySpec:
+        """The activity spec registered under ``name`` (raises if unknown)."""
         try:
             return self.activities[name]
         except KeyError:

@@ -47,6 +47,7 @@ class ParameterDrift:
 
     @property
     def relative_change(self) -> float:
+        """Signed relative change of observed versus assumed value."""
         if self.assumed == 0.0:
             return float("inf") if self.observed != 0.0 else 0.0
         return (self.observed - self.assumed) / self.assumed
@@ -67,9 +68,11 @@ class DriftReport:
 
     @property
     def has_drift(self) -> bool:
+        """Whether any parameter drifted beyond the threshold."""
         return bool(self.drifts)
 
     def format_text(self) -> str:
+        """Human-readable multi-line rendering of the report."""
         if not self.drifts:
             return (
                 f"No parameter drift beyond {self.threshold:.0%} detected."
@@ -144,9 +147,11 @@ class ReconfigurationPlan:
 
     @property
     def is_change(self) -> bool:
+        """Whether the plan changes any replica count."""
         return any(delta != 0 for delta in self.changes.values())
 
     def format_text(self) -> str:
+        """Human-readable multi-line rendering of the plan."""
         lines = [self.drift.format_text(), f"Decision: {self.reason}"]
         if self.is_change:
             lines.append(

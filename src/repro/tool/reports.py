@@ -54,6 +54,7 @@ class CalibrationReport:
     sample_counts: dict[str, int]
 
     def format_text(self) -> str:
+        """Human-readable multi-line rendering of the report."""
         lines = ["Calibration from monitoring data:"]
         for name, (mean, second) in self.server_updates.items():
             scv = (second - mean**2) / mean**2 if mean > 0 else math.nan

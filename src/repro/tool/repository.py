@@ -25,6 +25,7 @@ class WorkflowSpecification:
 
     @property
     def name(self) -> str:
+        """The workflow's name (taken from its state chart)."""
         return self.chart.name
 
 

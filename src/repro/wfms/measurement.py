@@ -39,6 +39,11 @@ class WorkflowTypeMeasurement:
     mean_turnaround_time: float
     turnaround_ci95: tuple[float, float]
     throughput: float
+    #: Raw per-instance turnaround collector (present on simulator-built
+    #: reports; campaign aggregation merges these across replications).
+    turnaround_stats: "object | None" = field(
+        default=None, repr=False, compare=False
+    )
 
 
 @dataclass(frozen=True)
@@ -53,8 +58,15 @@ class WFMSMeasurementReport:
     trail: AuditTrail = field(repr=False, default_factory=AuditTrail)
     #: Present when the run used worklist management (actor contention).
     worklist: object | None = None
+    #: Closed time-weighted window of the system-up signal (present on
+    #: simulator-built reports; campaign aggregation merges the windows
+    #: into a duration-weighted pooled availability).
+    availability_stats: object | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def format_text(self) -> str:
+        """Human-readable multi-line rendering of the report."""
         lines = [
             f"Simulation report ({self.observed_duration:g} time units "
             f"observed after {self.warmup_duration:g} warm-up)",

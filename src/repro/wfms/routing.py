@@ -66,6 +66,7 @@ class ServerPool:
 
     @property
     def up_count(self) -> int:
+        """Number of replicas currently up."""
         return sum(1 for server in self.servers if server.is_up)
 
     def submit(self, request: ServiceRequest) -> None:

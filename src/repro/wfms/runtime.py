@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import enum
 import math
-import random
 from dataclasses import dataclass
 from typing import Mapping
 
@@ -42,6 +41,7 @@ from repro.sim.distributions import (
     distribution_for_moments,
 )
 from repro.sim.engine import Simulator
+from repro.sim.seeding import derive_rng
 from repro.sim.statistics import RunningStats, TimeWeightedStats
 from repro.spec.interpreter import (
     ActiveState,
@@ -126,13 +126,16 @@ class SimulatedWFMS:
         self.simulator = Simulator()
         self.trail = AuditTrail()
         # Independent random streams keep the comparison across runs with
-        # different configurations as tight as possible.
-        self._arrival_rng = random.Random(seed)
-        self._branch_rng = random.Random(seed + 1)
-        self._duration_rng = random.Random(seed + 2)
-        self._service_rng = random.Random(seed + 3)
-        self._failure_rng = random.Random(seed + 4)
-        self._load_rng = random.Random(seed + 5)
+        # different configurations as tight as possible.  Each stream is
+        # seeded from a hash of (seed, stream name) — never seed+offset,
+        # which would make replications with adjacent master seeds share
+        # identical sub-streams (see repro.sim.seeding).
+        self._arrival_rng = derive_rng(seed, "arrival")
+        self._branch_rng = derive_rng(seed, "branch")
+        self._duration_rng = derive_rng(seed, "duration")
+        self._service_rng = derive_rng(seed, "service")
+        self._failure_rng = derive_rng(seed, "failure")
+        self._load_rng = derive_rng(seed, "load")
 
         self.pools: dict[str, ServerPool] = {}
         self._injectors: list[FailureInjector] = []
@@ -199,7 +202,7 @@ class SimulatedWFMS:
                 activity_roles=activity_roles,
                 policy=(worklist_policy if worklist_policy is not None
                         else AssignmentPolicy.LEAST_LOADED),
-                rng=random.Random(seed + 6),
+                rng=derive_rng(seed, "worklist"),
             )
 
         self._next_instance_id = 0
@@ -210,6 +213,9 @@ class SimulatedWFMS:
         self._completed: dict[str, int] = {name: 0 for name in names}
         self._system_up = TimeWeightedStats(1.0, 0.0)
         self._collect_from = 0.0
+        self._collect_until = math.inf
+        self._tracked_open = 0
+        self._draining = False
         self._started = False
 
     # ------------------------------------------------------------------
@@ -218,10 +224,13 @@ class SimulatedWFMS:
     def _on_server_state_change(self, server: Server) -> None:
         pool = self.pools[server.spec.name]
         pool.notify_state_change()
-        self._system_up.update(
-            1.0 if all(p.any_up for p in self.pools.values()) else 0.0,
-            self.simulator.now,
-        )
+        if not self._draining:
+            # The availability window is closed at the end of the
+            # measurement period; drain-phase changes only affect routing.
+            self._system_up.update(
+                1.0 if all(p.any_up for p in self.pools.values()) else 0.0,
+                self.simulator.now,
+            )
 
     def _on_server_failure(self, server: Server) -> None:
         obs.count("wfms.server_failures")
@@ -248,10 +257,16 @@ class SimulatedWFMS:
         self._start_instance(workflow_type)
         self._schedule_arrival(workflow_type)
 
+    def _in_window(self, started_at: float) -> bool:
+        """Whether an instance started inside the measurement window."""
+        return self._collect_from <= started_at < self._collect_until
+
     def _start_instance(self, workflow_type: SimulatedWorkflowType) -> None:
         instance_id = self._next_instance_id
         self._next_instance_id += 1
         self._active_instances += 1
+        if self._in_window(self.simulator.now):
+            self._tracked_open += 1
         obs.count("wfms.instances_started")
         obs.event(
             "instance_started",
@@ -295,10 +310,23 @@ class SimulatedWFMS:
     # ------------------------------------------------------------------
     # Running and reporting
     # ------------------------------------------------------------------
+    #: Safety bound of the drain phase, as a multiple of the measured
+    #: duration: a workflow whose turnaround tail exceeds this is broken.
+    DRAIN_LIMIT_FACTOR = 50.0
+
     def run(
         self, duration: float, warmup: float = 0.0
     ) -> WFMSMeasurementReport:
-        """Run for ``warmup + duration`` and report the post-warm-up window."""
+        """Run for ``warmup + duration`` and report the post-warm-up window.
+
+        Instances are counted by *start* time: every instance started
+        inside the measurement window is followed to completion (the
+        simulation drains past the window end until the cohort is
+        complete), so turnaround statistics carry no end-of-run
+        censoring bias — long-running instances are never silently
+        dropped.  Server utilization, waiting, and availability are
+        measured over the window itself.
+        """
         if duration <= 0.0:
             raise ValidationError("duration must be positive")
         if warmup < 0.0:
@@ -309,6 +337,8 @@ class SimulatedWFMS:
         with obs.span(
             "wfms.run", duration=duration, warmup=warmup
         ) as span:
+            self._collect_from = warmup
+            self._collect_until = warmup + duration
             for workflow_type in self.workflow_types:
                 self._schedule_arrival(workflow_type)
             for injector in self._injectors:
@@ -316,10 +346,37 @@ class SimulatedWFMS:
             if warmup > 0.0:
                 self.simulator.run_until(warmup)
                 self._reset_statistics()
-            self._collect_from = self.simulator.now
-            self.simulator.run_until(warmup + duration)
+            end = warmup + duration
+            self.simulator.run_until(end)
+            # Window-scoped measurements are taken now; the drain below
+            # only completes the in-flight instance cohort.
+            server_measurements = self._measure_servers(end)
+            self._system_up.finalize(end)
+            system_unavailability = 1.0 - self._system_up.time_average()
+            self._drain(duration, end)
             span.set("events", self.simulator.executed_events)
-            return self._build_report(duration, warmup)
+            return self._build_report(
+                duration, warmup, server_measurements, system_unavailability
+            )
+
+    def _drain(self, duration: float, end: float) -> None:
+        """Simulate past the window until the tracked cohort completes."""
+        if self._tracked_open == 0:
+            return
+        self._draining = True
+        deadline = end + self.DRAIN_LIMIT_FACTOR * duration
+        chunk = max(duration / 10.0, 1.0)
+        with obs.span("wfms.drain", open_instances=self._tracked_open):
+            while self._tracked_open > 0:
+                if self.simulator.now >= deadline:
+                    raise ValidationError(
+                        f"{self._tracked_open} instance(s) still running "
+                        f"{self.DRAIN_LIMIT_FACTOR:g}x the measured "
+                        f"duration past the window end; the workflow "
+                        f"does not terminate"
+                    )
+                self.simulator.run_until(self.simulator.now + chunk)
+        self._draining = False
 
     def _reset_statistics(self) -> None:
         now = self.simulator.now
@@ -335,10 +392,10 @@ class SimulatedWFMS:
         self.trail.service_requests.clear()
         self.trail.instances.clear()
 
-    def _build_report(
-        self, duration: float, warmup: float
-    ) -> WFMSMeasurementReport:
-        now = self.simulator.now
+    def _measure_servers(
+        self, now: float
+    ) -> dict[str, ServerTypeMeasurement]:
+        """Snapshot per-type measurements at the window end ``now``."""
         server_measurements: dict[str, ServerTypeMeasurement] = {}
         for name, pool in self.pools.items():
             counts = [s.statistics.waiting_times.count for s in pool.servers]
@@ -374,6 +431,15 @@ class SimulatedWFMS:
                 utilization=utilization,
                 unavailability=1.0 - pool.availability.time_average(now),
             )
+        return server_measurements
+
+    def _build_report(
+        self,
+        duration: float,
+        warmup: float,
+        server_measurements: dict[str, ServerTypeMeasurement],
+        system_unavailability: float,
+    ) -> WFMSMeasurementReport:
         workflow_measurements: dict[str, WorkflowTypeMeasurement] = {}
         for workflow_type in self.workflow_types:
             name = workflow_type.chart.name
@@ -384,18 +450,20 @@ class SimulatedWFMS:
                 mean_turnaround_time=stats.mean,
                 turnaround_ci95=stats.confidence_interval_95(),
                 throughput=self._completed[name] / duration,
+                turnaround_stats=stats,
             )
         return WFMSMeasurementReport(
             observed_duration=duration,
             warmup_duration=warmup,
             server_types=server_measurements,
             workflow_types=workflow_measurements,
-            system_unavailability=1.0 - self._system_up.time_average(now),
+            system_unavailability=system_unavailability,
             trail=self.trail,
             worklist=(
                 self.worklist.report() if self.worklist is not None
                 else None
             ),
+            availability_stats=self._system_up,
         )
 
     # ------------------------------------------------------------------
@@ -414,7 +482,8 @@ class SimulatedWFMS:
             workflow=workflow_name,
             turnaround=now - started_at,
         )
-        if started_at >= self._collect_from:
+        if self._in_window(started_at):
+            self._tracked_open -= 1
             self._turnarounds[workflow_name].add(now - started_at)
             self._completed[workflow_name] += 1
             self.trail.record_instance(
@@ -470,7 +539,10 @@ class _InstanceRuntime(InterpreterListener):
     # ------------------------------------------------------------------
     def _record_top_level_transition(self, next_state: str) -> None:
         now = self.wfms.simulator.now
+        # Only instances of the measured cohort feed the audit trail, so
+        # visit records and instance records describe the same sample.
         if (self._top_level is not None
+                and self.wfms._in_window(self.started_at)
                 and self._top_level[1] >= self.wfms._collect_from):
             state, entered_at = self._top_level
             self.wfms.trail.record_state_visit(

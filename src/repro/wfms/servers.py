@@ -89,6 +89,7 @@ class Server:
 
     @property
     def is_busy(self) -> bool:
+        """Whether a request is currently in service."""
         return self._current is not None
 
     def submit(self, request: ServiceRequest) -> None:

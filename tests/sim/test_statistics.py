@@ -54,6 +54,114 @@ class TestRunningStats:
         assert stats.confidence_interval_95() == (5.0, 5.0)
 
 
+class TestRunningStatsMerge:
+    def test_merge_equals_bulk_add(self):
+        rng = np.random.default_rng(13)
+        left_data = rng.uniform(-5.0, 5.0, size=137)
+        right_data = rng.normal(2.0, 3.0, size=411)
+        left, right, bulk = RunningStats(), RunningStats(), RunningStats()
+        for value in left_data:
+            left.add(float(value))
+            bulk.add(float(value))
+        for value in right_data:
+            right.add(float(value))
+            bulk.add(float(value))
+        left.merge(right)
+        assert left.count == bulk.count
+        assert left.mean == pytest.approx(bulk.mean)
+        assert left.variance == pytest.approx(bulk.variance)
+        assert left.second_moment == pytest.approx(bulk.second_moment)
+        assert left.minimum == bulk.minimum
+        assert left.maximum == bulk.maximum
+
+    def test_merge_into_empty_copies(self):
+        source = RunningStats()
+        for value in (1.0, 4.0, 9.0):
+            source.add(value)
+        target = RunningStats()
+        target.merge(source)
+        assert target.count == 3
+        assert target.mean == pytest.approx(source.mean)
+        assert target.variance == pytest.approx(source.variance)
+
+    def test_merge_empty_is_noop(self):
+        stats = RunningStats()
+        stats.add(2.0)
+        stats.add(4.0)
+        stats.merge(RunningStats())
+        assert stats.count == 2
+        assert stats.mean == pytest.approx(3.0)
+
+    def test_merge_leaves_other_untouched(self):
+        left, right = RunningStats(), RunningStats()
+        left.add(1.0)
+        right.add(10.0)
+        left.merge(right)
+        assert right.count == 1
+        assert right.mean == 10.0
+
+    def test_merged_classmethod_many_collectors(self):
+        rng = np.random.default_rng(3)
+        chunks = [rng.normal(0.0, 1.0, size=n) for n in (3, 50, 1, 200)]
+        collectors = []
+        bulk = RunningStats()
+        for chunk in chunks:
+            collector = RunningStats()
+            for value in chunk:
+                collector.add(float(value))
+                bulk.add(float(value))
+            collectors.append(collector)
+        merged = RunningStats.merged(collectors)
+        assert merged.count == bulk.count
+        assert merged.mean == pytest.approx(bulk.mean)
+        assert merged.variance == pytest.approx(bulk.variance)
+        assert merged.minimum == bulk.minimum
+        assert merged.maximum == bulk.maximum
+
+
+class TestTimeWeightedStatsMerge:
+    def test_duration_weighted_pooling(self):
+        # Window A: value 1 for 10 units; window B: value 0 for 30 units.
+        a = TimeWeightedStats(1.0, start_time=0.0)
+        a.finalize(10.0)
+        b = TimeWeightedStats(0.0, start_time=100.0)
+        b.finalize(130.0)
+        pool = TimeWeightedStats()
+        pool.merge(a)
+        pool.merge(b)
+        assert pool.time_average() == pytest.approx(10.0 / 40.0)
+
+    def test_merge_requires_finalized_window(self):
+        open_window = TimeWeightedStats(1.0, start_time=0.0)
+        open_window.update(0.0, 5.0)
+        pool = TimeWeightedStats()
+        with pytest.raises(ValidationError):
+            pool.merge(open_window)
+
+    def test_merge_of_merged_windows(self):
+        # Merging a collector that itself holds merged windows folds the
+        # whole accumulated mass, not just its live window.
+        a = TimeWeightedStats(1.0, start_time=0.0)
+        a.finalize(10.0)
+        inner = TimeWeightedStats()
+        inner.merge(a)
+        inner.finalize(0.0)
+        outer = TimeWeightedStats()
+        outer.merge(inner)
+        b = TimeWeightedStats(0.0, start_time=0.0)
+        b.finalize(10.0)
+        outer.merge(b)
+        assert outer.time_average() == pytest.approx(0.5)
+
+    def test_merge_leaves_other_untouched(self):
+        a = TimeWeightedStats(2.0, start_time=0.0)
+        a.finalize(4.0)
+        pool = TimeWeightedStats()
+        pool.merge(a)
+        assert a.time_average() == pytest.approx(2.0)
+        assert a._finalized_at == 4.0
+
+
 class TestTimeWeightedStats:
     def test_step_function_average(self):
         stats = TimeWeightedStats(0.0, start_time=0.0)

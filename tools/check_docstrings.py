@@ -1,0 +1,105 @@
+"""Docstring-coverage gate for the public API.
+
+Walks a package tree with :mod:`ast` and counts docstrings on modules,
+public classes, and public functions/methods (anything whose name does
+not start with ``_``).  Nested (function-local) definitions are ignored:
+they are implementation detail, not API surface.
+
+Used by CI instead of ``interrogate`` (not available in the toolchain)::
+
+    python tools/check_docstrings.py --threshold 95 src/repro
+
+Exit status 0 when coverage meets the threshold, 1 otherwise; the
+missing definitions are listed either way so the gate's output is
+actionable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+
+def public_definitions(
+    tree: ast.Module,
+) -> list[tuple[str, int, bool]]:
+    """``(qualified name, line, has docstring)`` per public definition.
+
+    Walks module and class bodies only — function bodies are not
+    descended into, so closures and local helpers don't count.
+    """
+    found: list[tuple[str, int, bool]] = []
+
+    def visit(body: list[ast.stmt], prefix: str) -> None:
+        for node in body:
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                if node.name.startswith("_"):
+                    continue
+                qualified = f"{prefix}{node.name}"
+                found.append(
+                    (qualified, node.lineno, ast.get_docstring(node)
+                     is not None)
+                )
+                if isinstance(node, ast.ClassDef):
+                    visit(node.body, f"{qualified}.")
+
+    visit(tree.body, "")
+    return found
+
+
+def scan_file(path: Path) -> list[tuple[str, int, bool]]:
+    """All countable definitions of one file, module node included."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    entries = [("<module>", 1, ast.get_docstring(tree) is not None)]
+    entries.extend(public_definitions(tree))
+    return entries
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "roots", nargs="+", help="package directories to scan"
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=95.0,
+        help="minimum coverage percentage (default: 95)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="print only the summary line",
+    )
+    args = parser.parse_args(argv)
+
+    total = 0
+    documented = 0
+    missing: list[tuple[Path, str, int]] = []
+    for root in args.roots:
+        for path in sorted(Path(root).rglob("*.py")):
+            for name, line, has_doc in scan_file(path):
+                total += 1
+                if has_doc:
+                    documented += 1
+                else:
+                    missing.append((path, name, line))
+
+    coverage = 100.0 * documented / total if total else 100.0
+    if missing and not args.quiet:
+        print("missing docstrings:")
+        for path, name, line in missing:
+            print(f"  {path}:{line}: {name}")
+    print(
+        f"docstring coverage: {documented}/{total} = {coverage:.1f}% "
+        f"(threshold {args.threshold:.1f}%)"
+    )
+    if coverage < args.threshold:
+        print("FAIL: coverage below threshold", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
