@@ -1,7 +1,7 @@
 # Development targets for the repro package.
 
 .PHONY: install test docstrings bench bench-search bench-search-parallel \
-	campaign bench-campaign examples all
+	campaign bench-campaign bench-sim examples all
 
 install:
 	pip install -e . || python setup.py develop
@@ -32,6 +32,10 @@ campaign:
 
 bench-campaign:
 	PYTHONPATH=src python benchmarks/bench_campaign.py --check
+
+bench-sim:
+	PYTHONPATH=src python benchmarks/bench_sim_hotpath.py --check \
+		--min-speedup 1.5
 
 examples:
 	PYTHONPATH=src python examples/quickstart.py

@@ -10,9 +10,10 @@ Replications are fully determined by their derived seeds and the parent
 aggregates in replication order, so the parallel aggregate must be
 byte-identical to the serial one; ``--check`` always gates on that.
 Wall-clock speedup is recorded too, but only gated on machines with
-more than one CPU: on a single core the spawn/import overhead of the
-worker processes makes the parallel path strictly slower, which is
-expected and not a defect (the same convention as ``bench_search.py``).
+more than one CPU.  The worker count is clamped to ``os.cpu_count()``
+— requesting more workers than cores only measures spawn/import
+overhead of processes that then time-slice one another — and the clamp
+(plus the serial events/sec) is recorded in the output.
 
 Usage::
 
@@ -79,7 +80,17 @@ def make_plan(quick: bool) -> CampaignPlan:
 
 
 def run_benchmark(quick: bool) -> dict:
-    """Time the serial and parallel paths and compare their documents."""
+    """Time the serial and parallel paths and compare their documents.
+
+    The worker count is clamped to the machine's CPU count: asking for
+    more workers than cores measures process spawn overhead, not
+    fan-out (the original run of this benchmark requested two workers
+    on a one-core container and dutifully recorded a 0.67x "speedup").
+    The clamp is recorded so the output stays honest about what ran.
+    """
+    cpu_count = os.cpu_count() or 1
+    workers = min(PARALLEL_WORKERS, cpu_count)
+
     serial_plan = make_plan(quick)
     start = time.perf_counter()
     serial = run_campaign(serial_plan, workers=1)
@@ -87,20 +98,23 @@ def run_benchmark(quick: bool) -> dict:
 
     parallel_plan = make_plan(quick)
     start = time.perf_counter()
-    parallel = run_campaign(parallel_plan, workers=PARALLEL_WORKERS)
+    parallel = run_campaign(parallel_plan, workers=workers)
     parallel_seconds = time.perf_counter() - start
 
     serial_document = json.dumps(serial.to_document(), sort_keys=True)
     parallel_document = json.dumps(parallel.to_document(), sort_keys=True)
     return {
         "mode": "quick" if quick else "full",
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
         "replications": serial_plan.replications,
         "duration": serial_plan.duration,
         "warmup": serial_plan.warmup,
-        "workers": PARALLEL_WORKERS,
+        "workers_requested": PARALLEL_WORKERS,
+        "workers": workers,
+        "workers_clamped": workers < PARALLEL_WORKERS,
         "total_events": serial.total_events,
         "serial_seconds": serial_seconds,
+        "serial_events_per_second": serial.total_events / serial_seconds,
         "parallel_seconds": parallel_seconds,
         "parallel_speedup": serial_seconds / parallel_seconds,
         "documents_identical": serial_document == parallel_document,
@@ -138,11 +152,17 @@ def main(argv: list[str] | None = None) -> int:
         f"{record['total_events']} events"
     )
     print(
-        f"  serial   {record['serial_seconds']:8.2f} s"
+        f"  serial   {record['serial_seconds']:8.2f} s "
+        f"({record['serial_events_per_second']:,.0f} events/sec)"
+    )
+    clamp_note = (
+        f", clamped from {record['workers_requested']}"
+        if record["workers_clamped"]
+        else ""
     )
     print(
         f"  parallel {record['parallel_seconds']:8.2f} s "
-        f"({record['workers']} workers, "
+        f"({record['workers']} workers{clamp_note}, "
         f"{record['parallel_speedup']:.2f}x, "
         f"cpu_count={record['cpu_count']})"
     )

@@ -366,6 +366,15 @@ def _add_observability_arguments(
     )
 
 
+def _add_profile_argument(subparser: argparse.ArgumentParser) -> None:
+    """Attach the ``--profile`` flag to a simulation subcommand."""
+    subparser.add_argument(
+        "--profile", nargs="?", const="-", default=None, metavar="PATH",
+        help="profile the run with cProfile; prints the hottest "
+        "functions, or dumps pstats data to PATH when one is given",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -501,6 +510,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-failures", action="store_true",
         help="disable failure injection (failure-free run)",
     )
+    _add_profile_argument(simulate)
     simulate.set_defaults(handler=_cmd_simulate)
 
     campaign = commands.add_parser(
@@ -544,6 +554,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the campaign aggregate and validation verdicts as "
         "machine-readable JSON",
     )
+    _add_profile_argument(campaign)
     campaign.set_defaults(handler=_cmd_campaign)
 
     for subcommand in commands.choices.values():
@@ -564,7 +575,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         obs.reset()
         obs.enable()
     try:
-        status = args.handler(args)
+        status = _run_handler(args)
         if observing:
             _emit_observability(args)
         return status
@@ -585,6 +596,27 @@ def main(argv: Sequence[str] | None = None) -> int:
     finally:
         if observing:
             obs.disable()
+
+
+def _run_handler(args: argparse.Namespace) -> int:
+    """Dispatch to the subcommand handler, optionally under cProfile."""
+    target = getattr(args, "profile", None)
+    if not target:
+        return args.handler(args)
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    status = profiler.runcall(args.handler, args)
+    if target == "-":
+        print()
+        print("Profile (top 15 functions by internal time):")
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("tottime").print_stats(15)
+    else:
+        profiler.dump_stats(target)
+        print(f"wrote profile to {target}")
+    return status
 
 
 def _emit_observability(args: argparse.Namespace) -> None:

@@ -133,6 +133,9 @@ DECLARED_METRICS: tuple[tuple[str, str, str], ...] = (
      "Workflow instances completed"),
     ("gauge", "sim.calendar.max_pending",
      "High-water mark of the event calendar"),
+    ("gauge", "sim.events_per_second",
+     "Event throughput (events per wall-clock second) of the most "
+     "recent simulator dispatch loops"),
     ("counter", "campaign.replications_completed",
      "Simulation-campaign replications finished (serial or parallel)"),
     ("counter", "campaign.merges",

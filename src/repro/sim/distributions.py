@@ -13,7 +13,10 @@ from __future__ import annotations
 import abc
 import math
 import random
+from bisect import bisect
 from dataclasses import dataclass
+from itertools import accumulate
+from typing import Callable
 
 from repro.exceptions import ValidationError
 
@@ -24,6 +27,20 @@ class Distribution(abc.ABC):
     @abc.abstractmethod
     def sample(self, rng: random.Random) -> float:
         """Draw one variate."""
+
+    def sampler(self, rng: random.Random) -> Callable[[], float]:
+        """Precompiled zero-argument sampler bound to ``rng``.
+
+        The returned closure draws the *identical* variate stream as
+        repeated :meth:`sample` calls on the same generator — same RNG
+        method calls in the same order with bit-identical parameters —
+        but with the per-sample parameter recomputation and attribute
+        lookups hoisted out.  Hot call sites (the simulated servers and
+        the WFMS duration sampling) compile their distribution once and
+        call the closure per draw.
+        """
+        sample = self.sample
+        return lambda: sample(rng)
 
     @property
     @abc.abstractmethod
@@ -62,6 +79,11 @@ class Deterministic(Distribution):
         """The fixed value (``rng`` is unused)."""
         return self.value
 
+    def sampler(self, rng: random.Random) -> Callable[[], float]:
+        """Constant closure (``rng`` is unused, matching :meth:`sample`)."""
+        value = self.value
+        return lambda: value
+
     @property
     def mean(self) -> float:
         """The fixed value."""
@@ -86,6 +108,12 @@ class Exponential(Distribution):
     def sample(self, rng: random.Random) -> float:
         """One exponential variate with the configured mean."""
         return rng.expovariate(1.0 / self.mean_value)
+
+    def sampler(self, rng: random.Random) -> Callable[[], float]:
+        """Closure with the rate precomputed and ``expovariate`` bound."""
+        rate = 1.0 / self.mean_value
+        expovariate = rng.expovariate
+        return lambda: expovariate(rate)
 
     @property
     def mean(self) -> float:
@@ -112,6 +140,12 @@ class Uniform(Distribution):
     def sample(self, rng: random.Random) -> float:
         """One uniform variate on ``[low, high]``."""
         return rng.uniform(self.low, self.high)
+
+    def sampler(self, rng: random.Random) -> Callable[[], float]:
+        """Closure with the bounds hoisted and ``uniform`` bound."""
+        low, high = self.low, self.high
+        uniform = rng.uniform
+        return lambda: uniform(low, high)
 
     @property
     def mean(self) -> float:
@@ -146,6 +180,22 @@ class Erlang(Distribution):
         stage_mean = self.mean_value / self.stages
         return sum(
             rng.expovariate(1.0 / stage_mean) for _ in range(self.stages)
+        )
+
+    def sampler(self, rng: random.Random) -> Callable[[], float]:
+        """Closure with the stage rate precomputed; the common one- and
+        two-stage cases skip the generator entirely."""
+        # Exactly the per-sample expression, hoisted: any other algebraic
+        # form could differ in the last ulp and shift the draw stream.
+        stage_rate = 1.0 / (self.mean_value / self.stages)
+        stages = self.stages
+        expovariate = rng.expovariate
+        if stages == 1:
+            return lambda: expovariate(stage_rate)
+        if stages == 2:
+            return lambda: expovariate(stage_rate) + expovariate(stage_rate)
+        return lambda: sum(
+            expovariate(stage_rate) for _ in range(stages)
         )
 
     @property
@@ -194,6 +244,31 @@ class HyperExponential(Distribution):
         )[0]
         return rng.expovariate(1.0 / mean)
 
+    def sampler(self, rng: random.Random) -> Callable[[], float]:
+        """Closure with the branch selection precompiled.
+
+        The branch pick inlines exactly what ``random.Random.choices``
+        computes — ``population[bisect(cum_weights, random() * total,
+        0, hi)]`` with ``cum_weights = accumulate(weights)`` and
+        ``total = cum_weights[-1] + 0.0`` — but hoists the cumulative
+        table out of the per-draw path.  The arithmetic (and therefore
+        the draw stream) is bit-identical to :meth:`sample`.
+        """
+        means = self.branch_means
+        cum_weights = list(accumulate(self.branch_probabilities))
+        total = cum_weights[-1] + 0.0
+        hi = len(means) - 1
+        rand = rng.random
+        expovariate = rng.expovariate
+
+        def draw() -> float:
+            return expovariate(
+                1.0
+                / means[bisect(cum_weights, rand() * total, 0, hi)]
+            )
+
+        return draw
+
     @property
     def mean(self) -> float:
         """Probability-weighted mean of the branches."""
@@ -241,6 +316,12 @@ class LogNormal(Distribution):
         """One log-normal variate matching the configured mean and SCV."""
         mu, sigma = self._parameters()
         return rng.lognormvariate(mu, sigma)
+
+    def sampler(self, rng: random.Random) -> Callable[[], float]:
+        """Closure with ``(mu, sigma)`` computed once instead of per draw."""
+        mu, sigma = self._parameters()
+        lognormvariate = rng.lognormvariate
+        return lambda: lognormvariate(mu, sigma)
 
     @property
     def mean(self) -> float:

@@ -20,6 +20,10 @@ NORMAL_QUANTILE_95 = 1.959963984540054
 class RunningStats:
     """Streaming mean / variance / second moment (Welford's algorithm)."""
 
+    __slots__ = (
+        "_count", "_mean", "_m2", "_sum_squares", "_minimum", "_maximum"
+    )
+
     def __init__(self) -> None:
         self._count = 0
         self._mean = 0.0
@@ -30,13 +34,17 @@ class RunningStats:
 
     def add(self, value: float) -> None:
         """Record one observation."""
-        self._count += 1
+        count = self._count + 1
+        self._count = count
         delta = value - self._mean
-        self._mean += delta / self._count
-        self._m2 += delta * (value - self._mean)
+        mean = self._mean + delta / count
+        self._mean = mean
+        self._m2 += delta * (value - mean)
         self._sum_squares += value * value
-        self._minimum = min(self._minimum, value)
-        self._maximum = max(self._maximum, value)
+        if value < self._minimum:
+            self._minimum = value
+        if value > self._maximum:
+            self._maximum = value
 
     @property
     def count(self) -> int:
@@ -139,6 +147,11 @@ class TimeWeightedStats:
     window at the given time.
     """
 
+    __slots__ = (
+        "_value", "_last_time", "_start_time", "_weighted_sum",
+        "_finalized_at", "_merged_weight", "_merged_duration",
+    )
+
     def __init__(self, initial_value: float = 0.0, start_time: float = 0.0):
         self._value = initial_value
         self._last_time = start_time
@@ -151,11 +164,12 @@ class TimeWeightedStats:
 
     def update(self, value: float, time: float) -> None:
         """The signal takes ``value`` from ``time`` onwards."""
-        if time < self._last_time:
+        last = self._last_time
+        if time < last:
             raise ValidationError(
-                f"time {time} precedes last update {self._last_time}"
+                f"time {time} precedes last update {last}"
             )
-        self._weighted_sum += self._value * (time - self._last_time)
+        self._weighted_sum += self._value * (time - last)
         self._value = value
         self._last_time = time
 

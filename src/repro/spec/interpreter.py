@@ -224,10 +224,8 @@ class _RegionRuntime:
         active = ActiveState(self.path_prefix + (self.current,), state)
         event: str | None = None
         if state.activity is not None:
-            self.interpreter._set_condition(
-                completion_event(state.activity), True
-            )
             event = completion_event(state.activity)
+            self.interpreter._set_condition(event, True)
         self.interpreter._notify_exited(active)
 
         outgoing = self.chart.outgoing(self.current)
@@ -235,8 +233,12 @@ class _RegionRuntime:
             self.current = None
             self.completed = True
             return
+        # The live condition dict is handed to the resolver directly (the
+        # public ``environment`` property copies it on every read, which
+        # is too expensive per fired transition); resolvers must treat it
+        # as read-only.
         transition = self.interpreter._resolver.choose(
-            outgoing, event, self.interpreter.environment
+            outgoing, event, self.interpreter._environment
         )
         for action in transition.rule.actions:
             self.interpreter._execute_action(action, active.path)

@@ -73,6 +73,15 @@ class ChartState:
                 f"state {self.name}: duration of a composite state is "
                 "derived from its regions"
             )
+        # The interpreter reads the expanded entry actions on every state
+        # entry; expand the activity shorthand once instead of per entry.
+        object.__setattr__(
+            self,
+            "_all_entry_actions",
+            (StartActivity(self.activity),) + self.entry_actions
+            if self.activity is not None
+            else self.entry_actions,
+        )
 
     @property
     def is_composite(self) -> bool:
@@ -87,9 +96,7 @@ class ChartState:
     @property
     def all_entry_actions(self) -> tuple[Action, ...]:
         """Entry actions including the activity shorthand expansion."""
-        if self.activity is not None:
-            return (StartActivity(self.activity),) + self.entry_actions
-        return self.entry_actions
+        return self._all_entry_actions
 
 
 @dataclass(frozen=True)
@@ -161,6 +168,26 @@ class StateChart:
                 f"chart {self.name}: unknown initial state "
                 f"{self.initial_state!r}"
             )
+        # Lookup indexes: the interpreter resolves states and outgoing
+        # transitions on every transition fired, so both must be O(1)
+        # rather than scans over the state/transition tuples.
+        object.__setattr__(
+            self,
+            "_state_index",
+            {state.name: state for state in states},
+        )
+        outgoing: dict[str, list[ChartTransition]] = {
+            name: [] for name in names
+        }
+        for transition in transitions:
+            outgoing[transition.source].append(transition)
+        object.__setattr__(
+            self,
+            "_outgoing_index",
+            {
+                name: tuple(listed) for name, listed in outgoing.items()
+            },
+        )
 
     # ------------------------------------------------------------------
     # Lookup helpers
@@ -172,19 +199,21 @@ class StateChart:
 
     def state(self, name: str) -> ChartState:
         """The state called ``name`` (raises if unknown)."""
-        for candidate in self.states:
-            if candidate.name == name:
-                return candidate
-        raise ValidationError(f"chart {self.name}: no state named {name!r}")
+        try:
+            return self._state_index[name]
+        except KeyError:
+            raise ValidationError(
+                f"chart {self.name}: no state named {name!r}"
+            ) from None
 
     def outgoing(self, state_name: str) -> tuple[ChartTransition, ...]:
-        """All transitions leaving a state."""
-        self.state(state_name)
-        return tuple(
-            transition
-            for transition in self.transitions
-            if transition.source == state_name
-        )
+        """All transitions leaving a state (in definition order)."""
+        try:
+            return self._outgoing_index[state_name]
+        except KeyError:
+            raise ValidationError(
+                f"chart {self.name}: no state named {state_name!r}"
+            ) from None
 
     def incoming(self, state_name: str) -> tuple[ChartTransition, ...]:
         """All transitions entering a state."""

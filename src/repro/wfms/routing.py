@@ -78,22 +78,38 @@ class ServerPool:
         server.submit(request)
 
     def _choose(self, request: ServiceRequest) -> Server | None:
-        up_servers = [server for server in self.servers if server.is_up]
+        servers = self.servers
+        policy = self.policy
+        if policy is RoutingPolicy.HASH:
+            # Prefer the instance's home replica; fail over to the next
+            # running one in ring order.  The common all-up case resolves
+            # without building an up-server list.
+            count = len(servers)
+            preferred = request.instance_id % count
+            for offset in range(count):
+                server = servers[(preferred + offset) % count]
+                if server.is_up:
+                    return server
+            return None
+        if policy is RoutingPolicy.ROUND_ROBIN:
+            up_count = 0
+            for server in servers:
+                if server.is_up:
+                    up_count += 1
+            if not up_count:
+                return None
+            self._round_robin_position += 1
+            remaining = self._round_robin_position % up_count
+            for server in servers:
+                if server.is_up:
+                    if not remaining:
+                        return server
+                    remaining -= 1
+            return None  # pragma: no cover - unreachable, up_count > 0
+        up_servers = [server for server in servers if server.is_up]
         if not up_servers:
             return None
-        if self.policy is RoutingPolicy.RANDOM:
-            return self._rng.choice(up_servers)
-        if self.policy is RoutingPolicy.ROUND_ROBIN:
-            self._round_robin_position += 1
-            return up_servers[self._round_robin_position % len(up_servers)]
-        # HASH: prefer the instance's home replica; fail over to the next
-        # running one in ring order.
-        preferred = request.instance_id % len(self.servers)
-        for offset in range(len(self.servers)):
-            server = self.servers[(preferred + offset) % len(self.servers)]
-            if server.is_up:
-                return server
-        return None  # pragma: no cover - unreachable, up_servers non-empty
+        return self._rng.choice(up_servers)
 
     # ------------------------------------------------------------------
     # Failure bookkeeping

@@ -21,7 +21,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Callable, Mapping
 
 from repro import obs
 from repro.core.model_types import ServerTypeIndex
@@ -205,6 +205,33 @@ class SimulatedWFMS:
                 rng=derive_rng(seed, "worklist"),
             )
 
+        # Hot-path precomputation: the duration-sampler table (one
+        # compiled closure per distinct mean, prepopulated from every
+        # activity and chart state so steady-state runs never miss), the
+        # per-type submit table (one dict lookup instead of pool
+        # resolution per request), and the bound arrival sampler.
+        self._duration_samplers: dict[float, Callable[[], float]] = {}
+        for workflow_type in self.workflow_types:
+            for activity in workflow_type.activities.activities.values():
+                self._duration_sampler(activity.mean_duration)
+            for chart in workflow_type.chart.walk_charts():
+                for state in chart.states:
+                    if state.mean_duration is not None:
+                        self._duration_sampler(state.mean_duration)
+        self._duration_sampler(self.default_routing_duration)
+        self._pool_submit = {
+            name: pool.submit for name, pool in self.pools.items()
+        }
+        self._arrival_expovariate = self._arrival_rng.expovariate
+
+        # Per-event observability is batched: plain-int tallies here,
+        # flushed into the obs counters once per run (tracing events
+        # stay per-instance but are guarded by one enabled check).
+        self._obs_on = obs.is_enabled()
+        self._obs_instances_started = 0
+        self._obs_instances_completed = 0
+        self._obs_requests_submitted = 0
+
         self._next_instance_id = 0
         self._active_instances = 0
         self._turnarounds: dict[str, RunningStats] = {
@@ -233,25 +260,27 @@ class SimulatedWFMS:
             )
 
     def _on_server_failure(self, server: Server) -> None:
-        obs.count("wfms.server_failures")
-        obs.event(
-            "server_failure", t=self.simulator.now, server=server.name
-        )
+        if self._obs_on:
+            obs.count("wfms.server_failures")
+            obs.event(
+                "server_failure", t=self.simulator.now, server=server.name
+            )
         self._on_server_state_change(server)
 
     def _on_server_repair(self, server: Server) -> None:
-        obs.count("wfms.server_repairs")
-        obs.event(
-            "server_repair", t=self.simulator.now, server=server.name
-        )
+        if self._obs_on:
+            obs.count("wfms.server_repairs")
+            obs.event(
+                "server_repair", t=self.simulator.now, server=server.name
+            )
         self._on_server_state_change(server)
 
     # ------------------------------------------------------------------
     # Workflow arrivals and execution
     # ------------------------------------------------------------------
     def _schedule_arrival(self, workflow_type: SimulatedWorkflowType) -> None:
-        delay = self._arrival_rng.expovariate(workflow_type.arrival_rate)
-        self.simulator.schedule(delay, self._arrive, workflow_type)
+        delay = self._arrival_expovariate(workflow_type.arrival_rate)
+        self.simulator.post(delay, self._arrive, workflow_type)
 
     def _arrive(self, workflow_type: SimulatedWorkflowType) -> None:
         self._start_instance(workflow_type)
@@ -263,35 +292,59 @@ class SimulatedWFMS:
 
     def _start_instance(self, workflow_type: SimulatedWorkflowType) -> None:
         instance_id = self._next_instance_id
-        self._next_instance_id += 1
+        self._next_instance_id = instance_id + 1
         self._active_instances += 1
-        if self._in_window(self.simulator.now):
+        now = self.simulator.now
+        if self._collect_from <= now < self._collect_until:
             self._tracked_open += 1
-        obs.count("wfms.instances_started")
-        obs.event(
-            "instance_started",
-            t=self.simulator.now,
-            instance=instance_id,
-            workflow=workflow_type.chart.name,
-        )
+        self._obs_instances_started += 1
+        if self._obs_on:
+            obs.event(
+                "instance_started",
+                t=now,
+                instance=instance_id,
+                workflow=workflow_type.chart.name,
+            )
         runtime = _InstanceRuntime(self, workflow_type, instance_id)
         runtime.start()
 
+    def _duration_sampler(self, mean: float) -> Callable[[], float]:
+        """The compiled duration sampler for ``mean`` (built on demand).
+
+        Samplers are keyed by the mean and bound to the duration RNG, so
+        the draw stream is identical to constructing a fresh distribution
+        per sample — minus the per-sample dataclass allocation.
+        """
+        sampler = self._duration_samplers.get(mean)
+        if sampler is None:
+            family = self.duration_sampling
+            if family is DurationSampling.EXPONENTIAL:
+                distribution: Distribution = Exponential(mean)
+            elif family is DurationSampling.DETERMINISTIC:
+                distribution = Deterministic(mean)
+            else:
+                distribution = Erlang(2, mean)
+            sampler = distribution.sampler(self._duration_rng)
+            self._duration_samplers[mean] = sampler
+        return sampler
+
     def sample_duration(self, mean: float) -> float:
         """Sample a state/activity duration of the configured family."""
-        if self.duration_sampling is DurationSampling.EXPONENTIAL:
-            return Exponential(mean).sample(self._duration_rng)
-        if self.duration_sampling is DurationSampling.DETERMINISTIC:
-            return Deterministic(mean).sample(self._duration_rng)
-        return Erlang(2, mean).sample(self._duration_rng)
+        sampler = self._duration_samplers.get(mean)
+        if sampler is None:
+            sampler = self._duration_sampler(mean)
+        return sampler()
 
     def submit_request(self, server_type: str, instance_id: int) -> None:
         """Issue one service request to a server type's pool."""
-        pool = self.pools.get(server_type)
-        if pool is None:
-            raise ValidationError(f"unknown server type {server_type!r}")
-        obs.count("wfms.requests_submitted")
-        pool.submit(
+        try:
+            submit = self._pool_submit[server_type]
+        except KeyError:
+            raise ValidationError(
+                f"unknown server type {server_type!r}"
+            ) from None
+        self._obs_requests_submitted += 1
+        submit(
             ServiceRequest(
                 server_type=server_type,
                 instance_id=instance_id,
@@ -334,30 +387,53 @@ class SimulatedWFMS:
         if self._started:
             raise ValidationError("this WFMS instance was already run")
         self._started = True
+        self._obs_on = obs.is_enabled()
         with obs.span(
             "wfms.run", duration=duration, warmup=warmup
         ) as span:
-            self._collect_from = warmup
-            self._collect_until = warmup + duration
-            for workflow_type in self.workflow_types:
-                self._schedule_arrival(workflow_type)
-            for injector in self._injectors:
-                injector.start()
-            if warmup > 0.0:
-                self.simulator.run_until(warmup)
-                self._reset_statistics()
-            end = warmup + duration
-            self.simulator.run_until(end)
-            # Window-scoped measurements are taken now; the drain below
-            # only completes the in-flight instance cohort.
-            server_measurements = self._measure_servers(end)
-            self._system_up.finalize(end)
-            system_unavailability = 1.0 - self._system_up.time_average()
-            self._drain(duration, end)
-            span.set("events", self.simulator.executed_events)
-            return self._build_report(
-                duration, warmup, server_measurements, system_unavailability
+            try:
+                self._collect_from = warmup
+                self._collect_until = warmup + duration
+                for workflow_type in self.workflow_types:
+                    self._schedule_arrival(workflow_type)
+                for injector in self._injectors:
+                    injector.start()
+                if warmup > 0.0:
+                    self.simulator.run_until(warmup)
+                    self._reset_statistics()
+                end = warmup + duration
+                self.simulator.run_until(end)
+                # Window-scoped measurements are taken now; the drain
+                # below only completes the in-flight instance cohort.
+                server_measurements = self._measure_servers(end)
+                self._system_up.finalize(end)
+                system_unavailability = 1.0 - self._system_up.time_average()
+                self._drain(duration, end)
+                span.set("events", self.simulator.executed_events)
+                return self._build_report(
+                    duration, warmup, server_measurements,
+                    system_unavailability,
+                )
+            finally:
+                self._flush_obs_counters()
+
+    def _flush_obs_counters(self) -> None:
+        """Fold the batched per-event tallies into the obs counters."""
+        if self._obs_instances_started:
+            obs.count(
+                "wfms.instances_started", self._obs_instances_started
             )
+            self._obs_instances_started = 0
+        if self._obs_instances_completed:
+            obs.count(
+                "wfms.instances_completed", self._obs_instances_completed
+            )
+            self._obs_instances_completed = 0
+        if self._obs_requests_submitted:
+            obs.count(
+                "wfms.requests_submitted", self._obs_requests_submitted
+            )
+            self._obs_requests_submitted = 0
 
     def _drain(self, duration: float, end: float) -> None:
         """Simulate past the window until the tracked cohort completes."""
@@ -474,15 +550,16 @@ class SimulatedWFMS:
     ) -> None:
         self._active_instances -= 1
         now = self.simulator.now
-        obs.count("wfms.instances_completed")
-        obs.event(
-            "instance_completed",
-            t=now,
-            instance=instance_id,
-            workflow=workflow_name,
-            turnaround=now - started_at,
-        )
-        if self._in_window(started_at):
+        self._obs_instances_completed += 1
+        if self._obs_on:
+            obs.event(
+                "instance_completed",
+                t=now,
+                instance=instance_id,
+                workflow=workflow_name,
+                turnaround=now - started_at,
+            )
+        if self._collect_from <= started_at < self._collect_until:
             self._tracked_open -= 1
             self._turnarounds[workflow_name].add(now - started_at)
             self._completed[workflow_name] += 1
@@ -588,20 +665,24 @@ class _InstanceRuntime(InterpreterListener):
                 else self.wfms.default_routing_duration
             )
             duration = self.wfms.sample_duration(mean_duration)
-        self.wfms.simulator.schedule(duration, self._advance, active.path)
+        self.wfms.simulator.post(duration, self._advance, active.path)
 
     def _issue_requests(
         self, loads: Mapping[str, float], duration: float
     ) -> None:
         """Spread the activity's requests uniformly over its duration."""
+        wfms = self.wfms
+        uniform = wfms._load_rng.uniform
+        post = wfms.simulator.post
+        submit_request = wfms.submit_request
+        instance_id = self.instance_id
         for server_type, expected in loads.items():
-            for _ in range(self.wfms.integer_load(expected)):
-                offset = self.wfms._load_rng.uniform(0.0, duration)
-                self.wfms.simulator.schedule(
-                    offset,
-                    self.wfms.submit_request,
+            for _ in range(wfms.integer_load(expected)):
+                post(
+                    uniform(0.0, duration),
+                    submit_request,
                     server_type,
-                    self.instance_id,
+                    instance_id,
                 )
 
     def _advance(self, path: StatePath) -> None:

@@ -23,7 +23,7 @@ from repro.sim.engine import EventHandle, Simulator
 from repro.sim.statistics import RunningStats, TimeWeightedStats
 
 
-@dataclass
+@dataclass(slots=True)
 class ServiceRequest:
     """One service request travelling to a server replica."""
 
@@ -68,6 +68,10 @@ class Server:
         self.name = name
         self.spec = spec
         self.service_distribution = service_distribution
+        # Service times are drawn on every request: compile the sampler
+        # once instead of re-resolving distribution parameters per draw
+        # (the closure consumes the rng identically to ``sample``).
+        self._sample_service = service_distribution.sampler(rng)
         self._rng = rng
         self._trail = trail
         self._queue: deque[ServiceRequest] = deque()
@@ -101,10 +105,11 @@ class Server:
         if not self.is_up or self._current is not None or not self._queue:
             return
         request = self._queue.popleft()
-        request.started_at = self.simulator.now
+        now = self.simulator.now
+        request.started_at = now
         self._current = request
-        self.statistics.busy.update(1.0, self.simulator.now)
-        service_time = self.service_distribution.sample(self._rng)
+        self.statistics.busy.update(1.0, now)
+        service_time = self._sample_service()
         self._completion = self.simulator.schedule(
             service_time, self._complete, request, service_time
         )
@@ -115,13 +120,14 @@ class Server:
         now = self.simulator.now
         self._current = None
         self._completion = None
-        self.statistics.busy.update(0.0, now)
+        statistics = self.statistics
+        statistics.busy.update(0.0, now)
         assert request.started_at is not None
-        self.statistics.waiting_times.add(
+        statistics.waiting_times.add(
             request.started_at - request.submitted_at
         )
-        self.statistics.service_times.add(service_time)
-        self.statistics.completed_requests += 1
+        statistics.service_times.add(service_time)
+        statistics.completed_requests += 1
         if self._trail is not None:
             self._trail.record_service_request(
                 ServiceRequestRecord(
@@ -209,6 +215,8 @@ class FailureInjector:
             if repair_distribution is not None
             else Exponential(spec.mean_time_to_repair)
         )
+        self._sample_time_to_failure = self._time_to_failure.sampler(rng)
+        self._sample_repair = self._repair_distribution.sampler(rng)
         self._on_failure = on_failure
         self._on_repair = on_repair
 
@@ -217,15 +225,15 @@ class FailureInjector:
         self._schedule_failure()
 
     def _schedule_failure(self) -> None:
-        delay = self._time_to_failure.sample(self._rng)
-        self.simulator.schedule(delay, self._fire_failure)
+        delay = self._sample_time_to_failure()
+        self.simulator.post(delay, self._fire_failure)
 
     def _fire_failure(self) -> None:
         self.server.fail()
         if self._on_failure is not None:
             self._on_failure(self.server)
-        repair_time = self._repair_distribution.sample(self._rng)
-        self.simulator.schedule(repair_time, self._fire_repair)
+        repair_time = self._sample_repair()
+        self.simulator.post(repair_time, self._fire_repair)
 
     def _fire_repair(self) -> None:
         self.server.repair()

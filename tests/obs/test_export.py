@@ -109,3 +109,36 @@ class TestPrometheusText:
         registry.inc("weird-name.with/chars")
         text = prometheus_text(registry, prefix="x")
         assert "x_weird_name_with_chars 1" in text
+
+
+class TestSimulatorThroughputGauge:
+    def test_events_per_second_published_end_to_end(self):
+        """A real simulator run must surface its throughput gauge.
+
+        ``Simulator`` flushes ``sim.events_per_second`` into the default
+        registry when observability is on, and the Prometheus exporter
+        must carry it through under the standard prefix.
+        """
+        from repro import obs
+        from repro.sim.engine import Simulator
+
+        assert not obs.is_enabled()
+        obs.reset()
+        obs.enable()
+        try:
+            simulator = Simulator()
+            for i in range(100):
+                simulator.schedule(float(i), lambda: None)
+            simulator.run()
+            text = obs.prometheus_text()
+        finally:
+            obs.disable()
+            obs.reset()
+
+        assert "# TYPE repro_sim_events_per_second gauge" in text
+        line = next(
+            line
+            for line in text.splitlines()
+            if line.startswith("repro_sim_events_per_second ")
+        )
+        assert float(line.split()[1]) > 0.0

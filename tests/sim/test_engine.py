@@ -78,6 +78,122 @@ class TestCancellation:
         handle.cancel()
         simulator.run()
 
+    def test_cancel_after_execution_is_a_noop(self):
+        simulator = Simulator()
+        fired = []
+        handle = simulator.schedule(1.0, fired.append, "x")
+        simulator.run()
+        assert fired == ["x"]
+        assert not handle.cancelled
+        handle.cancel()  # late cancel of a dispatched event
+        assert not handle.cancelled
+        assert simulator.pending_events == 0
+
+    def test_handle_reports_scheduled_time(self):
+        simulator = Simulator(start_time=2.0)
+        handle = simulator.schedule(1.5, lambda: None)
+        assert handle.time == 3.5
+        at = simulator.schedule_at(7.0, lambda: None)
+        assert at.time == 7.0
+
+    def test_cancelled_events_never_fire_among_survivors(self):
+        simulator = Simulator()
+        fired = []
+        handles = [
+            simulator.schedule(float(i), fired.append, i)
+            for i in range(20)
+        ]
+        for handle in handles[::2]:
+            handle.cancel()
+        simulator.run()
+        assert fired == list(range(1, 20, 2))
+
+    def test_pending_counts_exclude_cancelled_events(self):
+        simulator = Simulator()
+        handles = [
+            simulator.schedule(1.0, lambda: None) for _ in range(10)
+        ]
+        assert simulator.pending_events == 10
+        assert simulator.max_pending_events == 10
+        for handle in handles[:4]:
+            handle.cancel()
+        assert simulator.pending_events == 6
+        # The high-water mark reflects live events only and is not
+        # reduced retroactively by cancellations.
+        assert simulator.max_pending_events == 10
+        simulator.run()
+        assert simulator.pending_events == 0
+        assert simulator.executed_events == 6
+
+    def test_lazy_deletion_compacts_the_calendar(self):
+        simulator = Simulator()
+        keep = [simulator.schedule(1.0, lambda: None) for _ in range(100)]
+        cancel = [
+            simulator.schedule(2.0, lambda: None) for _ in range(200)
+        ]
+        for handle in cancel:
+            handle.cancel()
+        # 200 cancellations against 100 live events cross both
+        # compaction conditions (>= COMPACTION_THRESHOLD cancelled, and
+        # cancelled entries forming the calendar majority), so dead
+        # entries must have been physically removed before dispatch —
+        # the calendar holds strictly fewer than the 300 scheduled
+        # entries, while the live count is untouched.
+        assert len(simulator._calendar) < 300
+        assert simulator.pending_events == 100
+        simulator.run()
+        assert simulator.executed_events == 100
+        assert keep[0].cancelled is False
+
+    def test_cancel_heavy_workload_stays_consistent(self):
+        simulator = Simulator()
+        fired = []
+        live = 0
+        for i in range(500):
+            handle = simulator.schedule(
+                float(i % 7) + 1.0, fired.append, i
+            )
+            if i % 3:
+                handle.cancel()
+            else:
+                live += 1
+        assert simulator.pending_events == live
+        simulator.run()
+        assert simulator.executed_events == live
+        assert len(fired) == live
+        assert simulator.pending_events == 0
+
+
+class TestPost:
+    def test_post_runs_like_schedule(self):
+        simulator = Simulator()
+        order = []
+        simulator.post(2.0, order.append, "late")
+        simulator.post(1.0, order.append, "early")
+        assert simulator.post(1.5, order.append, "middle") is None
+        simulator.run()
+        assert order == ["early", "middle", "late"]
+
+    def test_post_interleaves_fifo_with_schedule(self):
+        simulator = Simulator()
+        order = []
+        simulator.schedule(1.0, order.append, "a")
+        simulator.post(1.0, order.append, "b")
+        simulator.schedule(1.0, order.append, "c")
+        simulator.run()
+        assert order == ["a", "b", "c"]
+
+    def test_post_negative_delay_rejected(self):
+        with pytest.raises(ValidationError):
+            Simulator().post(-0.5, lambda: None)
+
+    def test_post_counts_as_pending(self):
+        simulator = Simulator()
+        simulator.post(1.0, lambda: None)
+        simulator.post(2.0, lambda: None)
+        assert simulator.pending_events == 2
+        assert simulator.max_pending_events == 2
+
 
 class TestRunUntil:
     def test_later_events_stay_scheduled(self):
