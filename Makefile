@@ -1,7 +1,8 @@
 # Development targets for the repro package.
 
 .PHONY: install test docstrings bench bench-search bench-search-parallel \
-	campaign bench-campaign bench-sim examples all
+	campaign bench-campaign bench-sim bench-monitor monitor-smoke \
+	examples all
 
 install:
 	pip install -e . || python setup.py develop
@@ -36,6 +37,12 @@ bench-campaign:
 bench-sim:
 	PYTHONPATH=src python benchmarks/bench_sim_hotpath.py --check \
 		--min-speedup 1.5
+
+bench-monitor:
+	PYTHONPATH=src python benchmarks/bench_monitor.py --check
+
+monitor-smoke:
+	PYTHONPATH=src python tools/monitor_smoke.py
 
 examples:
 	PYTHONPATH=src python examples/quickstart.py

@@ -327,6 +327,60 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.monitor.drift import DriftMonitor
+    from repro.monitor.persistence import iter_trail_records
+    from repro.monitor.stream import StreamingCalibrator
+
+    calibrator = StreamingCalibrator(window=args.window)
+    monitor = DriftMonitor(calibrator=calibrator)
+    monitor.observe_all(iter_trail_records(args.trail))
+    estimates = calibrator.document(args.observation_period)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "schema": "repro.monitor.replay/v1",
+                    "trail": str(args.trail),
+                    "estimates": estimates,
+                    "drift": monitor.document(),
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(
+        f"Replayed {calibrator.records_seen} audit records from "
+        f"{args.trail} "
+        f"(observation period {estimates['observation_period']:g})"
+    )
+    for name, entry in estimates["workflow_types"].items():
+        print(f"  workflow {name}:")
+        print(f"    completed instances: {entry['completed_instances']}")
+        if entry["turnaround_time"] is not None:
+            print(f"    mean turnaround:     {entry['turnaround_time']:.4f}")
+        if entry["arrival_rate"] is not None:
+            print(
+                f"    arrival rate:        {entry['arrival_rate']:.6f} "
+                f"(windowed {entry['windowed_arrival_rate']:.6f})"
+            )
+        for transition, probability in entry[
+            "transition_probabilities"
+        ].items():
+            print(f"    P[{transition}] = {probability:.4f}")
+    for name, entry in estimates["server_types"].items():
+        print(
+            f"  server {name}: mean service "
+            f"{entry['mean_service_time']:.4f}, mean wait "
+            f"{entry['mean_waiting_time']:.4f} "
+            f"({entry['sample_count']} samples)"
+        )
+    print(monitor.format_text())
+    return 0
+
+
 def _cmd_throughput(args: argparse.Namespace) -> int:
     project = load_project(args.project)
     configuration = _parse_configuration(args.config)
@@ -363,6 +417,12 @@ def _add_observability_arguments(
     group.add_argument(
         "--verbose", "-v", action="store_true",
         help="print an observability run report after the command",
+    )
+    group.add_argument(
+        "--serve-metrics", type=int, default=None, metavar="PORT",
+        help="serve /metrics (Prometheus text), /health, and /report "
+        "on 127.0.0.1:PORT while the command runs (0 picks a free "
+        "port; implies instrumentation)",
     )
 
 
@@ -557,6 +617,33 @@ def build_parser() -> argparse.ArgumentParser:
     _add_profile_argument(campaign)
     campaign.set_defaults(handler=_cmd_campaign)
 
+    monitor = commands.add_parser(
+        "monitor",
+        help="replay an audit-trail JSONL through the streaming "
+        "calibrator and drift detectors",
+    )
+    monitor.add_argument(
+        "--trail", required=True, metavar="PATH",
+        help="audit-trail JSONL file "
+        "(written by repro.monitor.persistence.save_trail)",
+    )
+    monitor.add_argument(
+        "--window", type=float, default=1_000.0,
+        help="sliding window (simulation time units) of the windowed "
+        "arrival-rate estimator",
+    )
+    monitor.add_argument(
+        "--observation-period", type=float, default=None,
+        help="period for cumulative arrival rates "
+        "(default: the observed time span)",
+    )
+    monitor.add_argument(
+        "--json", action="store_true",
+        help="print the streaming estimates and drift verdicts as "
+        "machine-readable JSON",
+    )
+    monitor.set_defaults(handler=_cmd_monitor)
+
     for subcommand in commands.choices.values():
         _add_observability_arguments(subcommand)
     return parser
@@ -566,15 +653,24 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit status."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    serve_port = getattr(args, "serve_metrics", None)
     observing = bool(
         getattr(args, "metrics_out", None)
         or getattr(args, "trace_out", None)
         or getattr(args, "verbose", False)
+        or serve_port is not None
     )
+    server = None
     if observing:
         obs.reset()
         obs.enable()
     try:
+        if serve_port is not None:
+            from repro.obs.server import MetricsServer
+
+            server = MetricsServer(port=serve_port)
+            server.start()
+            print(f"serving metrics on {server.url}", file=sys.stderr)
         status = _run_handler(args)
         if observing:
             _emit_observability(args)
@@ -594,6 +690,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     finally:
+        if server is not None:
+            server.stop()
         if observing:
             obs.disable()
 

@@ -162,6 +162,7 @@ class EvaluationCache:
         self.curve_hits = 0
         self.curve_misses = 0
         self.curve_points_computed = 0
+        self.invalidations = 0
 
     # ------------------------------------------------------------------
     # Binding and invalidation
@@ -183,12 +184,33 @@ class EvaluationCache:
                 "EvaluationCache or clear() this one first"
             )
 
+    @property
+    def fingerprint(self) -> tuple | None:
+        """The bound model fingerprint (``None`` when unbound)."""
+        return self._fingerprint
+
     def clear(self) -> None:
         """Drop every cached result and the model binding."""
         self._fingerprint = None
         self._assessments.clear()
         self._pools.clear()
         self._curves.clear()
+
+    def invalidate(self, reason: str = "") -> None:
+        """Drop everything — including the model fingerprint — on drift.
+
+        The continuous-monitoring loop calls this when a drift detector
+        confirms that the calibrated parameters behind the bound model
+        no longer describe the running system: every cached curve,
+        marginal, and assessment was computed from stale inputs, so the
+        next search must re-evaluate against freshly calibrated models.
+        Unlike :meth:`clear`, the invalidation is counted (locally and
+        under ``evaluation_cache.invalidations``) and traced.
+        """
+        self.clear()
+        self.invalidations += 1
+        obs.count("evaluation_cache.invalidations")
+        obs.event("evaluation_cache.invalidated", reason=reason)
 
     # ------------------------------------------------------------------
     # Goal assessments

@@ -49,6 +49,15 @@ from repro.exceptions import ValidationError
 #: A deferred, committed-on-call candidate assessment.
 AssessmentSlot = Callable[[], GoalAssessment]
 
+#: Metric families the parent replays itself when adopting worker
+#: assessments (:meth:`GoalEvaluator.adopt_assessment` re-counts the
+#: candidate, its goal violations, and the assessment-cache protocol),
+#: so a worker exporting them would double-count.
+_REPLAYED_PREFIXES = (
+    "configuration.",
+    "evaluation_cache.assessments.",
+)
+
 
 class CandidateEvaluator:
     """Executor interface: turn a candidate batch into assessment slots."""
@@ -114,8 +123,11 @@ def _initialize_worker(
     degraded_policy_value: str,
     penalty_waiting_time: float | None,
     snapshot: dict,
+    observe: bool,
 ) -> None:
     global _WORKER
+    if observe:
+        obs.enable()
     specs, totals = fingerprint
     performance = PerformanceModel.from_request_totals(
         ServerTypeIndex(specs), totals
@@ -133,13 +145,22 @@ def _initialize_worker(
 def _evaluate_chunk(
     goals: PerformabilityGoals,
     replicas_list: list[dict[str, int]],
-) -> tuple[list[GoalAssessment], dict]:
+) -> tuple[list[GoalAssessment], dict, dict | None]:
     assert _WORKER is not None, "worker initializer did not run"
+    if obs.is_enabled():
+        # Workers are reused across chunks: reset so the exported
+        # snapshot is this chunk's delta, not the worker's lifetime.
+        obs.reset()
     configurations = [
         SystemConfiguration(replicas) for replicas in replicas_list
     ]
     assessments = _WORKER.assess_many(configurations, goals)
-    return assessments, _WORKER.cache.export_snapshot()
+    obs_snapshot = (
+        obs.export_snapshot(exclude_prefixes=_REPLAYED_PREFIXES)
+        if obs.is_enabled()
+        else None
+    )
+    return assessments, _WORKER.cache.export_snapshot(), obs_snapshot
 
 
 def _worker_ready(delay: float) -> int:
@@ -164,6 +185,16 @@ class ProcessPoolEvaluator(CandidateEvaluator):
     cache lookup/count/store protocol), and assessments past the
     terminal candidate are discarded — so recommendations, traces, and
     evaluation counts are bit-identical to :class:`SerialEvaluator`.
+
+    Observability: when the parent's switch is on, workers record their
+    own model work (``linalg.*``, ``ctmc.*``, ``performance.*``,
+    ``availability.*``, per-type cache counters) and each chunk ships a
+    delta snapshot home, merged by the parent in chunk-submission
+    order.  Counter families the parent replays itself via
+    ``adopt_assessment`` are excluded from worker exports so they are
+    never double-counted; worker model-work counters may *exceed* the
+    serial run's because speculative evaluations past a terminal
+    candidate still did real solver work.
     """
 
     name = "process_pool"
@@ -189,18 +220,20 @@ class ProcessPoolEvaluator(CandidateEvaluator):
         )
 
     def _ensure_pool(self, evaluator: GoalEvaluator) -> ProcessPoolExecutor:
-        key = self._evaluator_key(evaluator)
+        # The observability switch is part of the pool key: toggling it
+        # between searches restarts the workers with the right flag.
+        key = (self._evaluator_key(evaluator), obs.is_enabled())
         if self._pool is not None and self._pool_key != key:
             self.close()
         if self._pool is None:
-            fingerprint, repair, degraded, penalty = key
+            (fingerprint, repair, degraded, penalty), observe = key
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers,
                 mp_context=multiprocessing.get_context("spawn"),
                 initializer=_initialize_worker,
                 initargs=(
                     fingerprint, repair, degraded, penalty,
-                    evaluator.cache.export_snapshot(),
+                    evaluator.cache.export_snapshot(), observe,
                 ),
             )
             self._pool_key = key
@@ -257,8 +290,9 @@ class ProcessPoolEvaluator(CandidateEvaluator):
         ]
         assessments: list[GoalAssessment] = []
         for future in futures:
-            chunk_assessments, snapshot = future.result()
+            chunk_assessments, snapshot, obs_snapshot = future.result()
             evaluator.cache.merge_snapshot(snapshot)
+            obs.merge_snapshot(obs_snapshot)
             assessments.extend(chunk_assessments)
         return [
             lambda assessment=assessment: evaluator.adopt_assessment(

@@ -1,4 +1,12 @@
-"""Monitoring and calibration (Section 7.1): audit trails in, parameters out."""
+"""Monitoring and calibration (Section 7.1): audit trails in, parameters out.
+
+Batch calibration (:mod:`repro.monitor.calibration`) consumes complete
+audit trails; the streaming layer (:mod:`repro.monitor.stream`,
+:mod:`repro.monitor.drift`) consumes records one at a time, reproduces
+the batch estimates bitwise, and watches for parameter drift —
+the substrate of the continuous monitor -> calibrate -> evaluate ->
+recommend loop.
+"""
 
 from repro.monitor.audit import (
     TERMINATION,
@@ -8,12 +16,14 @@ from repro.monitor.audit import (
     StateVisitRecord,
 )
 from repro.monitor.persistence import (
+    iter_trail_records,
     load_trail,
     merge_trail_files,
     save_trail,
 )
 from repro.monitor.calibration import (
     ServiceTimeEstimate,
+    build_flat_workflow,
     calibrate_flat_workflow,
     calibrate_server_type,
     estimate_arrival_rate,
@@ -23,14 +33,27 @@ from repro.monitor.calibration import (
     estimate_transition_probabilities,
     estimate_turnaround_time,
 )
+from repro.monitor.stream import StreamingCalibrator
+from repro.monitor.drift import (
+    CusumDetector,
+    DriftEvent,
+    DriftMonitor,
+    PageHinkleyDetector,
+)
 
 __all__ = [
     "AuditTrail",
+    "CusumDetector",
+    "DriftEvent",
+    "DriftMonitor",
     "InstanceRecord",
+    "PageHinkleyDetector",
     "ServiceRequestRecord",
     "ServiceTimeEstimate",
     "StateVisitRecord",
+    "StreamingCalibrator",
     "TERMINATION",
+    "build_flat_workflow",
     "calibrate_flat_workflow",
     "calibrate_server_type",
     "estimate_arrival_rate",
@@ -39,6 +62,7 @@ __all__ = [
     "estimate_service_times",
     "estimate_transition_probabilities",
     "estimate_turnaround_time",
+    "iter_trail_records",
     "load_trail",
     "merge_trail_files",
     "save_trail",

@@ -197,6 +197,26 @@ def calibrate_flat_workflow(
     """
     probabilities = estimate_transition_probabilities(trail, workflow_type)
     residence = estimate_residence_times(trail, workflow_type)
+    return build_flat_workflow(
+        probabilities, residence, workflow_type, initial_state, reference
+    )
+
+
+def build_flat_workflow(
+    probabilities: dict[tuple[str, str], float],
+    residence: dict[str, float],
+    workflow_type: str,
+    initial_state: str,
+    reference: WorkflowDefinition | None = None,
+) -> WorkflowDefinition:
+    """Assemble a flat workflow definition from estimated parameters.
+
+    Shared by the batch path (:func:`calibrate_flat_workflow`) and the
+    streaming path
+    (:meth:`repro.monitor.stream.StreamingCalibrator.flat_workflow`):
+    both produce the same estimate dictionaries, so the reconstructed
+    definitions are identical.
+    """
     state_names = sorted(
         set(residence)
         | {target for (_, target) in probabilities}

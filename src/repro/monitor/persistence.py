@@ -70,17 +70,18 @@ def save_trail(trail: AuditTrail, path: str | Path) -> int:
     return count
 
 
-def _parse_record(data: dict[str, Any], line_number: int, trail: AuditTrail) -> None:
+def _build_record(
+    data: dict[str, Any], line_number: int
+) -> StateVisitRecord | ServiceRequestRecord | InstanceRecord:
     kind = data.pop("kind", None)
     try:
         if kind == _KIND_STATE_VISIT:
-            trail.record_state_visit(StateVisitRecord(**data))
-        elif kind == _KIND_SERVICE_REQUEST:
-            trail.record_service_request(ServiceRequestRecord(**data))
-        elif kind == _KIND_INSTANCE:
-            trail.record_instance(InstanceRecord(**data))
-        else:
-            raise ValidationError(f"unknown record kind {kind!r}")
+            return StateVisitRecord(**data)
+        if kind == _KIND_SERVICE_REQUEST:
+            return ServiceRequestRecord(**data)
+        if kind == _KIND_INSTANCE:
+            return InstanceRecord(**data)
+        raise ValidationError(f"unknown record kind {kind!r}")
     except TypeError as exc:
         raise ValidationError(
             f"line {line_number}: malformed {kind} record: {exc}"
@@ -90,26 +91,48 @@ def _parse_record(data: dict[str, Any], line_number: int, trail: AuditTrail) -> 
 def load_trail(path: str | Path) -> AuditTrail:
     """Read a JSON Lines trail file; validates every record."""
     trail = AuditTrail()
+    for record in iter_trail_records(path):
+        if isinstance(record, StateVisitRecord):
+            trail.record_state_visit(record)
+        elif isinstance(record, ServiceRequestRecord):
+            trail.record_service_request(record)
+        else:
+            trail.record_instance(record)
+    return trail
+
+
+def iter_trail_records(
+    path: str | Path,
+) -> Iterator[StateVisitRecord | ServiceRequestRecord | InstanceRecord]:
+    """Stream a JSON Lines trail file one validated record at a time.
+
+    This is the continuous-monitoring entry point: a live pipeline (or
+    the ``monitor`` CLI subcommand) feeds each yielded record straight
+    into a :class:`~repro.monitor.stream.StreamingCalibrator` without
+    materializing the whole trail in memory.  Records are yielded in
+    file order; malformed lines raise
+    :class:`~repro.exceptions.ValidationError` with their line number.
+    """
     try:
-        lines = Path(path).read_text().splitlines()
+        stream = Path(path).open("r", encoding="utf-8")
     except FileNotFoundError:
         raise ValidationError(f"trail file not found: {path}") from None
-    for line_number, line in enumerate(lines, start=1):
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            data = json.loads(line)
-        except json.JSONDecodeError as exc:
-            raise ValidationError(
-                f"line {line_number}: invalid JSON: {exc}"
-            ) from exc
-        if not isinstance(data, dict):
-            raise ValidationError(
-                f"line {line_number}: expected a JSON object"
-            )
-        _parse_record(data, line_number, trail)
-    return trail
+    with stream:
+        for line_number, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValidationError(
+                    f"line {line_number}: invalid JSON: {exc}"
+                ) from exc
+            if not isinstance(data, dict):
+                raise ValidationError(
+                    f"line {line_number}: expected a JSON object"
+                )
+            yield _build_record(data, line_number)
 
 
 def merge_trail_files(

@@ -1,0 +1,415 @@
+"""Streaming calibration: audit records in, one at a time, estimates out.
+
+:mod:`repro.monitor.calibration` re-estimates model parameters from a
+*complete* audit trail — fine for offline reconfiguration studies, but
+the paper's Section 7 tool loop (monitor -> calibrate -> evaluate ->
+recommend) wants a component that watches a *running* system.  This
+module provides it: a :class:`StreamingCalibrator` consumes
+:class:`~repro.monitor.audit.StateVisitRecord` /
+:class:`~repro.monitor.audit.ServiceRequestRecord` /
+:class:`~repro.monitor.audit.InstanceRecord` objects one at a time and
+maintains exactly the sufficient statistics the batch estimators
+compute:
+
+* online transition counts (maximum-likelihood probabilities on query);
+* Welford residence-time, turnaround, and service-time moments (the
+  same :class:`~repro.sim.statistics.RunningStats` accumulator the
+  batch path uses, updated in the same order);
+* cumulative and *windowed* arrival-rate estimation (a sliding window
+  of instance completions, for drift-sensitive rate tracking).
+
+Because every accumulator is updated by the identical float operations
+in the identical order, a full replay of a trail reproduces the batch
+estimates **bitwise** — ``tests/monitor/test_stream.py`` asserts
+equality, not approximation.  The estimator outputs are plain
+dictionaries and floats (model-agnostic, in the spirit of the
+probabilistic-workflow-net line of work), so any backend — the CTMC
+pipeline, a future workflow-net evaluator, or the drift detectors in
+:mod:`repro.monitor.drift` — can consume them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterable
+
+from repro import obs
+from repro.core.workflow_model import WorkflowDefinition
+from repro.exceptions import ValidationError
+from repro.monitor.audit import (
+    TERMINATION,
+    AuditTrail,
+    InstanceRecord,
+    ServiceRequestRecord,
+    StateVisitRecord,
+)
+from repro.monitor.calibration import (
+    ServiceTimeEstimate,
+    build_flat_workflow,
+)
+from repro.sim.statistics import RunningStats
+
+__all__ = ["StreamingCalibrator"]
+
+AuditRecord = StateVisitRecord | ServiceRequestRecord | InstanceRecord
+
+#: Schema identifier of :meth:`StreamingCalibrator.document`.
+SCHEMA = "repro.monitor.stream/v1"
+
+
+class StreamingCalibrator:
+    """Incremental re-implementation of the Section 7.1 estimators.
+
+    Feed records via :meth:`observe` (or the typed ``observe_*``
+    variants, or :meth:`replay` for a whole trail); query estimates at
+    any time.  Queries mirror the batch API one-to-one and raise
+    :class:`~repro.exceptions.ValidationError` under the same empty
+    conditions, so the two paths are drop-in interchangeable.
+
+    ``window`` bounds the sliding completion-time window used by
+    :meth:`windowed_arrival_rate` (in simulation time units).
+    """
+
+    def __init__(self, window: float = 1_000.0) -> None:
+        if window <= 0.0:
+            raise ValidationError("window must be positive")
+        self.window = window
+        self.records_seen = 0
+        # workflow type -> state -> successor -> count, all insertion
+        # ordered exactly as the batch estimator builds them.
+        self._departures: dict[str, dict[str, dict[str, int]]] = {}
+        # workflow type -> state -> residence-time accumulator.
+        self._residence: dict[str, dict[str, RunningStats]] = {}
+        # workflow type -> turnaround accumulator over completions.
+        self._turnaround: dict[str, RunningStats] = {}
+        # workflow type -> completion count (the batch arrival counter).
+        self._completions: dict[str, int] = {}
+        # workflow type -> recent completion times (windowed rate).
+        self._completion_times: dict[str, deque[float]] = {}
+        # server type -> service/waiting accumulators, insertion ordered
+        # by first request as in the batch estimator.
+        self._service: dict[str, RunningStats] = {}
+        self._waiting: dict[str, RunningStats] = {}
+        # instance id -> server type -> request count (load vectors).
+        self._instance_requests: dict[int, dict[str, int]] = {}
+        # workflow type -> ids of completed instances.
+        self._completed_ids: dict[str, set[int]] = {}
+        # Observed time span (for the default observation period).
+        self._first_timestamp: float | None = None
+        self._last_timestamp: float | None = None
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def observe(self, record: AuditRecord) -> None:
+        """Consume one audit record of any kind."""
+        if isinstance(record, StateVisitRecord):
+            self.observe_state_visit(record)
+        elif isinstance(record, ServiceRequestRecord):
+            self.observe_service_request(record)
+        elif isinstance(record, InstanceRecord):
+            self.observe_instance(record)
+        else:
+            raise ValidationError(
+                f"unknown audit record type {type(record).__name__}"
+            )
+
+    def observe_state_visit(self, record: StateVisitRecord) -> None:
+        """Update transition counts and residence-time moments."""
+        departures = self._departures.setdefault(record.workflow_type, {})
+        successors = departures.setdefault(record.state, {})
+        successors[record.next_state] = (
+            successors.get(record.next_state, 0) + 1
+        )
+        residence = self._residence.setdefault(record.workflow_type, {})
+        residence.setdefault(record.state, RunningStats()).add(
+            record.residence_time
+        )
+        self._advance_clock(record.entered_at, record.left_at)
+        self._count_record()
+
+    def observe_service_request(self, record: ServiceRequestRecord) -> None:
+        """Update service-time/waiting moments and per-instance loads."""
+        self._service.setdefault(record.server_type, RunningStats()).add(
+            record.service_time
+        )
+        self._waiting.setdefault(record.server_type, RunningStats()).add(
+            record.waiting_time
+        )
+        if record.instance_id >= 0:
+            counts = self._instance_requests.setdefault(
+                record.instance_id, {}
+            )
+            counts[record.server_type] = (
+                counts.get(record.server_type, 0) + 1
+            )
+        self._advance_clock(record.submitted_at, record.completed_at)
+        self._count_record()
+
+    def observe_instance(self, record: InstanceRecord) -> None:
+        """Update turnaround moments and (windowed) arrival counts."""
+        workflow_type = record.workflow_type
+        self._turnaround.setdefault(workflow_type, RunningStats()).add(
+            record.turnaround_time
+        )
+        self._completions[workflow_type] = (
+            self._completions.get(workflow_type, 0) + 1
+        )
+        times = self._completion_times.setdefault(workflow_type, deque())
+        times.append(record.completed_at)
+        cutoff = record.completed_at - self.window
+        while times and times[0] <= cutoff:
+            times.popleft()
+        self._completed_ids.setdefault(workflow_type, set()).add(
+            record.instance_id
+        )
+        self._advance_clock(record.started_at, record.completed_at)
+        self._count_record()
+
+    def replay(self, trail: AuditTrail) -> None:
+        """Feed a whole trail in the batch estimators' traversal order.
+
+        State visits, then service requests, then instances — each
+        category in trail order, which is exactly how the batch
+        functions iterate, so estimates after a replay equal the batch
+        estimates bitwise.  (The categories are independent, so any
+        interleaving that preserves per-category order — e.g. a live
+        feed or a JSONL file — gives the same result.)
+        """
+        for visit in trail.state_visits:
+            self.observe_state_visit(visit)
+        for request in trail.service_requests:
+            self.observe_service_request(request)
+        for instance in trail.instances:
+            self.observe_instance(instance)
+
+    def replay_records(self, records: Iterable[AuditRecord]) -> int:
+        """Feed an arbitrary record stream; returns the record count.
+
+        The streaming companion to :meth:`replay`, typically fed from
+        :func:`repro.monitor.persistence.iter_trail_records`.
+        """
+        count = 0
+        for record in records:
+            self.observe(record)
+            count += 1
+        return count
+
+    def _advance_clock(self, start: float, end: float) -> None:
+        if self._first_timestamp is None or start < self._first_timestamp:
+            self._first_timestamp = start
+        if self._last_timestamp is None or end > self._last_timestamp:
+            self._last_timestamp = end
+
+    def _count_record(self) -> None:
+        self.records_seen += 1
+        obs.count("monitor.stream.records")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def workflow_types(self) -> frozenset[str]:
+        """All workflow type names observed so far."""
+        return frozenset(self._departures) | frozenset(self._completions)
+
+    def server_types(self) -> frozenset[str]:
+        """All server type names observed so far."""
+        return frozenset(self._service)
+
+    @property
+    def observed_span(self) -> float:
+        """Width of the observed time window (0 before any record)."""
+        if self._first_timestamp is None or self._last_timestamp is None:
+            return 0.0
+        return self._last_timestamp - self._first_timestamp
+
+    # ------------------------------------------------------------------
+    # Queries (mirror repro.monitor.calibration one-to-one)
+    # ------------------------------------------------------------------
+    def transition_probabilities(
+        self, workflow_type: str
+    ) -> dict[tuple[str, str], float]:
+        """Maximum-likelihood transition probabilities observed so far.
+
+        Matches :func:`~repro.monitor.calibration.estimate_transition_probabilities`
+        bitwise on the same record sequence.
+        """
+        departures = self._departures.get(workflow_type)
+        if not departures:
+            raise ValidationError(
+                f"no state visits of workflow type {workflow_type!r} "
+                f"observed"
+            )
+        probabilities: dict[tuple[str, str], float] = {}
+        for state, successors in departures.items():
+            total = sum(successors.values())
+            for next_state, count in successors.items():
+                if next_state == TERMINATION:
+                    continue
+                probabilities[(state, next_state)] = count / total
+        return probabilities
+
+    def residence_times(self, workflow_type: str) -> dict[str, float]:
+        """Sample-mean residence time per execution state so far."""
+        stats = self._residence.get(workflow_type)
+        if not stats:
+            raise ValidationError(
+                f"no state visits of workflow type {workflow_type!r} "
+                f"observed"
+            )
+        return {state: collector.mean for state, collector in stats.items()}
+
+    def turnaround_time(self, workflow_type: str) -> float:
+        """Sample-mean turnaround time of completed instances so far."""
+        stats = self._turnaround.get(workflow_type)
+        if stats is None or not stats.count:
+            raise ValidationError(
+                f"no completed instances of workflow type "
+                f"{workflow_type!r}"
+            )
+        return stats.mean
+
+    def arrival_rate(
+        self, workflow_type: str, observation_period: float
+    ) -> float:
+        """Completed arrivals per time unit over a fixed period."""
+        if observation_period <= 0.0:
+            raise ValidationError("observation period must be positive")
+        return self._completions.get(workflow_type, 0) / observation_period
+
+    def windowed_arrival_rate(self, workflow_type: str) -> float:
+        """Completions per time unit inside the sliding window.
+
+        The window ends at the newest completion seen for the type;
+        returns 0 before any completion.  This is the estimator the
+        drift detectors watch — a rate shift shows up within one window
+        instead of being averaged away over the whole history.
+        """
+        times = self._completion_times.get(workflow_type)
+        if not times:
+            return 0.0
+        newest = times[-1]
+        cutoff = newest - self.window
+        while times and times[0] <= cutoff:
+            times.popleft()
+        span = min(self.window, self.observed_span) or self.window
+        return len(times) / span
+
+    def service_times(self) -> dict[str, ServiceTimeEstimate]:
+        """First two service-time moments per server type so far."""
+        return {
+            server_type: ServiceTimeEstimate(
+                server_type=server_type,
+                sample_count=collector.count,
+                mean=collector.mean,
+                second_moment=collector.second_moment,
+                mean_waiting_time=self._waiting[server_type].mean,
+            )
+            for server_type, collector in self._service.items()
+        }
+
+    def requests_per_instance(self, workflow_type: str) -> dict[str, float]:
+        """Mean service requests per completed instance, per server type."""
+        completed = self._completed_ids.get(workflow_type)
+        if not completed:
+            raise ValidationError(
+                f"no completed instances of workflow type "
+                f"{workflow_type!r}"
+            )
+        counts: dict[str, int] = {}
+        for instance_id, per_type in self._instance_requests.items():
+            if instance_id not in completed:
+                continue
+            for server_type, count in per_type.items():
+                counts[server_type] = counts.get(server_type, 0) + count
+        return {
+            server_type: count / len(completed)
+            for server_type, count in counts.items()
+        }
+
+    def flat_workflow(
+        self,
+        workflow_type: str,
+        initial_state: str,
+        reference: WorkflowDefinition | None = None,
+    ) -> WorkflowDefinition:
+        """Reconstruct a flat workflow definition from the stream.
+
+        The streaming twin of
+        :func:`~repro.monitor.calibration.calibrate_flat_workflow`.
+        """
+        return build_flat_workflow(
+            self.transition_probabilities(workflow_type),
+            self.residence_times(workflow_type),
+            workflow_type,
+            initial_state,
+            reference,
+        )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def document(
+        self, observation_period: float | None = None
+    ) -> dict[str, Any]:
+        """JSON-serializable snapshot of every current estimate.
+
+        ``observation_period`` defaults to the observed time span; it
+        feeds the cumulative arrival-rate estimates.  Quantities with
+        no observations yet are ``None`` rather than errors — a
+        monitoring endpoint reports what it has.
+        """
+        if observation_period is None:
+            observation_period = self.observed_span
+        workflows: dict[str, Any] = {}
+        for name in sorted(self.workflow_types()):
+            stats = self._turnaround.get(name)
+            entry: dict[str, Any] = {
+                "completed_instances": self._completions.get(name, 0),
+                "turnaround_time": (
+                    stats.mean if stats is not None and stats.count else None
+                ),
+                "arrival_rate": (
+                    self.arrival_rate(name, observation_period)
+                    if observation_period > 0.0
+                    else None
+                ),
+                "windowed_arrival_rate": self.windowed_arrival_rate(name),
+            }
+            try:
+                entry["transition_probabilities"] = {
+                    f"{source}->{target}": probability
+                    for (source, target), probability in sorted(
+                        self.transition_probabilities(name).items()
+                    )
+                }
+                entry["residence_times"] = dict(
+                    sorted(self.residence_times(name).items())
+                )
+            except ValidationError:
+                entry["transition_probabilities"] = {}
+                entry["residence_times"] = {}
+            try:
+                entry["requests_per_instance"] = dict(
+                    sorted(self.requests_per_instance(name).items())
+                )
+            except ValidationError:
+                entry["requests_per_instance"] = {}
+            workflows[name] = entry
+        servers = {
+            name: {
+                "sample_count": estimate.sample_count,
+                "mean_service_time": estimate.mean,
+                "second_moment_service_time": estimate.second_moment,
+                "mean_waiting_time": estimate.mean_waiting_time,
+            }
+            for name, estimate in sorted(self.service_times().items())
+        }
+        return {
+            "schema": SCHEMA,
+            "records_seen": self.records_seen,
+            "observation_period": observation_period,
+            "window": self.window,
+            "workflow_types": workflows,
+            "server_types": servers,
+        }

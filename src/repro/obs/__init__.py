@@ -58,7 +58,9 @@ __all__ = [
     "disable",
     "enable",
     "event",
+    "export_snapshot",
     "is_enabled",
+    "merge_snapshot",
     "metrics_document",
     "observe",
     "prometheus_text",
@@ -142,6 +144,16 @@ DECLARED_METRICS: tuple[tuple[str, str, str], ...] = (
      "Replication statistics merged into campaign aggregates"),
     ("gauge", "campaign.workers",
      "Worker processes serving the most recent campaign"),
+    ("counter", "obs.snapshots_merged",
+     "Worker observability snapshots merged into this registry"),
+    ("counter", "monitor.stream.records",
+     "Audit-trail records ingested by the streaming calibrator"),
+    ("counter", "monitor.drift.confirmed",
+     "Confirmed parameter drifts across all drift detectors"),
+    ("counter", "monitor.drift.cache_invalidations",
+     "Evaluation caches invalidated after a confirmed drift"),
+    ("counter", "evaluation_cache.invalidations",
+     "Explicit evaluation-cache invalidations (drift or manual)"),
 )
 
 _registry = MetricsRegistry(enabled=False)
@@ -239,6 +251,43 @@ def event(kind: str, **fields: Any) -> None:
     """Record a point event on the default tracer (no-op while disabled)."""
     if _enabled:
         _tracer.event(kind, **fields)
+
+
+# ----------------------------------------------------------------------
+# Cross-process propagation over the default instances
+# ----------------------------------------------------------------------
+def export_snapshot(
+    exclude_prefixes: tuple[str, ...] = ()
+) -> dict[str, Any]:
+    """Picklable snapshot of the default registry and tracer.
+
+    Worker processes call this after finishing their share of a
+    parallel run; the parent folds the result back with
+    :func:`merge_snapshot`, so instrumented parallel runs report the
+    same totals as serial ones.
+    """
+    return {
+        "metrics": _registry.export_snapshot(
+            exclude_prefixes=exclude_prefixes
+        ),
+        "trace": _tracer.export_snapshot(),
+    }
+
+
+def merge_snapshot(snapshot: dict[str, Any] | None) -> int:
+    """Fold a worker's :func:`export_snapshot` into the default
+    registry and tracer.
+
+    ``None`` (a worker that ran unobserved) is a no-op.  Returns the
+    number of merged metrics and counts the merge under
+    ``obs.snapshots_merged``.
+    """
+    if snapshot is None:
+        return 0
+    merged = _registry.merge_snapshot(snapshot.get("metrics", {}))
+    _tracer.merge_snapshot(snapshot.get("trace", {}))
+    count("obs.snapshots_merged")
+    return merged
 
 
 # ----------------------------------------------------------------------

@@ -95,7 +95,7 @@ def prometheus_text(
     for name, metric in sorted(registry.metrics().items()):
         flat = _prometheus_name(prefix, name)
         if metric.help:
-            lines.append(f"# HELP {flat} {metric.help}")
+            lines.append(f"# HELP {flat} {_escape_help(metric.help)}")
         if isinstance(metric, Counter):
             lines.append(f"# TYPE {flat} counter")
             lines.append(f"{flat} {_format_value(metric.value)}")
@@ -121,14 +121,32 @@ def _prometheus_name(prefix: str, name: str) -> str:
     return flat
 
 
+def _escape_help(text: str) -> str:
+    """Escape a HELP line per the Prometheus text-exposition format.
+
+    Backslashes become ``\\\\`` and newlines become the two-character
+    sequence ``\\n``; nothing else is escaped on HELP lines.
+    """
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_value(value: float) -> str:
+    """Render one sample value without precision loss.
+
+    ``%g`` truncates to six significant digits, so counters past 1e6
+    exported as ``1.23457e+06`` — integral values are now emitted as
+    exact integers and everything else with ``repr``-level (shortest
+    round-trip) precision.
+    """
     if value == math.inf:
         return "+Inf"
     if value == -math.inf:
         return "-Inf"
     if math.isnan(value):
         return "NaN"
-    return f"{value:g}"
+    if value == int(value):
+        return str(int(value))
+    return repr(float(value))
 
 
 def _sanitize(value: Any) -> Any:

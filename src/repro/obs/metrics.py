@@ -57,6 +57,14 @@ class Counter:
         """JSON-ready document of the counter's state."""
         return {"type": self.kind, "value": self._value, "help": self.help}
 
+    def export_state(self) -> dict:
+        """Picklable state for cross-process merging."""
+        return {"kind": self.kind, "help": self.help, "value": self._value}
+
+    def merge_state(self, state: dict) -> None:
+        """Fold an exported counter state in: values add."""
+        self._value += float(state["value"])
+
 
 class Gauge:
     """A value that can go up and down (queue depths, sizes)."""
@@ -90,6 +98,22 @@ class Gauge:
     def snapshot(self) -> dict:
         """JSON-ready document of the gauge's state."""
         return {"type": self.kind, "value": self._value, "help": self.help}
+
+    def export_state(self) -> dict:
+        """Picklable state for cross-process merging."""
+        return {"kind": self.kind, "help": self.help, "value": self._value}
+
+    def merge_state(self, state: dict) -> None:
+        """Fold an exported gauge state in: the maximum wins.
+
+        Every gauge in this codebase is a level or high-water mark
+        (calendar depth, worker counts, throughput); taking the maximum
+        makes the merged value independent of merge order, which the
+        deterministic cross-process propagation contract requires.
+        """
+        value = float(state["value"])
+        if value > self._value:
+            self._value = value
 
 
 class Histogram:
@@ -186,6 +210,36 @@ class Histogram:
             },
             "help": self.help,
         }
+
+    def export_state(self) -> dict:
+        """Picklable state (raw per-bucket counts) for merging."""
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "boundaries": list(self._boundaries),
+            "buckets": list(self._buckets),
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold an exported histogram state in (bucket-wise addition)."""
+        boundaries = tuple(state["boundaries"])
+        if boundaries != self._boundaries:
+            raise ValidationError(
+                f"histogram {self.name}: cannot merge states with "
+                f"different bucket boundaries"
+            )
+        for i, count in enumerate(state["buckets"]):
+            self._buckets[i] += count
+        self._count += state["count"]
+        self._sum += state["sum"]
+        if state["min"] < self._min:
+            self._min = state["min"]
+        if state["max"] > self._max:
+            self._max = state["max"]
 
 
 Metric = Counter | Gauge | Histogram
@@ -321,3 +375,66 @@ class MetricsRegistry:
     def clear(self) -> None:
         """Drop every registration."""
         self._metrics.clear()
+
+    # ------------------------------------------------------------------
+    # Cross-process snapshots
+    # ------------------------------------------------------------------
+    def export_snapshot(
+        self, exclude_prefixes: tuple[str, ...] = ()
+    ) -> dict[str, dict]:
+        """Picklable snapshot of every metric that recorded anything.
+
+        Zero-valued counters/gauges and empty histograms are skipped
+        (worker processes re-declare the full well-known set, and
+        shipping dozens of zeros per chunk is pure IPC overhead).
+        ``exclude_prefixes`` drops metric families whose parent-side
+        accounting is replayed by a different protocol — the search
+        executors use it to keep adoption-replayed counters from being
+        double counted.
+        """
+        snapshot: dict[str, dict] = {}
+        for name in sorted(self._metrics):
+            if any(name.startswith(prefix) for prefix in exclude_prefixes):
+                continue
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                if metric.count == 0:
+                    continue
+            elif metric.value == 0.0:
+                continue
+            snapshot[name] = metric.export_state()
+        return snapshot
+
+    def merge_snapshot(self, snapshot: Mapping[str, dict]) -> int:
+        """Fold an exported snapshot into this registry.
+
+        Counters add, gauges keep the maximum, histograms merge
+        bucket-wise — all order-independent operations, so merging the
+        same set of worker snapshots in any order yields identical
+        totals.  Missing metrics are created with the snapshot's kind
+        and help text.  Merging bypasses the enable switch: the data
+        was already recorded (in another process); this is bookkeeping,
+        not new instrumentation.  Returns the number of merged metrics.
+        """
+        factories = {
+            "counter": self.counter,
+            "gauge": self.gauge,
+            "histogram": self.histogram,
+        }
+        merged = 0
+        for name in sorted(snapshot):
+            state = snapshot[name]
+            kind = state["kind"]
+            if kind not in factories:
+                raise ValidationError(
+                    f"snapshot metric {name!r} has unknown kind {kind!r}"
+                )
+            if kind == "histogram" and name not in self._metrics:
+                metric = self.histogram(
+                    name, state["help"], state["boundaries"]
+                )
+            else:
+                metric = factories[kind](name, state["help"])
+            metric.merge_state(state)
+            merged += 1
+        return merged

@@ -1,0 +1,183 @@
+"""Live observability endpoint: ``/metrics``, ``/health``, ``/report``.
+
+A long-running monitored deployment (the paper's Section 7 tool loop,
+ROADMAP item 3) needs its metrics *scrapable while work is in flight*,
+not just dumped after the fact.  :class:`MetricsServer` wraps a
+stdlib :class:`~http.server.ThreadingHTTPServer` around the process-wide
+metrics registry and tracer:
+
+* ``GET /metrics`` — the Prometheus text-exposition snapshot
+  (:func:`repro.obs.export.prometheus_text`);
+* ``GET /health``  — a tiny JSON liveness document;
+* ``GET /report``  — the full JSON metrics document
+  (:func:`repro.obs.export.metrics_document`), the same payload the
+  CLI's ``--metrics-out`` writes.
+
+The server runs on a daemon thread, binds to an ephemeral port when
+``port=0``, and is safe to scrape concurrently with a running
+simulation or search: snapshots materialize the key list first and read
+plain floats/ints, so a request never blocks or corrupts recording.
+The CLI exposes it as ``--serve-metrics PORT`` on ``simulate``,
+``campaign``, ``recommend``, and ``monitor``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.exceptions import ValidationError
+from repro.obs import export as _export
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+#: Content type mandated by the Prometheus text-exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _MetricsRequestHandler(BaseHTTPRequestHandler):
+    """Routes the three read-only endpoints; logs nothing."""
+
+    server: "_MetricsHTTPServer"
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler contract)
+        """Serve ``/metrics``, ``/health``, or ``/report``."""
+        owner = self.server.owner
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/metrics":
+            body = _export.prometheus_text(
+                owner.registry, prefix=owner.prefix
+            ).encode("utf-8")
+            self._respond(200, PROMETHEUS_CONTENT_TYPE, body)
+        elif path == "/health":
+            document = {"status": "ok", "endpoints": sorted(ENDPOINTS)}
+            self._respond_json(200, document)
+        elif path == "/report":
+            document = _export.metrics_document(
+                owner.registry, owner.tracer
+            )
+            self._respond_json(200, document)
+        else:
+            self._respond_json(
+                404,
+                {"error": f"unknown path {path!r}",
+                 "endpoints": sorted(ENDPOINTS)},
+            )
+
+    def _respond_json(self, status: int, document: dict[str, Any]) -> None:
+        body = json.dumps(
+            _export._sanitize(document), indent=2, sort_keys=True
+        ).encode("utf-8")
+        self._respond(status, "application/json; charset=utf-8", body)
+
+    def _respond(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Suppress per-request stderr logging (scrapes are frequent)."""
+
+
+#: The paths the server answers.
+ENDPOINTS = ("/metrics", "/health", "/report")
+
+
+class _MetricsHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying a back-reference to its owner."""
+
+    daemon_threads = True
+    owner: "MetricsServer"
+
+
+class MetricsServer:
+    """Serve the registry/tracer over HTTP from a daemon thread.
+
+    Reads the process-wide default registry and tracer unless explicit
+    instances are given.  Use as a context manager or via
+    :meth:`start`/:meth:`stop`::
+
+        with MetricsServer(port=0) as server:
+            print(server.url)          # http://127.0.0.1:<ephemeral>
+            ...                        # run a campaign, scrape away
+
+    ``port=0`` binds an ephemeral port (read it back from
+    :attr:`port` after :meth:`start`).
+    """
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        prefix: str = "repro",
+    ) -> None:
+        if not 0 <= port <= 65535:
+            raise ValidationError(f"port {port} outside [0, 65535]")
+        from repro import obs
+
+        self.host = host
+        self.prefix = prefix
+        self.registry = registry if registry is not None else obs.registry()
+        self.tracer = tracer if tracer is not None else obs.tracer()
+        self._requested_port = port
+        self._server: _MetricsHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (the ephemeral one when 0 was requested)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running server."""
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def running(self) -> bool:
+        """Whether the serving thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> int:
+        """Bind and start serving on a daemon thread; returns the port."""
+        if self._server is not None:
+            raise ValidationError("metrics server already started")
+        server = _MetricsHTTPServer(
+            (self.host, self._requested_port), _MetricsRequestHandler
+        )
+        server.owner = self
+        thread = threading.Thread(
+            target=server.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._server = server
+        self._thread = thread
+        thread.start()
+        return self.port
+
+    def stop(self) -> None:
+        """Shut the server down and join the thread; idempotent."""
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._server = None
+        self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -110,6 +110,9 @@ class Tracer:
         self.events: list[dict[str, Any]] = []
         self.dropped = 0
         self._stack: list[Span] = []
+        # Span aggregates folded in from other processes' tracers via
+        # merge_snapshot; span_summary() combines them with local spans.
+        self._merged_summary: dict[str, dict[str, float]] = {}
 
     # ------------------------------------------------------------------
     # Enable switch
@@ -166,8 +169,15 @@ class Tracer:
         return self._stack[-1] if self._stack else None
 
     def span_summary(self) -> dict[str, dict[str, float]]:
-        """Aggregate finished spans by name: count and timing stats."""
-        summary: dict[str, dict[str, float]] = {}
+        """Aggregate finished spans by name: count and timing stats.
+
+        Includes aggregates merged in from worker tracers via
+        :meth:`merge_snapshot`.
+        """
+        summary: dict[str, dict[str, float]] = {
+            name: dict(entry)
+            for name, entry in self._merged_summary.items()
+        }
         for span in self.spans:
             duration = span.duration or 0.0
             entry = summary.get(span.name)
@@ -194,3 +204,51 @@ class Tracer:
         self.spans.clear()
         self.events.clear()
         self.dropped = 0
+        self._merged_summary.clear()
+
+    # ------------------------------------------------------------------
+    # Cross-process snapshots
+    # ------------------------------------------------------------------
+    def export_snapshot(self) -> dict[str, Any]:
+        """Picklable summary of this tracer for the parent process.
+
+        Ships the per-name span aggregates (not individual spans — a
+        worker may have finished thousands) plus the recorded discrete
+        events and the drop count.
+        """
+        return {
+            "spans": self.span_summary(),
+            "events": list(self.events),
+            "dropped": self.dropped,
+        }
+
+    def merge_snapshot(self, snapshot: dict[str, Any]) -> None:
+        """Fold a worker tracer's snapshot into this tracer.
+
+        Span aggregates combine count/total/min/max per name; events
+        append in the order given (the caller merges worker snapshots
+        in a deterministic order), still bounded by ``max_records``.
+        Merging bypasses the enable switch — the records already exist.
+        """
+        for name, entry in snapshot.get("spans", {}).items():
+            mine = self._merged_summary.get(name)
+            if mine is None:
+                self._merged_summary[name] = {
+                    "count": entry["count"],
+                    "total_s": entry["total_s"],
+                    "min_s": entry["min_s"],
+                    "max_s": entry["max_s"],
+                }
+                continue
+            mine["count"] += entry["count"]
+            mine["total_s"] += entry["total_s"]
+            if entry["min_s"] < mine["min_s"]:
+                mine["min_s"] = entry["min_s"]
+            if entry["max_s"] > mine["max_s"]:
+                mine["max_s"] = entry["max_s"]
+        for event in snapshot.get("events", ()):
+            if len(self.events) >= self._max_records:
+                self.dropped += 1
+                continue
+            self.events.append(event)
+        self.dropped += snapshot.get("dropped", 0)

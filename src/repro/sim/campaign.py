@@ -164,6 +164,10 @@ class ReplicationResult:
     seed: int
     events_executed: int
     report: WFMSMeasurementReport
+    #: Worker observability delta (:func:`repro.obs.export_snapshot`);
+    #: ``None`` for serial or unobserved replications.  The campaign
+    #: runner merges and strips it before aggregation.
+    obs_snapshot: dict | None = None
 
     @property
     def system_unavailability(self) -> float:
@@ -172,14 +176,24 @@ class ReplicationResult:
 
 
 def _run_replication_task(
-    plan: CampaignPlan, index: int
+    plan: CampaignPlan, index: int, observe: bool = False
 ) -> ReplicationResult:
     """Worker entry point: run replication ``index`` of ``plan``.
 
     Module-level so it pickles under the spawn start method.  The audit
     trail is dropped before the result crosses back to the parent — a
     campaign measures aggregates, not individual instances.
+
+    ``observe=True`` is the parallel-worker path with instrumentation
+    on: the worker's registry is reset before the run (workers are
+    reused across replications, so the export must be this
+    replication's delta) and the snapshot rides home on the result.
+    Serial runs record straight into the parent registry and leave the
+    flag off.
     """
+    if observe:
+        obs.reset()
+        obs.enable()
     wfms = plan.build_wfms(index)
     report = wfms.run(duration=plan.duration, warmup=plan.warmup)
     return ReplicationResult(
@@ -187,6 +201,7 @@ def _run_replication_task(
         seed=plan.seed_for(index),
         events_executed=wfms.simulator.executed_events,
         report=dataclasses.replace(report, trail=AuditTrail()),
+        obs_snapshot=obs.export_snapshot() if observe else None,
     )
 
 
@@ -458,6 +473,12 @@ def run_campaign(plan: CampaignPlan, workers: int = 1) -> CampaignResult:
     derived seed and the parent aggregates in replication order, the
     result — including its :meth:`~CampaignResult.to_document` form —
     is identical for every worker count.
+
+    When observability is enabled, parallel workers record their share
+    (``sim.*``, ``wfms.*`` counters) under freshly reset registries and
+    the parent merges the deltas in replication order — so instrumented
+    campaigns report the same counter totals for every worker count
+    (wall-clock gauges like ``sim.events_per_second`` excepted).
     """
     if workers < 1:
         raise ValidationError("workers must be >= 1")
@@ -475,17 +496,27 @@ def run_campaign(plan: CampaignPlan, workers: int = 1) -> CampaignResult:
                     results.append(_run_replication_task(plan, index))
                 obs.count("campaign.replications_completed")
         else:
+            observe = obs.is_enabled()
             with ProcessPoolExecutor(
                 max_workers=effective_workers,
                 mp_context=multiprocessing.get_context("spawn"),
             ) as pool:
                 futures = [
-                    pool.submit(_run_replication_task, plan, index)
+                    pool.submit(_run_replication_task, plan, index, observe)
                     for index in range(plan.replications)
                 ]
                 results = []
                 for future in futures:
-                    results.append(future.result())
+                    result = future.result()
+                    # Merge worker metrics in replication order, then
+                    # strip the snapshot so the aggregate is identical
+                    # to a serial run's.
+                    obs.merge_snapshot(result.obs_snapshot)
+                    if result.obs_snapshot is not None:
+                        result = dataclasses.replace(
+                            result, obs_snapshot=None
+                        )
+                    results.append(result)
                     obs.count("campaign.replications_completed")
         with obs.span("campaign.aggregate"):
             result = _aggregate(plan, results)

@@ -173,6 +173,55 @@ class TestProcessPoolBitIdentity:
                 )
                 assert parallel == serial, name
 
+    def test_observed_parallel_search_propagates_worker_metrics(self):
+        from repro import obs
+
+        def counters():
+            return {
+                name: state["value"]
+                for name, state in (
+                    obs.registry().export_snapshot().items()
+                )
+                if state["kind"] == "counter"
+            }
+
+        performance = make_performance()
+        obs.reset()
+        obs.enable()
+        try:
+            serial = exhaustive_configuration(
+                GoalEvaluator(make_performance()), GOALS, SMALL_CONSTRAINTS
+            )
+            serial_counters = counters()
+            obs.reset()
+            with ProcessPoolEvaluator(workers=2, chunk_size=4) as executor:
+                parallel = exhaustive_configuration(
+                    GoalEvaluator(performance), GOALS,
+                    SMALL_CONSTRAINTS, executor=executor,
+                )
+            parallel_counters = counters()
+        finally:
+            obs.disable()
+            obs.reset()
+        assert parallel == serial
+        # Adoption-replayed families match the serial run exactly —
+        # worker exports exclude them, the parent replays them.
+        for name in (
+            "configuration.candidates_evaluated",
+            "configuration.goal_violations",
+            "configuration.search.iterations",
+            "evaluation_cache.assessments.misses",
+        ):
+            assert parallel_counters.get(name) == serial_counters.get(
+                name
+            ), name
+        # Worker model work is merged home: at least the serial amount
+        # (speculative evaluations can only add work, never hide it).
+        assert parallel_counters.get(
+            "performability.evaluations", 0.0
+        ) >= serial_counters["performability.evaluations"]
+        assert parallel_counters.get("obs.snapshots_merged", 0.0) > 0
+
     def test_warm_up_reports_ready_workers(self):
         evaluator = make_evaluator()
         with ProcessPoolEvaluator(workers=2, chunk_size=4) as executor:

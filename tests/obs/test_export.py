@@ -110,6 +110,38 @@ class TestPrometheusText:
         text = prometheus_text(registry, prefix="x")
         assert "x_weird_name_with_chars 1" in text
 
+    def test_help_text_escapes_backslashes_and_newlines(self):
+        # The exposition format requires '\\' and '\n' escapes on HELP
+        # lines; unescaped newlines would split the line and corrupt
+        # the whole exposition.
+        registry = MetricsRegistry()
+        registry.counter("a", help="path C:\\tmp\nsecond line")
+        text = prometheus_text(registry)
+        assert "# HELP repro_a path C:\\\\tmp\\nsecond line" in text
+        for line in text.splitlines():
+            assert line.startswith(("#", "repro_"))
+
+    def test_values_render_without_precision_loss(self):
+        # %g-style formatting rounds to 6 significant digits; exported
+        # values must survive a parse round trip exactly.
+        registry = MetricsRegistry()
+        registry.inc("big", 123_456_789.0)
+        registry.set_gauge("fine", 0.30000000000000004)
+        text = prometheus_text(registry)
+        assert "repro_big 123456789" in text
+        assert "repro_fine 0.30000000000000004" in text
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            value = line.rsplit(" ", 1)[1]
+            if value not in ("+Inf", "-Inf", "NaN"):
+                float(value)
+
+    def test_integral_floats_render_as_integers(self):
+        registry = MetricsRegistry()
+        registry.inc("n", 42.0)
+        assert "repro_n 42\n" in prometheus_text(registry)
+
 
 class TestSimulatorThroughputGauge:
     def test_events_per_second_published_end_to_end(self):

@@ -23,7 +23,7 @@ class TestParser:
         for command in (
             "init-demo", "assess", "availability", "throughput",
             "breakdown", "sensitivity", "quantile", "recommend",
-            "simulate",
+            "simulate", "campaign", "monitor",
         ):
             assert command in help_text
 
@@ -365,3 +365,96 @@ class TestObservability:
         assert status == 0
         assert not obs.is_enabled()
         assert "Observability" not in capsys.readouterr().out
+
+
+@pytest.fixture
+def trail_path(tmp_path):
+    from repro.monitor.audit import (
+        AuditTrail,
+        InstanceRecord,
+        StateVisitRecord,
+    )
+    from repro.monitor.persistence import save_trail
+
+    trail = AuditTrail()
+    for i in range(40):
+        start = float(i)
+        trail.record_state_visit(
+            StateVisitRecord(
+                instance_id=i, workflow_type="wf", state="a",
+                entered_at=start, left_at=start + 0.5,
+                next_state="__TERMINATED__",
+            )
+        )
+        trail.record_instance(
+            InstanceRecord(
+                instance_id=i, workflow_type="wf",
+                started_at=start, completed_at=start + 0.5,
+            )
+        )
+    path = tmp_path / "trail.jsonl"
+    save_trail(trail, path)
+    return path
+
+
+class TestMonitor:
+    def test_replay_prints_estimates_and_verdict(self, trail_path, capsys):
+        status = main(["monitor", "--trail", str(trail_path)])
+        assert status == 0
+        output = capsys.readouterr().out
+        assert "Replayed 80 audit records" in output
+        assert "workflow wf:" in output
+        assert "Drift verdict" in output
+        assert "no drift confirmed" in output
+
+    def test_json_document(self, trail_path, capsys):
+        status = main(["monitor", "--trail", str(trail_path), "--json"])
+        assert status == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro.monitor.replay/v1"
+        assert document["estimates"]["records_seen"] == 80
+        assert document["drift"]["has_drift"] is False
+        assert (
+            document["estimates"]["workflow_types"]["wf"][
+                "completed_instances"
+            ]
+            == 40
+        )
+
+    def test_missing_trail_is_a_clean_error(self, tmp_path, capsys):
+        status = main(
+            ["monitor", "--trail", str(tmp_path / "none.jsonl")]
+        )
+        assert status == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bundled_sample_trail_replays_clean(self, capsys):
+        from pathlib import Path
+
+        sample = (
+            Path(__file__).resolve().parents[2]
+            / "examples" / "data" / "sample_trail.jsonl"
+        )
+        status = main(["monitor", "--trail", str(sample), "--json"])
+        assert status == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["estimates"]["records_seen"] > 0
+
+
+class TestServeMetrics:
+    def test_serves_while_the_command_runs(self, trail_path, capsys):
+        from repro import obs
+
+        status = main(
+            [
+                "monitor",
+                "--trail", str(trail_path),
+                "--serve-metrics", "0",
+                "--json",
+            ]
+        )
+        assert status == 0
+        captured = capsys.readouterr()
+        assert "serving metrics on http://127.0.0.1:" in captured.err
+        json.loads(captured.out)  # --json output stays clean
+        assert not obs.is_enabled()  # switch restored afterwards

@@ -1,0 +1,145 @@
+"""End-to-end smoke test for the continuous-monitoring pipeline.
+
+Two checks, exercised the way a CI runner (or an operator) would hit
+them:
+
+1. **CLI replay** — runs ``repro.cli monitor --json --serve-metrics 0``
+   as a subprocess against the bundled sample trail
+   (``examples/data/sample_trail.jsonl``) and asserts that stdout is a
+   valid ``repro.monitor.replay/v1`` document while stderr announces
+   the ephemeral metrics endpoint.
+2. **Live endpoint** — replays the same trail in-process with
+   instrumentation enabled, starts a
+   :class:`~repro.obs.server.MetricsServer` on an ephemeral port, and
+   asserts that ``/metrics`` returns Prometheus text whose every sample
+   line parses, and that ``/health`` reports ok.
+
+Exits non-zero with a one-line diagnosis on the first failure.
+
+Usage::
+
+    PYTHONPATH=src python tools/monitor_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+TRAIL = REPO_ROOT / "examples" / "data" / "sample_trail.jsonl"
+
+
+def fail(message: str) -> None:
+    """Print a diagnosis and exit non-zero."""
+    print(f"SMOKE FAILED: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_cli_replay() -> int:
+    """Replay the bundled trail via the CLI; return the record count."""
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "monitor",
+            "--trail",
+            str(TRAIL),
+            "--json",
+            "--serve-metrics",
+            "0",
+        ],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        timeout=120,
+    )
+    if completed.returncode != 0:
+        fail(
+            "monitor CLI exited "
+            f"{completed.returncode}: {completed.stderr.strip()}"
+        )
+    if "serving metrics on http://127.0.0.1:" not in completed.stderr:
+        fail("monitor CLI did not announce the metrics endpoint on stderr")
+    try:
+        document = json.loads(completed.stdout)
+    except json.JSONDecodeError as error:
+        fail(f"monitor --json stdout is not JSON: {error}")
+    if document.get("schema") != "repro.monitor.replay/v1":
+        fail(f"unexpected replay schema: {document.get('schema')!r}")
+    records = document["drift"]["records_seen"]
+    if records <= 0:
+        fail("replay saw no audit records")
+    print(f"cli replay ok: {records} records, schema {document['schema']}")
+    return records
+
+
+def check_live_endpoint() -> None:
+    """Serve a replayed trail on an ephemeral port and probe it."""
+    from repro import obs
+    from repro.monitor.drift import DriftMonitor
+    from repro.monitor.persistence import iter_trail_records
+    from repro.monitor.stream import StreamingCalibrator
+    from repro.obs.server import MetricsServer
+
+    obs.reset()
+    obs.enable()
+    try:
+        monitor = DriftMonitor(calibrator=StreamingCalibrator())
+        monitor.observe_all(iter_trail_records(TRAIL))
+        with MetricsServer(port=0) as server:
+            if server.port <= 0:
+                fail("metrics server did not bind an ephemeral port")
+            with urllib.request.urlopen(
+                f"{server.url}/metrics", timeout=10.0
+            ) as response:
+                content_type = response.headers.get("Content-Type", "")
+                body = response.read().decode("utf-8")
+            if response.status != 200:
+                fail(f"/metrics returned HTTP {response.status}")
+            if not content_type.startswith("text/plain"):
+                fail(f"/metrics content type is {content_type!r}")
+            samples = 0
+            for line in body.splitlines():
+                if not line or line.startswith("#"):
+                    continue
+                try:
+                    float(line.rsplit(" ", 1)[1])
+                except (IndexError, ValueError):
+                    fail(f"unparseable /metrics sample line: {line!r}")
+                samples += 1
+            if samples == 0:
+                fail("/metrics exposed no samples after an observed replay")
+            if "repro_monitor_stream_records" not in body:
+                fail("/metrics is missing the monitor.stream.records counter")
+            with urllib.request.urlopen(
+                f"{server.url}/health", timeout=10.0
+            ) as response:
+                health = json.loads(response.read().decode("utf-8"))
+            if health.get("status") != "ok":
+                fail(f"/health reported {health!r}")
+            print(
+                f"live endpoint ok: {samples} samples on port {server.port}"
+            )
+    finally:
+        obs.disable()
+        obs.reset()
+
+
+def main() -> int:
+    """Run both smoke checks against the bundled sample trail."""
+    if not TRAIL.exists():
+        fail(f"bundled sample trail missing: {TRAIL}")
+    check_cli_replay()
+    check_live_endpoint()
+    print("SMOKE PASSED")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
