@@ -1,8 +1,8 @@
 # Development targets for the repro package.
 
 .PHONY: install test docstrings bench bench-search bench-search-parallel \
-	campaign bench-campaign bench-sim bench-monitor monitor-smoke \
-	examples all
+	bench-frontier campaign bench-campaign bench-sim bench-monitor \
+	monitor-smoke examples all
 
 install:
 	pip install -e . || python setup.py develop
@@ -22,6 +22,9 @@ bench-search:
 bench-search-parallel:
 	PYTHONPATH=src python benchmarks/bench_search.py --parallel-only --check \
 		--output BENCH_search_parallel.json
+
+bench-frontier:
+	PYTHONPATH=src python benchmarks/bench_frontier.py --check
 
 campaign:
 	PYTHONPATH=src python -m repro.cli init-demo /tmp/repro_demo.json

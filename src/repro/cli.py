@@ -14,7 +14,8 @@ and recommendation functions:
    $ python -m repro.cli availability --project study.json \\
          --config comm-server=2,wf-engine=2,app-server=3
 
-Exit status 0 on success, 2 on usage/validation errors.
+Exit status 0 on success, 1 when ``recommend`` finds no admissible
+configuration satisfying the goals, 2 on usage/validation errors.
 """
 
 from __future__ import annotations
@@ -36,7 +37,11 @@ from repro.core.evaluation_cache import EvaluationCache
 from repro.core.goals import GoalEvaluator, PerformabilityGoals
 from repro.core.performance import PerformanceModel, SystemConfiguration
 from repro.core.performability import PerformabilityModel
-from repro.exceptions import ReproError, ValidationError
+from repro.exceptions import (
+    InfeasibleConfigurationError,
+    ReproError,
+    ValidationError,
+)
 from repro.io import Project, load_project, save_project
 
 _SEARCHES = {
@@ -150,7 +155,6 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
         ),
         max_total_servers=args.max_total_servers,
     )
-    search = _SEARCHES[args.algorithm]
     if args.workers < 1:
         raise ValidationError("--workers must be >= 1")
     executor = None
@@ -159,9 +163,31 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
 
         executor = ProcessPoolEvaluator(workers=args.workers)
     try:
+        if args.frontier:
+            from repro.core.search import OBJECTIVES, frontier_search
+
+            objectives = (
+                tuple(args.objectives) if args.objectives else OBJECTIVES
+            )
+            result = frontier_search(
+                evaluator,
+                goals,
+                constraints,
+                objectives=objectives,
+                seed=args.seed,
+                executor=executor,
+            )
+            if args.json:
+                print(json.dumps(result.to_document(), indent=2))
+            else:
+                print(result.format_text())
+            return 0
+        search = _SEARCHES[args.algorithm]
         recommendation = search(
             evaluator, goals, constraints, executor=executor
         )
+    except InfeasibleConfigurationError as error:
+        return _report_infeasible(error, json_output=args.json)
     finally:
         if executor is not None:
             executor.close()
@@ -170,6 +196,43 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
     else:
         print(recommendation.format_text())
     return 0
+
+
+def _report_infeasible(
+    error: InfeasibleConfigurationError, json_output: bool
+) -> int:
+    """Report an exhausted search: exit status 1, violations included.
+
+    Distinguishes "the search ran but no admissible configuration meets
+    the goals" (exit 1, structured ``violations`` from the best
+    configuration found) from usage/validation errors (exit 2).
+    """
+    import json
+
+    best = error.best_found
+    if json_output:
+        document = {
+            "satisfied": False,
+            "error": str(error),
+            "violations": (
+                best.to_document()["violations"] if best is not None else []
+            ),
+            "best_found": (
+                best.to_document() if best is not None else None
+            ),
+        }
+        print(json.dumps(document, indent=2))
+    else:
+        print(f"error: {error}", file=sys.stderr)
+        if best is not None:
+            print(
+                f"best configuration found: {best.configuration} "
+                f"(cost {best.cost:g})",
+                file=sys.stderr,
+            )
+            for violation in best.assessment.violations:
+                print(f"  violated: {violation}", file=sys.stderr)
+    return 1
 
 
 def _cmd_breakdown(args: argparse.Namespace) -> int:
@@ -520,6 +583,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     recommend.add_argument(
         "--algorithm", choices=sorted(_SEARCHES), default="greedy",
+    )
+    recommend.add_argument(
+        "--frontier", action="store_true",
+        help="multi-objective mode: emit the whole Pareto frontier of "
+        "goal-satisfying configurations (ranked trade-off table) "
+        "instead of a single recommendation",
+    )
+    recommend.add_argument(
+        "--objectives", action="append", metavar="AXIS",
+        choices=[
+            "cost", "max_waiting_time", "unavailability",
+            "performability_waiting_time",
+        ],
+        help="frontier objective axis, repeatable "
+        "(default: all four axes)",
+    )
+    recommend.add_argument(
+        "--seed", type=int, default=0,
+        help="random seed of the frontier shotgun/restart sampling "
+        "(same seed => byte-identical frontier)",
     )
     recommend.add_argument(
         "--max-total-servers", type=int, default=32,

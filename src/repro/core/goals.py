@@ -130,6 +130,29 @@ class PerformabilityGoals:
             tuple(sorted(self.max_unavailability_per_type.items())),
         )
 
+    def requiring_all_metrics(self) -> "PerformabilityGoals":
+        """Equal-bounds goals whose assessments expose every metric.
+
+        :meth:`GoalEvaluator.assess` skips the (expensive)
+        performability model when no waiting-time goal is set.  The
+        multi-objective frontier search, however, needs *all* of
+        ``(cost, waiting time, unavailability, performability waiting
+        time)`` for every candidate even when an axis is unbounded.
+        This returns goals with the identical feasible region — an
+        unbounded waiting axis becomes an explicit ``inf`` threshold,
+        which can never be violated (``inf > inf`` is false, so even a
+        saturated type stays within an unbounded goal) — but whose
+        assessments always carry the performability report.
+        """
+        if self.has_performance_goal:
+            return self
+        return PerformabilityGoals(
+            max_waiting_time=math.inf,
+            max_waiting_times_per_type=self.max_waiting_times_per_type,
+            max_unavailability=self.max_unavailability,
+            max_unavailability_per_type=self.max_unavailability_per_type,
+        )
+
 
 @dataclass(frozen=True)
 class GoalViolation:
@@ -180,6 +203,26 @@ class GoalAssessment:
         """Whether no waiting-time goal is violated."""
         return not any(
             violation.kind == "waiting_time" for violation in self.violations
+        )
+
+    @property
+    def saturated_types(self) -> tuple[str, ...]:
+        """Server types that are truly saturated (utilization >= 1).
+
+        Distinguishes "the pool cannot sustain its load at all" from "a
+        waiting-time goal is merely violated": a saturated type's
+        waiting time is ``inf`` for structural reasons (the M/G/1
+        station has no steady state), while a violated-but-finite
+        waiting time only means the threshold is too tight.  The
+        frontier search reports this per point so operators can tell
+        undersized configurations from tightly-bounded ones.  Types
+        with zero replicas but positive load have infinite utilization
+        and are included.
+        """
+        return tuple(
+            name
+            for name, utilization in sorted(self.utilizations.items())
+            if utilization >= 1.0
         )
 
 

@@ -31,7 +31,7 @@ from repro.core.workflow_model import (
     WorkflowDefinition,
     build_workflow_ctmc,
 )
-from repro.exceptions import ValidationError
+from repro.exceptions import SaturationError, ValidationError
 from repro.queueing import mg1_mean_waiting_time, pooled_service_moments
 
 
@@ -482,13 +482,19 @@ class PerformanceModel:
     # Stage 4: waiting times
     # ------------------------------------------------------------------
     def waiting_times(
-        self, configuration: SystemConfiguration
+        self, configuration: SystemConfiguration, strict: bool = False
     ) -> np.ndarray:
         """Mean waiting time ``w_x`` per server type (Section 4.4).
 
         Each of the ``Y_x`` replicas is an M/G/1 station receiving an equal
-        share of the type's request stream.  Types with zero replicas but
-        positive load, and saturated types, report ``inf``.
+        share of the type's request stream.  The waiting-time convention
+        is uniform across every waiting-time path of this model: a type
+        without load reports ``0.0`` and ``inf`` is reserved for true
+        saturation (utilization >= 1, including zero replicas carrying
+        positive load).  With ``strict`` a saturated type raises
+        :class:`~repro.exceptions.SaturationError` instead, naming the
+        saturated types — callers that must distinguish "saturated" from
+        "goal merely violated" (the frontier search does) use this.
         """
         per_server = self.per_server_request_rates(configuration)
         # Vectorized Pollaczek-Khinchine over all types at once; the
@@ -497,6 +503,15 @@ class PerformanceModel:
         utilization = per_server * self._service_time_means
         waits = np.full(len(self.server_types), math.inf)
         stable = np.isfinite(per_server) & (utilization < 1.0)
+        if strict and not stable.all():
+            saturated = [
+                name
+                for name, ok in zip(self.server_types.names, stable)
+                if not ok
+            ]
+            raise SaturationError(
+                "saturated server types: " + ", ".join(saturated)
+            )
         waits[stable] = (
             per_server[stable] * self._service_time_second_moments[stable]
             / (2.0 * (1.0 - utilization[stable]))
@@ -504,7 +519,7 @@ class PerformanceModel:
         return waits
 
     def waiting_time_for_count(
-        self, type_index: int, available: int
+        self, type_index: int, available: int, strict: bool = False
     ) -> float:
         """Waiting time ``w_x(n)`` of one type with ``n`` running replicas.
 
@@ -512,13 +527,22 @@ class PerformanceModel:
         state only through its *own* pool size, so this single-point
         evaluation is the unit the shared waiting-time curve cache
         (:class:`~repro.core.evaluation_cache.EvaluationCache`) stores
-        and reuses across search candidates.
+        and reuses across search candidates.  Follows the uniform
+        convention (0.0 for no load, ``inf`` only for saturation);
+        ``strict`` is forwarded to :func:`mg1_mean_waiting_time`, so a
+        saturated pool raises :class:`~repro.exceptions.SaturationError`
+        instead of returning ``inf``.
         """
         spec = self.server_types.specs[type_index]
         total = float(self._total_request_rates[type_index])
         obs.count("performance.waiting_time_points")
         if available <= 0:
             if total > 0.0:
+                if strict:
+                    raise SaturationError(
+                        f"no running replica of {spec.name} for its "
+                        f"request rate {total:g}"
+                    )
                 return math.inf
             rate = 0.0
         else:
@@ -527,10 +551,11 @@ class PerformanceModel:
             rate,
             spec.mean_service_time,
             spec.second_moment_service_time,
+            strict=strict,
         )
 
     def waiting_times_colocated(
-        self, computers: Sequence[Computer]
+        self, computers: Sequence[Computer], strict: bool = False
     ) -> dict[str, float]:
         """Waiting times when several server types share computers.
 
@@ -541,6 +566,14 @@ class PerformanceModel:
         yields a waiting time common to all requests on that computer
         (Section 4.4, generalized case).  A type hosted on several
         computers reports the mean over its (equally loaded) hosts.
+
+        The result follows the same convention as :meth:`waiting_times`:
+        a type without load reports ``0.0`` — even when its host
+        computers are saturated by *other* types' streams, since a
+        zero-rate stream has no requests to wait — and ``inf`` is
+        reserved for true saturation of the type's own request path.
+        ``strict`` raises :class:`~repro.exceptions.SaturationError` for
+        saturated types instead of reporting ``inf``.
         """
         if not computers:
             raise ValidationError("at least one computer is required")
@@ -564,10 +597,7 @@ class PerformanceModel:
         for i, name in enumerate(self.server_types.names):
             replica_count = len(hosts[name])
             if replica_count == 0:
-                if totals[i] > 0.0:
-                    per_type_share[name] = math.inf
-                else:
-                    per_type_share[name] = 0.0
+                per_type_share[name] = math.inf if totals[i] > 0.0 else 0.0
             else:
                 per_type_share[name] = totals[i] / replica_count
 
@@ -577,8 +607,11 @@ class PerformanceModel:
             speed = computer.speed_factor
             for hosted in computer.hosted_types:
                 share = per_type_share[hosted]
-                if math.isinf(share):
-                    break
+                if share <= 0.0:
+                    # A zero-rate stream contributes neither load nor
+                    # service-time mass to the mixture; skipping it keeps
+                    # pooled_service_moments over the loaded streams only.
+                    continue
                 spec = self.server_types.spec(hosted)
                 rates.append(share)
                 # Heterogeneous extension: service times shrink linearly
@@ -587,25 +620,34 @@ class PerformanceModel:
                 seconds.append(
                     spec.second_moment_service_time / speed**2
                 )
-            else:
-                total_rate = sum(rates)
-                if total_rate <= 0.0:
-                    computer_waits[computer.name] = 0.0
-                    continue
-                mean, second = pooled_service_moments(rates, means, seconds)
-                computer_waits[computer.name] = mg1_mean_waiting_time(
-                    total_rate, mean, second
-                )
+            if not rates:
+                computer_waits[computer.name] = 0.0
                 continue
-            computer_waits[computer.name] = math.inf
+            mean, second = pooled_service_moments(rates, means, seconds)
+            computer_waits[computer.name] = mg1_mean_waiting_time(
+                sum(rates), mean, second
+            )
 
         result: dict[str, float] = {}
         for i, name in enumerate(self.server_types.names):
-            if not hosts[name]:
-                result[name] = math.inf if totals[i] > 0.0 else 0.0
+            if totals[i] <= 0.0:
+                # No load: 0.0 by convention, regardless of hosting.
+                result[name] = 0.0
                 continue
-            waits = [computer_waits[computer.name] for computer in hosts[name]]
-            result[name] = float(np.mean(waits))
+            if not hosts[name]:
+                # Positive load with nowhere to go is saturation.
+                result[name] = math.inf
+            else:
+                waits = [
+                    computer_waits[computer.name]
+                    for computer in hosts[name]
+                ]
+                result[name] = float(np.mean(waits))
+            if strict and math.isinf(result[name]):
+                raise SaturationError(
+                    f"server type {name} is saturated on its host "
+                    "computers"
+                )
         return result
 
     # ------------------------------------------------------------------

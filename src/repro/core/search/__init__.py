@@ -11,7 +11,11 @@ backends:
   — the paper's algorithms as pure proposal logic;
 * :class:`SerialEvaluator` (default) and :class:`ProcessPoolEvaluator`
   (spawn workers, cache merge-back, bit-identical to serial) — where
-  candidate evaluation runs.
+  candidate evaluation runs;
+* :class:`ParetoFrontier` / :class:`FrontierStrategy` /
+  :func:`frontier_search` — the multi-objective generalization: a
+  maintained non-dominated set over cost, waiting time, unavailability,
+  and performability (see :mod:`repro.core.search.frontier`).
 
 The public convenience wrappers (``greedy_configuration`` etc.) live in
 :mod:`repro.core.configuration` for API compatibility.
@@ -23,6 +27,14 @@ from repro.core.search.candidates import (
     per_type_lower_bounds,
 )
 from repro.core.search.engine import SearchEngine
+from repro.core.search.frontier import (
+    OBJECTIVES,
+    FrontierPoint,
+    FrontierResult,
+    FrontierStrategy,
+    ParetoFrontier,
+    frontier_search,
+)
 from repro.core.search.executors import (
     CandidateEvaluator,
     ProcessPoolEvaluator,
@@ -48,7 +60,12 @@ __all__ = [
     "CandidateEvaluator",
     "ConfigurationRecommendation",
     "ExhaustiveStrategy",
+    "FrontierPoint",
+    "FrontierResult",
+    "FrontierStrategy",
     "GreedyStrategy",
+    "OBJECTIVES",
+    "ParetoFrontier",
     "ProcessPoolEvaluator",
     "ReplicationConstraints",
     "SearchEngine",
@@ -57,6 +74,7 @@ __all__ = [
     "SerialEvaluator",
     "SimulatedAnnealingStrategy",
     "configurations_by_cost",
+    "frontier_search",
     "initial_configuration",
     "per_type_lower_bounds",
 ]

@@ -254,6 +254,7 @@ class ExhaustiveStrategy(SearchStrategy):
         self._candidates = configurations_by_cost(
             evaluator.server_types, constraints
         )
+        self._best: tuple[int, GoalAssessment] | None = None
 
     def propose(self, limit: int) -> list[Candidate]:
         """Next ``limit`` configurations in increasing-cost order."""
@@ -266,7 +267,25 @@ class ExhaustiveStrategy(SearchStrategy):
         self, candidate: Candidate, assessment: GoalAssessment
     ) -> GoalAssessment | None:
         """Accept the assessment iff it satisfies the goals."""
-        return assessment if assessment.satisfied else None
+        if assessment.satisfied:
+            return assessment
+        # Track the closest miss (fewest violations; candidates arrive
+        # in cost order, so the first such is also the cheapest) for
+        # infeasible-space reporting.
+        rank = len(assessment.violations)
+        if self._best is None or rank < self._best[0]:
+            self._best = (rank, assessment)
+        return None
+
+    def exhausted(self) -> GoalAssessment:
+        """Report infeasibility with the closest-miss assessment."""
+        raise SearchExhausted(
+            "the admissible space is exhausted with the goals still "
+            "violated",
+            best_assessment=(
+                self._best[1] if self._best is not None else None
+            ),
+        )
 
 
 class BranchAndBoundStrategy(SearchStrategy):

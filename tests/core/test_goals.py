@@ -145,3 +145,67 @@ class TestAssessment:
         second = evaluator.assess(configuration, goals)
         assert second is first
         assert evaluator.evaluation_count == count
+
+
+class TestRequiringAllMetrics:
+    def test_availability_only_goal_gains_free_waiting_axis(self):
+        goals = PerformabilityGoals(max_unavailability=1e-5)
+        assert not goals.has_performance_goal
+        full = goals.requiring_all_metrics()
+        assert full.has_performance_goal
+        assert math.isinf(full.max_waiting_time)
+        assert full.max_unavailability == goals.max_unavailability
+
+    def test_noop_when_performance_goal_present(self):
+        goals = PerformabilityGoals(
+            max_waiting_time=0.2, max_unavailability=1e-5
+        )
+        assert goals.requiring_all_metrics() is goals
+
+    def test_unbounded_axis_never_violates(self, evaluator):
+        # The inf waiting bound makes the performability report appear
+        # on every assessment without ever adding a violation.
+        goals = PerformabilityGoals(max_unavailability=1e-2)
+        assessment = evaluator.assess(
+            SystemConfiguration({"fast": 2, "slow": 2}),
+            goals.requiring_all_metrics(),
+        )
+        assert assessment.performability is not None
+        assert assessment.satisfied == evaluator.assess(
+            SystemConfiguration({"fast": 2, "slow": 2}), goals
+        ).satisfied
+
+
+class TestSaturatedTypes:
+    def test_stable_configuration_has_none(self, evaluator):
+        assessment = evaluator.assess(
+            SystemConfiguration({"fast": 2, "slow": 2}),
+            PerformabilityGoals(max_waiting_time=10.0),
+        )
+        assert assessment.saturated_types == ()
+
+    def test_saturated_type_listed(self, evaluator):
+        # slow: 0.8 * 2 req/u * 0.3 = 0.48 per server with one replica
+        # is fine, but fast with load 3.0 at one replica gives
+        # 0.8 * 3 * 0.05 = 0.12 — build genuine saturation instead.
+        types = ServerTypeIndex(
+            [ServerTypeSpec("hot", 0.5, failure_rate=0.001,
+                            repair_rate=0.1)]
+        )
+        activity = ActivitySpec("act", 5.0, loads={"hot": 3.0})
+        workflow = WorkflowDefinition(
+            name="wf",
+            states=(WorkflowState("only", activity=activity),),
+            transitions={},
+            initial_state="only",
+        )
+        model = PerformanceModel(
+            types, Workload([WorkloadItem(workflow, 0.8)])
+        )
+        saturated = GoalEvaluator(model).assess(
+            SystemConfiguration({"hot": 1}),
+            PerformabilityGoals(max_waiting_time=10.0),
+        )
+        # utilization 0.8 * 3 * 0.5 = 1.2 >= 1: structurally saturated.
+        assert saturated.saturated_types == ("hot",)
+        assert not saturated.satisfied

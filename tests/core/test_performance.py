@@ -14,7 +14,7 @@ from repro.core.performance import (
     WorkloadItem,
 )
 from repro.core.workflow_model import WorkflowDefinition, WorkflowState
-from repro.exceptions import ValidationError
+from repro.exceptions import SaturationError, ValidationError
 from repro.queueing import mg1_mean_waiting_time
 
 
@@ -258,3 +258,125 @@ class TestAssessment:
         report = model.assess(SystemConfiguration({"comm": 1, "engine": 1}))
         assert not report.is_stable
         assert "inf" in report.format_text()
+
+
+class TestColocationConvention:
+    """Regression: zero-load vs saturated types in the co-location path.
+
+    The dedicated per-type path reports 0.0 waiting for a type with no
+    load; the co-location path used to report ``inf`` for the same type
+    whenever it shared a computer with a saturating stream (and for
+    unhosted idle types).  The unified convention — 0.0 for no load,
+    ``inf`` only for true saturation — is what frontier dominance
+    ordering relies on.
+    """
+
+    def test_idle_type_cohosted_with_saturated_reports_zero(
+        self, server_types
+    ):
+        # comm alone saturates the shared computer (50 req/u * 0.05 =
+        # 2.5 utilization); the idle engine must not inherit its inf.
+        workload = Workload(
+            [WorkloadItem(simple_workflow("w", 10.0, 50.0, 0.0), 1.0)]
+        )
+        model = PerformanceModel(server_types, workload)
+        colocated = model.waiting_times_colocated(
+            [Computer("c1", ("comm", "engine"))]
+        )
+        assert math.isinf(colocated["comm"])
+        assert colocated["engine"] == 0.0
+
+    def test_idle_type_without_host_reports_zero(self, server_types):
+        workload = Workload(
+            [WorkloadItem(simple_workflow("w", 10.0, 4.0, 0.0), 0.5)]
+        )
+        model = PerformanceModel(server_types, workload)
+        colocated = model.waiting_times_colocated(
+            [Computer("c1", ("comm",))]
+        )
+        assert colocated["engine"] == 0.0
+
+    def test_idle_type_matches_dedicated_path(self, server_types):
+        workload = Workload(
+            [WorkloadItem(simple_workflow("w", 10.0, 4.0, 0.0), 0.5)]
+        )
+        model = PerformanceModel(server_types, workload)
+        colocated = model.waiting_times_colocated(
+            [Computer("c1", ("comm",)), Computer("c2", ("engine",))]
+        )
+        plain = model.waiting_times(
+            SystemConfiguration({"comm": 1, "engine": 1})
+        )
+        assert colocated["engine"] == plain[1] == 0.0
+
+    def test_loaded_unhosted_type_still_infinite(self, model):
+        colocated = model.waiting_times_colocated(
+            [Computer("c1", ("comm",))]
+        )
+        assert math.isinf(colocated["engine"])
+
+
+class TestStrictSaturation:
+    """Regression: the ``strict`` flag is plumbed through every path.
+
+    ``mg1_mean_waiting_time(strict=True)`` raises ``SaturationError``
+    at utilization >= 1, but the performance-model callers never
+    forwarded the flag — callers could not distinguish "saturated"
+    from "goal merely violated" without inspecting inf values.
+    """
+
+    def test_waiting_times_strict_raises_and_names_type(
+        self, server_types
+    ):
+        workload = Workload(
+            [WorkloadItem(simple_workflow("w", 10.0, 50.0, 1.0), 1.0)]
+        )
+        model = PerformanceModel(server_types, workload)
+        config = SystemConfiguration({"comm": 1, "engine": 1})
+        with pytest.raises(SaturationError, match="comm"):
+            model.waiting_times(config, strict=True)
+
+    def test_waiting_times_strict_matches_default_when_stable(
+        self, model
+    ):
+        config = SystemConfiguration({"comm": 2, "engine": 2})
+        np.testing.assert_array_equal(
+            model.waiting_times(config, strict=True),
+            model.waiting_times(config),
+        )
+
+    def test_waiting_times_strict_raises_for_zero_replicas(self, model):
+        config = SystemConfiguration({"comm": 0, "engine": 1})
+        with pytest.raises(SaturationError, match="comm"):
+            model.waiting_times(config, strict=True)
+
+    def test_waiting_time_for_count_strict(self, model):
+        with pytest.raises(SaturationError):
+            model.waiting_time_for_count(0, 0, strict=True)
+        assert model.waiting_time_for_count(
+            0, 2, strict=True
+        ) == model.waiting_time_for_count(0, 2)
+
+    def test_colocated_strict_raises_on_saturated_host(
+        self, server_types
+    ):
+        workload = Workload(
+            [WorkloadItem(simple_workflow("w", 10.0, 50.0, 1.0), 1.0)]
+        )
+        model = PerformanceModel(server_types, workload)
+        with pytest.raises(SaturationError):
+            model.waiting_times_colocated(
+                [Computer("c1", ("comm", "engine"))], strict=True
+            )
+
+    def test_colocated_strict_allows_idle_types(self, server_types):
+        # Zero load is not saturation: strict must not raise for an
+        # idle type, hosted or not.
+        workload = Workload(
+            [WorkloadItem(simple_workflow("w", 10.0, 4.0, 0.0), 0.5)]
+        )
+        model = PerformanceModel(server_types, workload)
+        colocated = model.waiting_times_colocated(
+            [Computer("c1", ("comm",))], strict=True
+        )
+        assert colocated["engine"] == 0.0

@@ -234,6 +234,147 @@ class TestRecommend:
         parallel = json.loads(capsys.readouterr().out)
         assert parallel == serial
 
+    def test_infeasible_goals_exit_1_with_violations(
+        self, project_path, capsys
+    ):
+        # Satellite: a search that runs but finds no goal-satisfying
+        # configuration is exit status 1 (not 0, not usage-error 2)
+        # and reports what was violated.
+        arguments = [
+            "recommend",
+            "--project", str(project_path),
+            "--max-waiting", "1e-9",
+            "--max-total-servers", "4",
+        ]
+        assert main(arguments) == 1
+        err = capsys.readouterr().err
+        assert "best configuration found" in err
+        assert "violated:" in err
+        assert main(arguments + ["--json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["satisfied"] is False
+        assert document["violations"]
+        assert document["violations"][0]["kind"] == "waiting_time"
+        assert document["best_found"]["cost"] > 0
+
+    def test_infeasible_exhaustive_also_exits_1(
+        self, project_path, capsys
+    ):
+        status = main(
+            [
+                "recommend",
+                "--project", str(project_path),
+                "--max-waiting", "1e-9",
+                "--max-total-servers", "4",
+                "--algorithm", "exhaustive",
+                "--json",
+            ]
+        )
+        assert status == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["satisfied"] is False
+        assert document["violations"]
+
+
+class TestRecommendFrontier:
+    ARGUMENTS = [
+        "--max-waiting", "0.5",
+        "--max-unavailability", "1e-4",
+        "--max-total-servers", "10",
+    ]
+
+    def test_prints_ranked_trade_off_table(self, project_path, capsys):
+        status = main(
+            ["recommend", "--project", str(project_path), "--frontier"]
+            + self.ARGUMENTS
+        )
+        assert status == 0
+        output = capsys.readouterr().out
+        assert "Pareto frontier" in output
+        assert "rank" in output
+        assert "Recommended (cheapest satisfying)" in output
+
+    def test_json_document_seed_stable(self, project_path, capsys):
+        arguments = (
+            ["recommend", "--project", str(project_path), "--frontier",
+             "--seed", "7", "--json"]
+            + self.ARGUMENTS
+        )
+        assert main(arguments) == 0
+        first = capsys.readouterr().out
+        assert main(arguments) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        document = json.loads(first)
+        assert document["schema"] == "repro.search.frontier/v1"
+        assert document["seed"] == 7
+        assert document["points"]
+        assert document["recommended"]["satisfied"] is True
+        # Ranked by cost, and the recommendation is the cheapest point.
+        costs = [p["cost"] for p in document["points"]]
+        assert costs == sorted(costs)
+        assert document["recommended"]["cost"] == costs[0]
+
+    def test_parallel_workers_match_serial(self, project_path, capsys):
+        arguments = (
+            ["recommend", "--project", str(project_path), "--frontier",
+             "--json"]
+            + self.ARGUMENTS
+        )
+        assert main(arguments) == 0
+        serial = capsys.readouterr().out
+        assert main(arguments + ["--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_objectives_subset(self, project_path, capsys):
+        arguments = (
+            ["recommend", "--project", str(project_path), "--frontier",
+             "--json",
+             "--objectives", "cost", "--objectives", "unavailability"]
+            + self.ARGUMENTS
+        )
+        assert main(arguments) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["objectives"] == ["cost", "unavailability"]
+
+    def test_frontier_contains_single_objective_result(
+        self, project_path, capsys
+    ):
+        goal_arguments = [
+            "--project", str(project_path),
+            "--max-waiting", "0.15",
+            "--max-unavailability", "1e-5",
+            "--max-total-servers", "12",
+            "--json",
+        ]
+        assert main(
+            ["recommend", "--algorithm", "exhaustive"] + goal_arguments
+        ) == 0
+        exact = json.loads(capsys.readouterr().out)
+        assert main(["recommend", "--frontier"] + goal_arguments) == 0
+        frontier = json.loads(capsys.readouterr().out)
+        configurations = [
+            p["configuration"] for p in frontier["points"]
+        ]
+        assert exact["configuration"] in configurations
+        assert frontier["recommended"]["cost"] == exact["cost"]
+
+    def test_infeasible_frontier_exits_1(self, project_path, capsys):
+        status = main(
+            [
+                "recommend",
+                "--project", str(project_path),
+                "--frontier",
+                "--max-waiting", "1e-9",
+                "--max-total-servers", "4",
+                "--json",
+            ]
+        )
+        assert status == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["satisfied"] is False
+        assert document["violations"]
+
 
 class TestSimulate:
     def test_runs_demo_project(self, project_path, capsys):
