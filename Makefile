@@ -1,8 +1,8 @@
 # Development targets for the repro package.
 
 .PHONY: install test docstrings bench bench-search bench-search-parallel \
-	bench-frontier campaign bench-campaign bench-sim bench-monitor \
-	monitor-smoke examples all
+	bench-frontier campaign bench-campaign bench-corpus bench-sim \
+	bench-monitor monitor-smoke examples all
 
 install:
 	pip install -e . || python setup.py develop
@@ -36,6 +36,9 @@ campaign:
 
 bench-campaign:
 	PYTHONPATH=src python benchmarks/bench_campaign.py --check
+
+bench-corpus:
+	PYTHONPATH=src python benchmarks/bench_corpus.py --check
 
 bench-sim:
 	PYTHONPATH=src python benchmarks/bench_sim_hotpath.py --check \

@@ -43,6 +43,7 @@ from repro.exceptions import (
     ValidationError,
 )
 from repro.io import Project, load_project, save_project
+from repro.scenarios.generator import LANDSCAPES, SERVICE_TIME_FAMILIES
 
 _SEARCHES = {
     "greedy": greedy_configuration,
@@ -77,6 +78,63 @@ def _parse_configuration(text: str) -> SystemConfiguration:
 
 def _performance_model(project: Project) -> PerformanceModel:
     return PerformanceModel(project.server_types, project.workload())
+
+
+def _load_spec_file(path: str, default_rate: float):
+    """Load one spec file: WorkflowSpec JSON or a WfCommons instance.
+
+    The format is sniffed from the document: WfCommons instances carry a
+    top-level ``workflow`` object, spec files a ``body`` block.  Specs
+    without an arrival rate get ``default_rate``; specs without a server
+    landscape get the standard three-type one.
+    """
+    import dataclasses
+    import json
+
+    from repro.io.wfcommons import wfcommons_to_spec
+    from repro.scenarios.spec import ArrivalSpec, spec_from_dict
+
+    try:
+        document = json.loads(open(path).read())
+    except FileNotFoundError:
+        raise ValidationError(f"spec file not found: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"invalid JSON in {path}: {exc}") from exc
+    if isinstance(document, dict) and "workflow" in document:
+        spec = wfcommons_to_spec(document)
+    else:
+        spec = spec_from_dict(document)
+    if spec.server_types is None:
+        from repro.workflows.common import standard_server_types
+
+        spec = dataclasses.replace(
+            spec, server_types=standard_server_types()
+        )
+    if spec.arrival.rate <= 0.0 and default_rate > 0.0:
+        spec = dataclasses.replace(
+            spec, arrival=ArrivalSpec(rate=default_rate)
+        )
+    return spec
+
+
+def _load_study(args: argparse.Namespace) -> Project:
+    """Resolve ``--project`` / ``--spec`` into a project bundle."""
+    specs = getattr(args, "spec", None)
+    project_path = getattr(args, "project", None)
+    if specs:
+        if project_path:
+            raise ValidationError(
+                "--project and --spec are mutually exclusive"
+            )
+        from repro.scenarios import spec_to_project
+
+        default_rate = getattr(args, "arrival_rate", 0.0) or 0.0
+        return spec_to_project(
+            _load_spec_file(path, default_rate) for path in specs
+        )
+    if not project_path:
+        raise ValidationError("pass --project FILE or --spec FILE")
+    return load_project(project_path)
 
 
 def _goals_from_args(args: argparse.Namespace) -> PerformabilityGoals:
@@ -142,7 +200,7 @@ def _cmd_availability(args: argparse.Namespace) -> int:
 def _cmd_recommend(args: argparse.Namespace) -> int:
     import json
 
-    project = load_project(args.project)
+    project = _load_study(args)
     cache = EvaluationCache(enabled=not args.no_evaluation_cache)
     evaluator = GoalEvaluator(_performance_model(project), cache=cache)
     goals = _goals_from_args(args)
@@ -297,7 +355,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.spec.translator import definition_to_chart
     from repro.wfms.runtime import SimulatedWFMS, SimulatedWorkflowType
 
-    project = load_project(args.project)
+    project = _load_study(args)
     configuration = _parse_configuration(args.config)
     workflow_types = []
     for workflow in project.workflows:
@@ -306,7 +364,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             SimulatedWorkflowType(
                 chart=chart,
                 activities=activities,
-                arrival_rate=project.arrival_rates[workflow.name],
+                arrival_rate=project.arrival_rates.get(workflow.name, 0.0),
             )
         )
     wfms = SimulatedWFMS(
@@ -337,7 +395,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.spec.translator import definition_to_chart
     from repro.wfms.runtime import SimulatedWorkflowType
 
-    project = load_project(args.project)
+    project = _load_study(args)
     configuration = _parse_configuration(args.config)
     workflow_types = []
     for workflow in project.workflows:
@@ -346,7 +404,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             SimulatedWorkflowType(
                 chart=chart,
                 activities=activities,
-                arrival_rate=project.arrival_rates[workflow.name],
+                arrival_rate=project.arrival_rates.get(workflow.name, 0.0),
             )
         )
     plan = CampaignPlan(
@@ -444,6 +502,89 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _corpus_specs(args: argparse.Namespace) -> list:
+    """Resolve corpus describe/assess inputs into workflow specs.
+
+    Accepts any mix of ``--spec`` files (WorkflowSpec JSON or WfCommons
+    instances), ``--scenario`` registry names, and ``--generated N``
+    seeded random specs.
+    """
+    from repro.scenarios import generate_corpus, scenario
+
+    specs = [
+        _load_spec_file(path, default_rate=0.0)
+        for path in (args.spec or [])
+    ]
+    for name in args.scenario or []:
+        specs.append(scenario(name).spec())
+    if args.generated:
+        specs.extend(generate_corpus(args.generated, master_seed=args.seed))
+    if not specs:
+        raise ValidationError(
+            "pass --spec FILE, --scenario NAME, or --generated COUNT"
+        )
+    return specs
+
+
+def _cmd_corpus_generate(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.scenarios import GeneratorConfig, generate_corpus, save_spec
+
+    config = GeneratorConfig(
+        max_depth=args.max_depth,
+        service_time_family=args.family,
+        landscape=args.landscape,
+        name_prefix=args.prefix,
+    )
+    specs = generate_corpus(args.count, master_seed=args.seed, config=config)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    for spec in specs:
+        save_spec(spec, out / f"{spec.name}.spec.json")
+    print(
+        f"wrote {len(specs)} specs (seed {args.seed}, family "
+        f"{args.family}) to {out}"
+    )
+    return 0
+
+
+def _cmd_corpus_describe(args: argparse.Namespace) -> int:
+    from repro.scenarios import spec_to_chart
+
+    specs = _corpus_specs(args)
+    print(f"{'name':28s} {'states':>6s} {'depth':>5s} "
+          f"{'activities':>10s} {'arrival':>8s}")
+    for spec in specs:
+        spec_to_chart(spec)  # validates the lowering
+        print(
+            f"{spec.name:28s} {spec.state_count():6d} "
+            f"{spec.nesting_depth():5d} {len(spec.activities):10d} "
+            f"{spec.arrival.rate:8.4f}"
+        )
+    return 0
+
+
+def _cmd_corpus_assess(args: argparse.Namespace) -> int:
+    from repro.scenarios import spec_to_ctmc
+
+    specs = _corpus_specs(args)
+    print("Analytic assessment (absorbing-CTMC translation):")
+    for spec in specs:
+        model = spec_to_ctmc(spec)
+        requests = ", ".join(
+            f"{name}={value:.2f}"
+            for name, value in zip(
+                model.server_types.names, model.requests_per_instance()
+            )
+        )
+        print(
+            f"  {spec.name:28s} turnaround {model.turnaround_time():10.3f}"
+            f"  requests/instance: {requests}"
+        )
+    return 0
+
+
 def _cmd_throughput(args: argparse.Namespace) -> int:
     project = load_project(args.project)
     configuration = _parse_configuration(args.config)
@@ -521,6 +662,22 @@ def build_parser() -> argparse.ArgumentParser:
             "--project", required=True, help="project JSON file"
         )
 
+    def add_study(subparser: argparse.ArgumentParser) -> None:
+        """``--project`` or repeatable ``--spec`` (workflow-spec files)."""
+        subparser.add_argument(
+            "--project", default=None, help="project JSON file"
+        )
+        subparser.add_argument(
+            "--spec", action="append", metavar="FILE",
+            help="workflow-spec JSON (repro.scenarios.WorkflowSpec) or "
+            "WfCommons instance; repeatable, alternative to --project",
+        )
+        subparser.add_argument(
+            "--arrival-rate", type=float, default=0.0, metavar="RATE",
+            help="arrival rate for --spec files that carry none "
+            "(e.g. WfCommons imports)",
+        )
+
     assess = commands.add_parser(
         "assess", help="full assessment of one configuration"
     )
@@ -572,7 +729,7 @@ def build_parser() -> argparse.ArgumentParser:
     recommend = commands.add_parser(
         "recommend", help="search a minimum-cost configuration for goals"
     )
-    add_project(recommend)
+    add_study(recommend)
     recommend.add_argument(
         "--max-waiting", type=float, default=None,
         help="waiting-time goal (performability metric)",
@@ -633,7 +790,7 @@ def build_parser() -> argparse.ArgumentParser:
         "simulate",
         help="run the simulated WFMS against a project's workload",
     )
-    add_project(simulate)
+    add_study(simulate)
     simulate.add_argument(
         "--config", required=True,
         help="replica counts, e.g. comm-server=1,wf-engine=2",
@@ -661,7 +818,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="replicated simulation campaign with confidence intervals "
         "and analytic-model validation verdicts",
     )
-    add_project(campaign)
+    add_study(campaign)
     campaign.add_argument(
         "--config", required=True,
         help="replica counts, e.g. comm-server=1,wf-engine=2",
@@ -726,6 +883,77 @@ def build_parser() -> argparse.ArgumentParser:
         "machine-readable JSON",
     )
     monitor.set_defaults(handler=_cmd_monitor)
+
+    corpus = commands.add_parser(
+        "corpus",
+        help="generate, describe, or assess workflow-spec corpora",
+    )
+    corpus_commands = corpus.add_subparsers(
+        dest="corpus_command", required=True
+    )
+
+    corpus_generate = corpus_commands.add_parser(
+        "generate", help="write a seeded random spec corpus to a directory"
+    )
+    corpus_generate.add_argument(
+        "--count", type=int, default=10, help="number of specs to generate"
+    )
+    corpus_generate.add_argument(
+        "--seed", type=int, default=0, help="master seed of the corpus"
+    )
+    corpus_generate.add_argument(
+        "--out", required=True, metavar="DIR",
+        help="output directory for <name>.spec.json files",
+    )
+    corpus_generate.add_argument(
+        "--prefix", default="Gen", help="workflow name prefix"
+    )
+    corpus_generate.add_argument(
+        "--max-depth", type=int, default=2,
+        help="maximum nesting depth of generated structure blocks",
+    )
+    corpus_generate.add_argument(
+        "--family", choices=sorted(SERVICE_TIME_FAMILIES),
+        default="exponential",
+        help="service-time distribution family of activity durations",
+    )
+    corpus_generate.add_argument(
+        "--landscape", choices=sorted(LANDSCAPES), default="standard",
+        help="server landscape the specs are assessed on",
+    )
+    corpus_generate.set_defaults(handler=_cmd_corpus_generate)
+
+    def add_corpus_inputs(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--spec", action="append", metavar="FILE",
+            help="workflow-spec JSON or WfCommons instance (repeatable)",
+        )
+        subparser.add_argument(
+            "--scenario", action="append", metavar="NAME",
+            help="bundled scenario name, e.g. ecommerce (repeatable)",
+        )
+        subparser.add_argument(
+            "--generated", type=int, default=0, metavar="N",
+            help="include N seeded random specs",
+        )
+        subparser.add_argument(
+            "--seed", type=int, default=0,
+            help="master seed of the --generated specs",
+        )
+
+    corpus_describe = corpus_commands.add_parser(
+        "describe",
+        help="table of structural properties (validates the lowering)",
+    )
+    add_corpus_inputs(corpus_describe)
+    corpus_describe.set_defaults(handler=_cmd_corpus_describe)
+
+    corpus_assess = corpus_commands.add_parser(
+        "assess",
+        help="analytic turnaround and requests/instance per spec",
+    )
+    add_corpus_inputs(corpus_assess)
+    corpus_assess.set_defaults(handler=_cmd_corpus_assess)
 
     for subcommand in commands.choices.values():
         _add_observability_arguments(subcommand)

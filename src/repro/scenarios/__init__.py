@@ -1,0 +1,105 @@
+"""Scenario corpus: the WorkflowSpec IR, adapters, generator, registry.
+
+The scenarios package turns "add a workflow" from a code change into a
+data file.  A :class:`~repro.scenarios.spec.WorkflowSpec` declares a
+workflow's structure (sequence/branch/loop/parallel/subworkflow blocks),
+its activities, server landscape, and arrival process, and serializes to
+plain JSON; :mod:`repro.scenarios.adapters` lowers it deterministically
+to the repo's existing artifacts (state chart, CTMC, simulator inputs,
+CLI project).  :mod:`repro.scenarios.generator` produces seeded random
+specs for corpus-scale campaigns and
+:mod:`repro.scenarios.registry` names the bundled scenarios with golden
+analytic results.
+"""
+
+from repro.scenarios.adapters import (
+    region_to_chart,
+    spec_to_chart,
+    spec_to_ctmc,
+    spec_to_definition,
+    spec_to_project,
+    spec_to_registry,
+    spec_to_simulated_type,
+)
+from repro.scenarios.generator import GeneratorConfig, generate_corpus, generate_spec
+from repro.scenarios.registry import (
+    ScenarioEntry,
+    bundled_scenarios,
+    scenario,
+    scenario_names,
+)
+from repro.scenarios.spec import (
+    SPEC_SCHEMA,
+    ActivityBlock,
+    Arm,
+    ArrivalSpec,
+    Block,
+    BranchBlock,
+    CompositeBlock,
+    LoopBlock,
+    RegionSpec,
+    RoutingBlock,
+    SequenceBlock,
+    WorkflowSpec,
+    activity,
+    arm,
+    block_from_dict,
+    block_to_dict,
+    branch,
+    load_spec,
+    loop,
+    parallel,
+    region,
+    routing,
+    save_spec,
+    sequence,
+    spec_from_dict,
+    spec_to_dict,
+    spec_to_json,
+    subworkflow,
+)
+
+__all__ = [
+    "SPEC_SCHEMA",
+    "ActivityBlock",
+    "Arm",
+    "ArrivalSpec",
+    "Block",
+    "BranchBlock",
+    "CompositeBlock",
+    "GeneratorConfig",
+    "LoopBlock",
+    "RegionSpec",
+    "RoutingBlock",
+    "ScenarioEntry",
+    "SequenceBlock",
+    "WorkflowSpec",
+    "activity",
+    "arm",
+    "block_from_dict",
+    "block_to_dict",
+    "branch",
+    "bundled_scenarios",
+    "generate_corpus",
+    "generate_spec",
+    "load_spec",
+    "loop",
+    "parallel",
+    "region",
+    "region_to_chart",
+    "routing",
+    "save_spec",
+    "scenario",
+    "scenario_names",
+    "sequence",
+    "spec_from_dict",
+    "spec_to_chart",
+    "spec_to_ctmc",
+    "spec_to_definition",
+    "spec_to_dict",
+    "spec_to_json",
+    "spec_to_project",
+    "spec_to_registry",
+    "spec_to_simulated_type",
+    "subworkflow",
+]

@@ -1,0 +1,343 @@
+"""Seeded, recipe-style random workflow-spec generation.
+
+In the spirit of WfCommons' synthetic workflow recipes, this module
+grows :class:`~repro.scenarios.spec.WorkflowSpec` trees from a seeded
+:class:`random.Random` so that corpus-scale campaigns (hundreds of
+workflow types with deep nesting, wide fan-out, and heavy-tailed
+activity times) are reproducible bit-for-bit: the same
+``(master_seed, index, config)`` always yields the same spec, across
+processes and platforms (seeds derive via
+:func:`repro.sim.seeding.derive_seed`, which is hash-randomization
+free).
+
+The knobs live in :class:`GeneratorConfig`: structural depth, sequence
+lengths, branch/loop/parallel frequencies, fan-out, and the service-time
+family (``exponential``, ``lognormal``, or the heavy-tailed
+``pareto``).  Generated specs always pass chart validation: branch
+probabilities are normalized exactly, every workflow ends in a dedicated
+final routing state, and loops keep their repeat probability away
+from 1.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.core.model_types import ActivitySpec, ServerTypeIndex
+from repro.exceptions import ValidationError
+from repro.scenarios.spec import (
+    Arm,
+    ArrivalSpec,
+    Block,
+    RegionSpec,
+    WorkflowSpec,
+    activity,
+    arm,
+    branch,
+    loop,
+    parallel,
+    region,
+    routing,
+    sequence,
+    subworkflow,
+)
+from repro.sim.seeding import derive_seed
+
+#: Service-time families the generator can draw activity durations from.
+SERVICE_TIME_FAMILIES = ("exponential", "lognormal", "pareto")
+
+#: Landscape choices (resolved via :mod:`repro.workflows.common`).
+LANDSCAPES = ("standard", "extended")
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Structural and stochastic knobs of the spec generator.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum nesting depth of composite/branch/loop structures.
+    min_length / max_length:
+        Length range of the top-level (and nested) sequences, in
+        structure blocks.
+    branch_probability / loop_probability / parallel_probability /
+    subworkflow_probability:
+        Per-slot chance of growing the respective structure instead of a
+        plain activity (the remainder yields activity leaves).
+    max_fan_out:
+        Maximum branch arms and parallel regions per structure.
+    max_loop_repeat:
+        Upper bound on a loop's repeat probability (< 1 keeps the CTMC
+        absorbing).
+    service_time_family:
+        ``exponential``, ``lognormal``, or heavy-tailed ``pareto``.
+    heavy_tail_alpha:
+        Pareto shape (smaller = heavier tail; > 1 keeps the mean finite).
+    mean_service_scale:
+        Scale of the drawn activity durations (minutes).
+    interactive_probability:
+        Chance that an activity is interactive (no application-server
+        load, as in the bundled examples).
+    min_arrival_rate / max_arrival_rate:
+        Range of the spec's Poisson arrival rate.
+    landscape:
+        ``standard`` (three server types) or ``extended`` (five).
+    name_prefix:
+        Prefix of generated workflow names (``<prefix><index>``).
+    """
+
+    max_depth: int = 2
+    min_length: int = 2
+    max_length: int = 6
+    branch_probability: float = 0.25
+    loop_probability: float = 0.15
+    parallel_probability: float = 0.15
+    subworkflow_probability: float = 0.05
+    max_fan_out: int = 3
+    max_loop_repeat: float = 0.7
+    service_time_family: str = "exponential"
+    heavy_tail_alpha: float = 1.5
+    mean_service_scale: float = 10.0
+    interactive_probability: float = 0.35
+    min_arrival_rate: float = 0.01
+    max_arrival_rate: float = 0.5
+    landscape: str = "standard"
+    name_prefix: str = "Gen"
+
+    def __post_init__(self) -> None:
+        if self.service_time_family not in SERVICE_TIME_FAMILIES:
+            raise ValidationError(
+                f"unknown service-time family "
+                f"{self.service_time_family!r}; choose from "
+                f"{SERVICE_TIME_FAMILIES}"
+            )
+        if self.landscape not in LANDSCAPES:
+            raise ValidationError(
+                f"unknown landscape {self.landscape!r}; choose from "
+                f"{LANDSCAPES}"
+            )
+        if self.max_depth < 0:
+            raise ValidationError("max_depth must be >= 0")
+        if not 1 <= self.min_length <= self.max_length:
+            raise ValidationError("need 1 <= min_length <= max_length")
+        if self.max_fan_out < 2:
+            raise ValidationError("max_fan_out must be at least 2")
+        if not 0.0 < self.max_loop_repeat < 1.0:
+            raise ValidationError("max_loop_repeat must lie in (0, 1)")
+        if self.heavy_tail_alpha <= 1.0:
+            raise ValidationError(
+                "heavy_tail_alpha must exceed 1 (finite mean)"
+            )
+
+
+class _Growth:
+    """One generation run: a seeded RNG plus fresh-name counters."""
+
+    def __init__(self, rng: random.Random, config: GeneratorConfig) -> None:
+        self.rng = rng
+        self.config = config
+        self.activities: list[ActivitySpec] = []
+        self._counters: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Names and activities
+    # ------------------------------------------------------------------
+    def fresh(self, kind: str) -> str:
+        """A fresh name of the given kind (``Act3``, ``Par1_S``, ...)."""
+        index = self._counters.get(kind, 0) + 1
+        self._counters[kind] = index
+        return f"{kind}{index}"
+
+    def _draw_duration(self) -> float:
+        config = self.config
+        family = config.service_time_family
+        if family == "exponential":
+            value = self.rng.expovariate(1.0 / config.mean_service_scale)
+        elif family == "lognormal":
+            # mu chosen so that the median equals the configured scale.
+            value = self.rng.lognormvariate(
+                math.log(config.mean_service_scale), 1.0
+            )
+        else:  # pareto
+            value = (
+                config.mean_service_scale
+                * (self.rng.paretovariate(config.heavy_tail_alpha) - 1.0)
+            )
+        return max(round(value, 4), 0.01)
+
+    def new_activity(self) -> Block:
+        """Draw a fresh activity leaf and register its spec."""
+        from repro.workflows.common import (
+            automated_activity,
+            interactive_activity,
+        )
+
+        name = self.fresh("Act")
+        duration = self._draw_duration()
+        interactive = (
+            self.rng.random() < self.config.interactive_probability
+        )
+        maker = interactive_activity if interactive else automated_activity
+        self.activities.append(maker(name, duration))
+        return activity(name)
+
+    # ------------------------------------------------------------------
+    # Structure growth
+    # ------------------------------------------------------------------
+    def grow_sequence(self, depth: int) -> Block:
+        """A sequence of grown slots, starting with a plain leaf."""
+        config = self.config
+        length = self.rng.randint(config.min_length, config.max_length)
+        blocks: list[Block] = [self.new_activity()]
+        for _ in range(length - 1):
+            blocks.extend(self.grow_slot(depth))
+        return sequence(*blocks)
+
+    def grow_slot(self, depth: int) -> list[Block]:
+        """One sequence slot: an activity or a nested structure."""
+        config = self.config
+        roll = self.rng.random()
+        if depth >= config.max_depth:
+            return [self.new_activity()]
+        threshold = config.branch_probability
+        if roll < threshold:
+            return self.grow_branch(depth)
+        threshold += config.loop_probability
+        if roll < threshold:
+            return [self.grow_loop(depth)]
+        threshold += config.parallel_probability
+        if roll < threshold:
+            return [self.grow_parallel(depth)]
+        threshold += config.subworkflow_probability
+        if roll < threshold:
+            return [self.grow_subworkflow(depth)]
+        return [self.new_activity()]
+
+    def grow_branch(self, depth: int) -> list[Block]:
+        """A leaf followed by probabilistic alternatives that re-join."""
+        fan_out = self.rng.randint(2, self.config.max_fan_out)
+        probabilities = self._probabilities(fan_out)
+        arms: list[Arm] = []
+        for probability in probabilities:
+            # Arms may be empty (skip straight to the join) or hold a
+            # short grown sequence.
+            if self.rng.random() < 0.25:
+                arms.append(arm(probability=probability))
+            else:
+                arms.append(arm(
+                    self.grow_sequence(depth + 1),
+                    probability=probability,
+                ))
+        return [self.new_activity(), branch(*arms)]
+
+    def grow_loop(self, depth: int) -> Block:
+        """A repeating body with an optional loop-section activity."""
+        repeat = self.rng.uniform(0.05, self.config.max_loop_repeat)
+        section = (
+            self.new_activity() if self.rng.random() < 0.5 else None
+        )
+        return loop(
+            self.new_activity(),
+            arm(section, probability=repeat, next="loop"),
+            arm(probability=1.0 - repeat),
+        )
+
+    def grow_parallel(self, depth: int) -> Block:
+        """A composite state with parallel regions."""
+        fan_out = self.rng.randint(2, self.config.max_fan_out)
+        state = self.fresh("Par") + "_S"
+        return parallel(
+            state,
+            *(self.grow_region(depth) for _ in range(fan_out)),
+        )
+
+    def grow_subworkflow(self, depth: int) -> Block:
+        """A composite state nesting a single subworkflow region."""
+        return subworkflow(
+            self.fresh("Sub") + "_S", self.grow_region(depth)
+        )
+
+    def grow_region(self, depth: int) -> RegionSpec:
+        """One region: a nested sequence one level deeper.
+
+        A fresh terminal activity is appended so the region chart always
+        has a unique final state even when the grown sequence ends in a
+        branch or loop.
+        """
+        grown = self.grow_sequence(depth + 1)
+        return region(
+            self.fresh("Region") + "_SC",
+            sequence(*grown.blocks, self.new_activity()),
+        )
+
+    def _probabilities(self, fan_out: int) -> list[float]:
+        weights = [self.rng.random() + 0.1 for _ in range(fan_out)]
+        total = sum(weights)
+        probabilities = [weight / total for weight in weights[:-1]]
+        # The last arm takes the exact remainder so the distribution sums
+        # to 1.0 in floating point (chart validation checks 1e-9).
+        probabilities.append(1.0 - sum(probabilities))
+        return probabilities
+
+
+def generate_spec(
+    master_seed: int,
+    index: int = 0,
+    config: GeneratorConfig | None = None,
+    name: str | None = None,
+    server_types: ServerTypeIndex | None = None,
+) -> WorkflowSpec:
+    """Generate one deterministic random spec.
+
+    The RNG seed derives from ``(master_seed, "scenario-spec", index)``
+    via SHA-256, so the result is identical across processes, platforms,
+    and hash-randomization settings.
+    """
+    config = config if config is not None else GeneratorConfig()
+    rng = random.Random(derive_seed(master_seed, "scenario-spec", index))
+    growth = _Growth(rng, config)
+    body_blocks = [growth.grow_sequence(0)]
+    exit_state = f"{config.name_prefix}{index}_EXIT_S"
+    body = sequence(*body_blocks, routing(exit_state, 0.1))
+    arrival = ArrivalSpec(rate=round(
+        rng.uniform(config.min_arrival_rate, config.max_arrival_rate), 6
+    ))
+    if server_types is None:
+        from repro.workflows.common import (
+            extended_server_types,
+            standard_server_types,
+        )
+
+        server_types = (
+            extended_server_types()
+            if config.landscape == "extended"
+            else standard_server_types()
+        )
+    return WorkflowSpec(
+        name=name if name is not None else f"{config.name_prefix}{index}",
+        body=body,
+        activities=tuple(growth.activities),
+        server_types=server_types,
+        arrival=arrival,
+    )
+
+
+def generate_corpus(
+    count: int,
+    master_seed: int = 0,
+    config: GeneratorConfig | None = None,
+) -> tuple[WorkflowSpec, ...]:
+    """Generate a deterministic corpus of ``count`` specs.
+
+    Spec ``i`` depends only on ``(master_seed, i, config)`` — generating
+    a larger corpus with the same master seed extends a smaller one
+    without changing its existing members.
+    """
+    if count < 1:
+        raise ValidationError("corpus size must be at least 1")
+    return tuple(
+        generate_spec(master_seed, index, config) for index in range(count)
+    )

@@ -1,0 +1,138 @@
+"""Named scenario registry with golden analytic results.
+
+Maps scenario names to the bundled example
+:class:`~repro.scenarios.spec.WorkflowSpec` factories, together with
+*golden* analytic results (expected turnaround time and expected server
+requests per instance, computed from the absorbing-CTMC translation on
+the scenario's own landscape).  The goldens pin the whole lowering
+pipeline: ``tests/scenarios/test_registry.py`` recomputes them from
+scratch and asserts exact equality, so any drift in the IR, the
+lowering, or the CTMC translation is caught immediately.
+
+The example factories live in :mod:`repro.workflows`, which itself
+builds on the scenarios package; imports are deferred to call time to
+keep the dependency one-way at import time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.exceptions import ValidationError
+from repro.scenarios.adapters import spec_to_ctmc
+from repro.scenarios.spec import WorkflowSpec
+
+
+@dataclass(frozen=True)
+class ScenarioEntry:
+    """One named scenario: spec factory plus golden analytic results."""
+
+    name: str
+    description: str
+    factory: Callable[[], WorkflowSpec]
+    golden_turnaround: float
+    golden_requests: tuple[float, ...]
+
+    def spec(self) -> WorkflowSpec:
+        """Build the scenario's workflow spec."""
+        return self.factory()
+
+    def analytic_results(self) -> tuple[float, tuple[float, ...]]:
+        """Recompute (turnaround, per-type requests) from the spec."""
+        model = spec_to_ctmc(self.spec())
+        return (
+            model.turnaround_time(),
+            tuple(model.requests_per_instance()),
+        )
+
+
+def bundled_scenarios() -> tuple[ScenarioEntry, ...]:
+    """The five bundled example scenarios, with golden results."""
+    from repro.workflows.ecommerce import ecommerce_spec
+    from repro.workflows.insurance import insurance_spec
+    from repro.workflows.loan import loan_spec
+    from repro.workflows.order_processing import order_processing_spec
+    from repro.workflows.travel import travel_spec
+
+    return (
+        ScenarioEntry(
+            name="ecommerce",
+            description=(
+                "The paper's electronic purchase (EP) workflow: parallel "
+                "notify/delivery subworkflows and an invoice reminder loop"
+            ),
+            factory=ecommerce_spec,
+            golden_turnaround=81.36571428571429,
+            golden_requests=(
+                15.541714285714287,
+                23.31257142857143,
+                15.778285714285715,
+            ),
+        ),
+        ScenarioEntry(
+            name="order_processing",
+            description=(
+                "Flat TPC-C-flavoured order pipeline with a rejection "
+                "branch and payment retries"
+            ),
+            factory=order_processing_spec,
+            golden_turnaround=29.56111111111111,
+            golden_requests=(
+                11.7,
+                17.549999999999997,
+                11.7,
+            ),
+        ),
+        ScenarioEntry(
+            name="insurance",
+            description=(
+                "Long-running claim handling with a documents loop and a "
+                "parallel assessment phase"
+            ),
+            factory=insurance_spec,
+            golden_turnaround=283.26666666666665,
+            golden_requests=(17.333333333333332, 26.0, 13.0),
+        ),
+        ScenarioEntry(
+            name="loan",
+            description=(
+                "Loan approval spread over the extended five-type server "
+                "landscape with an escalation loop"
+            ),
+            factory=loan_spec,
+            golden_turnaround=171.96666666666664,
+            golden_requests=(
+                16.266666666666666,
+                18.4,
+                8.2,
+                6.0,
+                3.0,
+            ),
+        ),
+        ScenarioEntry(
+            name="travel",
+            description=(
+                "Cross-organization travel booking: three parallel "
+                "bookings with a cancellation branch"
+            ),
+            factory=travel_spec,
+            golden_turnaround=60.79999999999999,
+            golden_requests=(18.3, 27.450000000000003, 21.0),
+        ),
+    )
+
+
+def scenario_names() -> tuple[str, ...]:
+    """Names of all registered scenarios."""
+    return tuple(entry.name for entry in bundled_scenarios())
+
+
+def scenario(name: str) -> ScenarioEntry:
+    """Look up one scenario by name (raises on unknown names)."""
+    for entry in bundled_scenarios():
+        if entry.name == name:
+            return entry
+    raise ValidationError(
+        f"unknown scenario {name!r}; registered: {list(scenario_names())}"
+    )

@@ -9,9 +9,15 @@
   process with a documents loop and a parallel assessment phase.
 * :mod:`repro.workflows.loan` — a loan approval spread over the extended
   five-type server landscape.
+* :mod:`repro.workflows.travel` — a cross-organization travel booking
+  with three parallel bookings and a cancellation branch.
 
 All workflows share the server-type landscape and per-activity request
-counts of :mod:`repro.workflows.common` (Figure 1 / Section 5.2).
+counts of :mod:`repro.workflows.common` (Figure 1 / Section 5.2).  Each
+module expresses its workflow as a declarative
+:class:`~repro.scenarios.spec.WorkflowSpec` (the ``*_spec()`` factory);
+charts and model-layer definitions are lowered from the spec via
+:mod:`repro.scenarios.adapters`.
 """
 
 from repro.workflows.common import (
@@ -28,26 +34,31 @@ from repro.workflows.common import (
 from repro.workflows.ecommerce import (
     ecommerce_activities,
     ecommerce_chart,
+    ecommerce_spec,
     ecommerce_workflow,
 )
 from repro.workflows.insurance import (
     insurance_activities,
     insurance_chart,
+    insurance_spec,
     insurance_workflow,
 )
 from repro.workflows.loan import (
     loan_activities,
     loan_chart,
+    loan_spec,
     loan_workflow,
 )
 from repro.workflows.order_processing import (
     order_processing_activities,
     order_processing_chart,
+    order_processing_spec,
     order_processing_workflow,
 )
 from repro.workflows.travel import (
     travel_activities,
     travel_chart,
+    travel_spec,
     travel_workflow,
 )
 
@@ -60,20 +71,25 @@ __all__ = [
     "automated_activity",
     "ecommerce_activities",
     "ecommerce_chart",
+    "ecommerce_spec",
     "ecommerce_workflow",
     "extended_server_types",
     "insurance_activities",
     "insurance_chart",
+    "insurance_spec",
     "insurance_workflow",
     "interactive_activity",
     "loan_activities",
     "loan_chart",
+    "loan_spec",
     "loan_workflow",
     "order_processing_activities",
     "order_processing_chart",
+    "order_processing_spec",
     "order_processing_workflow",
     "standard_server_types",
     "travel_activities",
     "travel_chart",
+    "travel_spec",
     "travel_workflow",
 ]

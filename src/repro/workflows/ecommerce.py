@@ -17,19 +17,41 @@ values below are this reproduction's documented choices.  They are chosen
 to be *internally consistent*: the probability of paying by credit card
 given that shipment is reached equals
 ``P(card) * P(card ok) / (P(card) * P(card ok) + P(no card))``.
+
+The workflow is expressed as a declarative
+:class:`~repro.scenarios.spec.WorkflowSpec` (:func:`ecommerce_spec`); the
+chart and model-layer artifacts are lowered from it.
 """
 
 from __future__ import annotations
 
 from repro.core.model_types import ActivitySpec
 from repro.core.workflow_model import WorkflowDefinition
-from repro.spec.builder import StateChartBuilder
+from repro.scenarios.adapters import (
+    region_to_chart,
+    spec_to_chart,
+    spec_to_definition,
+)
+from repro.scenarios.spec import (
+    ArrivalSpec,
+    RegionSpec,
+    WorkflowSpec,
+    activity,
+    arm,
+    branch,
+    loop,
+    parallel,
+    region,
+    routing,
+    sequence,
+)
 from repro.spec.events import Not, Var
 from repro.spec.statechart import StateChart
-from repro.spec.translator import ActivityRegistry, translate_chart
+from repro.spec.translator import ActivityRegistry
 from repro.workflows.common import (
     automated_activity,
     interactive_activity,
+    standard_server_types,
 )
 
 # ----------------------------------------------------------------------
@@ -67,10 +89,13 @@ DURATION_INVOICE_PAYMENT = 30.0
 DURATION_SEND_REMINDER = 2.0
 DURATION_EXIT = 0.1
 
+#: Default arrival rate in the benchmark mixes (``init-demo`` uses it).
+ARRIVAL_RATE = 0.4
 
-def ecommerce_activities() -> ActivityRegistry:
-    """Activity catalogue of the EP workflow (Figure-1 request counts)."""
-    activities: list[ActivitySpec] = [
+
+def _activity_specs() -> tuple[ActivitySpec, ...]:
+    """The EP activities with Figure-1 request counts."""
+    return (
         interactive_activity("NewOrder", DURATION_NEW_ORDER),
         automated_activity("CreditCardCheck", DURATION_CREDIT_CARD_CHECK),
         automated_activity(
@@ -86,46 +111,108 @@ def ecommerce_activities() -> ActivityRegistry:
         ),
         interactive_activity("InvoicePayment", DURATION_INVOICE_PAYMENT),
         automated_activity("SendReminder", DURATION_SEND_REMINDER),
-    ]
-    return ActivityRegistry({spec.name: spec for spec in activities})
-
-
-def notify_subchart() -> StateChart:
-    """``Notify_SC``: prepare and send the customer notification."""
-    return (
-        StateChartBuilder("Notify_SC")
-        .activity_state("PrepareNotification")
-        .activity_state("SendNotification")
-        .initial("PrepareNotification")
-        .transition("PrepareNotification", "SendNotification",
-                    event="PrepareNotification_DONE")
-        .build()
     )
 
 
-def delivery_subchart() -> StateChart:
+def ecommerce_activities() -> ActivityRegistry:
+    """Activity catalogue of the EP workflow (Figure-1 request counts)."""
+    return ActivityRegistry(
+        {spec.name: spec for spec in _activity_specs()}
+    )
+
+
+def _notify_region() -> RegionSpec:
+    """``Notify_SC``: prepare and send the customer notification."""
+    return region(
+        "Notify_SC",
+        sequence(
+            activity("PrepareNotification"),
+            activity("SendNotification"),
+        ),
+    )
+
+
+def _delivery_region() -> RegionSpec:
     """``Delivery_SC``: stock check, optional reorder, shipping, billing."""
-    return (
-        StateChartBuilder("Delivery_SC")
-        .activity_state("CheckStock")
-        .activity_state("Reorder")
-        .activity_state("Ship")
-        .activity_state("UpdateBilling")
-        .initial("CheckStock")
-        .transition("CheckStock", "Ship", event="CheckStock_DONE",
-                    guard=Var("InStock"),
-                    probability=1.0 - P_OUT_OF_STOCK)
-        .transition("CheckStock", "Reorder", event="CheckStock_DONE",
-                    guard=Not(Var("InStock")),
-                    probability=P_OUT_OF_STOCK)
-        .transition("Reorder", "Ship", event="Reorder_DONE")
-        .transition("Ship", "UpdateBilling", event="Ship_DONE")
-        .build()
+    return region(
+        "Delivery_SC",
+        sequence(
+            activity("CheckStock"),
+            branch(
+                arm(guard=Var("InStock"),
+                    probability=1.0 - P_OUT_OF_STOCK),
+                arm(activity("Reorder"), guard=Not(Var("InStock")),
+                    probability=P_OUT_OF_STOCK),
+            ),
+            activity("Ship"),
+            activity("UpdateBilling"),
+        ),
+    )
+
+
+def notify_subchart() -> StateChart:
+    """``Notify_SC`` lowered to a standalone state chart."""
+    return region_to_chart(_notify_region())
+
+
+def delivery_subchart() -> StateChart:
+    """``Delivery_SC`` lowered to a standalone state chart."""
+    return region_to_chart(_delivery_region())
+
+
+def ecommerce_spec() -> WorkflowSpec:
+    """The EP workflow as a declarative spec (Figure 3's structure)."""
+    return WorkflowSpec(
+        name="EP",
+        body=sequence(
+            activity("NewOrder"),
+            branch(
+                arm(
+                    sequence(
+                        activity("CreditCardCheck"),
+                        branch(
+                            arm(guard=Var("CardProblem"),
+                                probability=P_CARD_PROBLEM,
+                                next="final"),
+                            arm(guard=Not(Var("CardProblem")),
+                                probability=1.0 - P_CARD_PROBLEM),
+                        ),
+                    ),
+                    guard=Var("PayByCreditCard"),
+                    probability=P_PAY_BY_CARD,
+                ),
+                arm(guard=Not(Var("PayByCreditCard")),
+                    probability=1.0 - P_PAY_BY_CARD),
+            ),
+            parallel("Shipment_S", _notify_region(), _delivery_region()),
+            branch(
+                arm(activity("CreditCardPayment"),
+                    guard=Var("PayByCreditCard"),
+                    probability=P_CARD_AFTER_SHIPMENT),
+                arm(
+                    loop(
+                        activity("InvoicePayment"),
+                        arm(guard=Var("InvoicePaid"),
+                            probability=1.0 - P_REMINDER),
+                        arm(activity("SendReminder"),
+                            guard=Not(Var("InvoicePaid")),
+                            probability=P_REMINDER,
+                            next="loop"),
+                    ),
+                    guard=Not(Var("PayByCreditCard")),
+                    probability=1.0 - P_CARD_AFTER_SHIPMENT,
+                ),
+            ),
+            routing("EP_EXIT_S", DURATION_EXIT),
+        ),
+        activities=_activity_specs(),
+        server_types=standard_server_types(),
+        arrival=ArrivalSpec(rate=ARRIVAL_RATE),
     )
 
 
 def ecommerce_chart() -> StateChart:
-    """The top-level EP state chart (Figure 3).
+    """The top-level EP state chart (Figure 3), lowered from the spec.
 
     Seven top-level states — ``NewOrder``, ``CreditCardCheck``,
     ``Shipment_S`` (hosting the two parallel subworkflows),
@@ -133,53 +220,9 @@ def ecommerce_chart() -> StateChart:
     ``EP_EXIT_S`` — matching Figure 4's "seven further states" besides
     the absorbing state.
     """
-    return (
-        StateChartBuilder("EP")
-        .activity_state("NewOrder")
-        .activity_state("CreditCardCheck")
-        .nested_state("Shipment_S", notify_subchart(), delivery_subchart())
-        .activity_state("CreditCardPayment")
-        .activity_state("InvoicePayment")
-        .activity_state("SendReminder")
-        .routing_state("EP_EXIT_S", mean_duration=DURATION_EXIT)
-        .initial("NewOrder")
-        .transition("NewOrder", "CreditCardCheck",
-                    event="NewOrder_DONE", guard=Var("PayByCreditCard"),
-                    probability=P_PAY_BY_CARD)
-        .transition("NewOrder", "Shipment_S",
-                    event="NewOrder_DONE",
-                    guard=Not(Var("PayByCreditCard")),
-                    probability=1.0 - P_PAY_BY_CARD)
-        .transition("CreditCardCheck", "EP_EXIT_S",
-                    event="CreditCardCheck_DONE",
-                    guard=Var("CardProblem"),
-                    probability=P_CARD_PROBLEM)
-        .transition("CreditCardCheck", "Shipment_S",
-                    event="CreditCardCheck_DONE",
-                    guard=Not(Var("CardProblem")),
-                    probability=1.0 - P_CARD_PROBLEM)
-        .transition("Shipment_S", "CreditCardPayment",
-                    guard=Var("PayByCreditCard"),
-                    probability=P_CARD_AFTER_SHIPMENT)
-        .transition("Shipment_S", "InvoicePayment",
-                    guard=Not(Var("PayByCreditCard")),
-                    probability=1.0 - P_CARD_AFTER_SHIPMENT)
-        .transition("CreditCardPayment", "EP_EXIT_S",
-                    event="CreditCardPayment_DONE")
-        .transition("InvoicePayment", "EP_EXIT_S",
-                    event="InvoicePayment_DONE",
-                    guard=Var("InvoicePaid"),
-                    probability=1.0 - P_REMINDER)
-        .transition("InvoicePayment", "SendReminder",
-                    event="InvoicePayment_DONE",
-                    guard=Not(Var("InvoicePaid")),
-                    probability=P_REMINDER)
-        .transition("SendReminder", "InvoicePayment",
-                    event="SendReminder_DONE")
-        .build()
-    )
+    return spec_to_chart(ecommerce_spec())
 
 
 def ecommerce_workflow() -> WorkflowDefinition:
     """The EP workflow translated into the model layer (Figure 4)."""
-    return translate_chart(ecommerce_chart(), ecommerce_activities())
+    return spec_to_definition(ecommerce_spec())

@@ -5,16 +5,40 @@ assessment phase — the "enterprise-wide business process" archetype of
 the paper's introduction (the second author's affiliation being a bank is
 no accident).  Used in benchmark mixes to stress turnaround-time-driven
 load (Little's law keeps many instances concurrently active).
+
+Expressed as a declarative :class:`~repro.scenarios.spec.WorkflowSpec`
+(:func:`insurance_spec`); chart and model lower from it.
 """
 
 from __future__ import annotations
 
+from repro.core.model_types import ActivitySpec
 from repro.core.workflow_model import WorkflowDefinition
-from repro.spec.builder import StateChartBuilder
+from repro.scenarios.adapters import (
+    region_to_chart,
+    spec_to_chart,
+    spec_to_definition,
+)
+from repro.scenarios.spec import (
+    ArrivalSpec,
+    RegionSpec,
+    WorkflowSpec,
+    activity,
+    arm,
+    branch,
+    loop,
+    parallel,
+    region,
+    sequence,
+)
 from repro.spec.events import Not, Var
 from repro.spec.statechart import StateChart
-from repro.spec.translator import ActivityRegistry, translate_chart
-from repro.workflows.common import automated_activity, interactive_activity
+from repro.spec.translator import ActivityRegistry
+from repro.workflows.common import (
+    automated_activity,
+    interactive_activity,
+    standard_server_types,
+)
 
 #: Probability that submitted documents are incomplete (loop back).
 P_DOCUMENTS_MISSING = 0.25
@@ -32,10 +56,13 @@ DURATION_PAY = 3.0
 DURATION_REJECT_LETTER = 10.0
 DURATION_CLOSE = 0.5
 
+#: Default arrival rate in the benchmark mixes (documented choice).
+ARRIVAL_RATE = 0.05
 
-def insurance_activities() -> ActivityRegistry:
-    """Activity catalogue of the claim-handling workflow."""
-    activities = [
+
+def _activity_specs() -> tuple[ActivitySpec, ...]:
+    """The claim-handling activities with Figure-1 request counts."""
+    return (
         interactive_activity("RegisterClaim", DURATION_REGISTER),
         automated_activity("CheckCoverage", DURATION_CHECK_COVERAGE),
         interactive_activity(
@@ -50,73 +77,81 @@ def insurance_activities() -> ActivityRegistry:
         automated_activity("PayClaim", DURATION_PAY),
         automated_activity("RejectLetter", DURATION_REJECT_LETTER),
         automated_activity("CloseClaim", DURATION_CLOSE),
-    ]
-    return ActivityRegistry({spec.name: spec for spec in activities})
-
-
-def inspection_subchart() -> StateChart:
-    """Physical assessment: damage inspection, then witness review."""
-    return (
-        StateChartBuilder("Inspection_SC")
-        .activity_state("DamageInspection")
-        .activity_state("WitnessReview")
-        .initial("DamageInspection")
-        .transition("DamageInspection", "WitnessReview",
-                    event="DamageInspection_DONE")
-        .build()
     )
 
 
-def fraud_subchart() -> StateChart:
+def insurance_activities() -> ActivityRegistry:
+    """Activity catalogue of the claim-handling workflow."""
+    return ActivityRegistry(
+        {spec.name: spec for spec in _activity_specs()}
+    )
+
+
+def _inspection_region() -> RegionSpec:
+    """Physical assessment: damage inspection, then witness review."""
+    return region(
+        "Inspection_SC",
+        sequence(
+            activity("DamageInspection"),
+            activity("WitnessReview"),
+        ),
+    )
+
+
+def _fraud_region() -> RegionSpec:
     """Automated fraud scoring, running in parallel to the inspection."""
-    return (
-        StateChartBuilder("Fraud_SC")
-        .activity_state("FraudScoring")
-        .initial("FraudScoring")
-        .build()
+    return region("Fraud_SC", activity("FraudScoring"))
+
+
+def inspection_subchart() -> StateChart:
+    """``Inspection_SC`` lowered to a standalone state chart."""
+    return region_to_chart(_inspection_region())
+
+
+def fraud_subchart() -> StateChart:
+    """``Fraud_SC`` lowered to a standalone state chart."""
+    return region_to_chart(_fraud_region())
+
+
+def insurance_spec() -> WorkflowSpec:
+    """Register -> coverage check (documents loop) -> parallel assessment
+    -> decision -> pay or reject -> close."""
+    return WorkflowSpec(
+        name="InsuranceClaim",
+        body=sequence(
+            activity("RegisterClaim"),
+            loop(
+                activity("CheckCoverage"),
+                arm(activity("RequestDocuments"),
+                    guard=Var("DocumentsMissing"),
+                    probability=P_DOCUMENTS_MISSING,
+                    next="loop"),
+                arm(guard=Not(Var("DocumentsMissing")),
+                    probability=1.0 - P_DOCUMENTS_MISSING),
+            ),
+            parallel(
+                "Assessment_S", _inspection_region(), _fraud_region()
+            ),
+            activity("DecideClaim"),
+            branch(
+                arm(activity("PayClaim"), guard=Var("Approved"),
+                    probability=P_APPROVE),
+                arm(activity("RejectLetter"), guard=Not(Var("Approved")),
+                    probability=1.0 - P_APPROVE),
+            ),
+            activity("CloseClaim"),
+        ),
+        activities=_activity_specs(),
+        server_types=standard_server_types(),
+        arrival=ArrivalSpec(rate=ARRIVAL_RATE),
     )
 
 
 def insurance_chart() -> StateChart:
-    """Register -> coverage check (documents loop) -> parallel assessment
-    -> decision -> pay or reject -> close."""
-    return (
-        StateChartBuilder("InsuranceClaim")
-        .activity_state("RegisterClaim")
-        .activity_state("CheckCoverage")
-        .activity_state("RequestDocuments")
-        .nested_state("Assessment_S", inspection_subchart(), fraud_subchart())
-        .activity_state("DecideClaim")
-        .activity_state("PayClaim")
-        .activity_state("RejectLetter")
-        .activity_state("CloseClaim")
-        .initial("RegisterClaim")
-        .transition("RegisterClaim", "CheckCoverage",
-                    event="RegisterClaim_DONE")
-        .transition("CheckCoverage", "RequestDocuments",
-                    event="CheckCoverage_DONE",
-                    guard=Var("DocumentsMissing"),
-                    probability=P_DOCUMENTS_MISSING)
-        .transition("CheckCoverage", "Assessment_S",
-                    event="CheckCoverage_DONE",
-                    guard=Not(Var("DocumentsMissing")),
-                    probability=1.0 - P_DOCUMENTS_MISSING)
-        .transition("RequestDocuments", "CheckCoverage",
-                    event="RequestDocuments_DONE")
-        .transition("Assessment_S", "DecideClaim")
-        .transition("DecideClaim", "PayClaim",
-                    event="DecideClaim_DONE", guard=Var("Approved"),
-                    probability=P_APPROVE)
-        .transition("DecideClaim", "RejectLetter",
-                    event="DecideClaim_DONE", guard=Not(Var("Approved")),
-                    probability=1.0 - P_APPROVE)
-        .transition("PayClaim", "CloseClaim", event="PayClaim_DONE")
-        .transition("RejectLetter", "CloseClaim",
-                    event="RejectLetter_DONE")
-        .build()
-    )
+    """The claim-handling chart, lowered from the spec."""
+    return spec_to_chart(insurance_spec())
 
 
 def insurance_workflow() -> WorkflowDefinition:
     """The claim-handling workflow translated into the model layer."""
-    return translate_chart(insurance_chart(), insurance_activities())
+    return spec_to_definition(insurance_spec())

@@ -6,19 +6,39 @@ Unlike the other examples, this workflow spreads its activities over
 subworkflow runs on the second engine/application pair, modelling a
 separate organizational unit.  Exercises configurations where the
 critical server type differs per workflow type.
+
+Expressed as a declarative :class:`~repro.scenarios.spec.WorkflowSpec`
+(:func:`loan_spec`); chart and model lower from it.
 """
 
 from __future__ import annotations
 
+from repro.core.model_types import ActivitySpec
 from repro.core.workflow_model import WorkflowDefinition
-from repro.spec.builder import StateChartBuilder
+from repro.scenarios.adapters import (
+    region_to_chart,
+    spec_to_chart,
+    spec_to_definition,
+)
+from repro.scenarios.spec import (
+    ArrivalSpec,
+    RegionSpec,
+    WorkflowSpec,
+    activity,
+    arm,
+    loop,
+    parallel,
+    region,
+    sequence,
+)
 from repro.spec.events import Not, Var
 from repro.spec.statechart import StateChart
-from repro.spec.translator import ActivityRegistry, translate_chart
+from repro.spec.translator import ActivityRegistry
 from repro.workflows.common import (
     APPLICATION_SERVER_2,
     WORKFLOW_ENGINE_2,
     automated_activity,
+    extended_server_types,
     interactive_activity,
 )
 
@@ -38,10 +58,13 @@ DURATION_SIGNING = 60.0
 DURATION_DISBURSE = 2.0
 DURATION_CLOSE = 0.5
 
+#: Default arrival rate in the benchmark mixes (documented choice).
+ARRIVAL_RATE = 0.02
 
-def loan_activities() -> ActivityRegistry:
-    """Activity catalogue; credit activities live on the second pair."""
-    activities = [
+
+def _activity_specs() -> tuple[ActivitySpec, ...]:
+    """The loan activities; credit activities live on the second pair."""
+    return (
         interactive_activity("LoanApplication", DURATION_APPLICATION),
         automated_activity("Scoring", DURATION_SCORING),
         automated_activity(
@@ -60,67 +83,77 @@ def loan_activities() -> ActivityRegistry:
         interactive_activity("Signing", DURATION_SIGNING),
         automated_activity("Disburse", DURATION_DISBURSE),
         automated_activity("CloseFile", DURATION_CLOSE),
-    ]
-    return ActivityRegistry({spec.name: spec for spec in activities})
-
-
-def credit_check_subchart() -> StateChart:
-    """External credit bureau query (second engine/application pair)."""
-    return (
-        StateChartBuilder("CreditCheck_SC")
-        .activity_state("CreditBureauQuery")
-        .initial("CreditBureauQuery")
-        .build()
     )
 
 
-def risk_subchart() -> StateChart:
+def loan_activities() -> ActivityRegistry:
+    """Activity catalogue; credit activities live on the second pair."""
+    return ActivityRegistry(
+        {spec.name: spec for spec in _activity_specs()}
+    )
+
+
+def _credit_check_region() -> RegionSpec:
+    """External credit bureau query (second engine/application pair)."""
+    return region("CreditCheck_SC", activity("CreditBureauQuery"))
+
+
+def _risk_region() -> RegionSpec:
     """In-house scoring followed by collateral assessment."""
-    return (
-        StateChartBuilder("Risk_SC")
-        .activity_state("Scoring")
-        .activity_state("CollateralAssessment")
-        .initial("Scoring")
-        .transition("Scoring", "CollateralAssessment",
-                    event="Scoring_DONE")
-        .build()
+    return region(
+        "Risk_SC",
+        sequence(
+            activity("Scoring"),
+            activity("CollateralAssessment"),
+        ),
+    )
+
+
+def credit_check_subchart() -> StateChart:
+    """``CreditCheck_SC`` lowered to a standalone state chart."""
+    return region_to_chart(_credit_check_region())
+
+
+def risk_subchart() -> StateChart:
+    """``Risk_SC`` lowered to a standalone state chart."""
+    return region_to_chart(_risk_region())
+
+
+def loan_spec() -> WorkflowSpec:
+    """Application -> parallel checks -> decision (approve / reject /
+    escalate loop) -> signing -> disbursement -> close."""
+    return WorkflowSpec(
+        name="LoanApproval",
+        body=sequence(
+            activity("LoanApplication"),
+            parallel(
+                "Checks_S", _credit_check_region(), _risk_region()
+            ),
+            loop(
+                activity("LoanDecision"),
+                arm(
+                    sequence(activity("Signing"), activity("Disburse")),
+                    guard=Var("Approved"),
+                    probability=P_APPROVE,
+                ),
+                arm(activity("SeniorReview"), guard=Var("Escalated"),
+                    probability=P_ESCALATE, next="loop"),
+                arm(guard=Not(Var("Approved")),
+                    probability=1.0 - P_APPROVE - P_ESCALATE),
+            ),
+            activity("CloseFile"),
+        ),
+        activities=_activity_specs(),
+        server_types=extended_server_types(),
+        arrival=ArrivalSpec(rate=ARRIVAL_RATE),
     )
 
 
 def loan_chart() -> StateChart:
-    """Application -> parallel checks -> decision (approve / reject /
-    escalate loop) -> signing -> disbursement -> close."""
-    return (
-        StateChartBuilder("LoanApproval")
-        .activity_state("LoanApplication")
-        .nested_state("Checks_S", credit_check_subchart(), risk_subchart())
-        .activity_state("LoanDecision")
-        .activity_state("SeniorReview")
-        .activity_state("Signing")
-        .activity_state("Disburse")
-        .activity_state("CloseFile")
-        .initial("LoanApplication")
-        .transition("LoanApplication", "Checks_S",
-                    event="LoanApplication_DONE")
-        .transition("Checks_S", "LoanDecision")
-        .transition("LoanDecision", "Signing",
-                    event="LoanDecision_DONE", guard=Var("Approved"),
-                    probability=P_APPROVE)
-        .transition("LoanDecision", "SeniorReview",
-                    event="LoanDecision_DONE", guard=Var("Escalated"),
-                    probability=P_ESCALATE)
-        .transition("LoanDecision", "CloseFile",
-                    event="LoanDecision_DONE",
-                    guard=Not(Var("Approved")),
-                    probability=1.0 - P_APPROVE - P_ESCALATE)
-        .transition("SeniorReview", "LoanDecision",
-                    event="SeniorReview_DONE")
-        .transition("Signing", "Disburse", event="Signing_DONE")
-        .transition("Disburse", "CloseFile", event="Disburse_DONE")
-        .build()
-    )
+    """The loan-approval chart, lowered from the spec."""
+    return spec_to_chart(loan_spec())
 
 
 def loan_workflow() -> WorkflowDefinition:
     """The loan-approval workflow translated into the model layer."""
-    return translate_chart(loan_chart(), loan_activities())
+    return spec_to_definition(loan_spec())

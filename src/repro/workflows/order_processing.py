@@ -6,16 +6,33 @@ flat, high-throughput order pipeline (no nesting) featuring a rejection
 branch and a payment-retry loop.  It is the second workflow type in the
 benchmark mixes, so that the aggregated load of Section 4.3 exercises
 multiple workflow types with different arrival rates.
+
+Expressed as a declarative :class:`~repro.scenarios.spec.WorkflowSpec`
+(:func:`order_processing_spec`); chart and model lower from it.
 """
 
 from __future__ import annotations
 
+from repro.core.model_types import ActivitySpec
 from repro.core.workflow_model import WorkflowDefinition
-from repro.spec.builder import StateChartBuilder
+from repro.scenarios.adapters import spec_to_chart, spec_to_definition
+from repro.scenarios.spec import (
+    ArrivalSpec,
+    WorkflowSpec,
+    activity,
+    arm,
+    branch,
+    loop,
+    sequence,
+)
 from repro.spec.events import Not, Var
 from repro.spec.statechart import StateChart
-from repro.spec.translator import ActivityRegistry, translate_chart
-from repro.workflows.common import automated_activity, interactive_activity
+from repro.spec.translator import ActivityRegistry
+from repro.workflows.common import (
+    automated_activity,
+    interactive_activity,
+    standard_server_types,
+)
 
 #: Probability that validation rejects the order outright.
 P_REJECT = 0.05
@@ -29,52 +46,68 @@ DURATION_PACK = 15.0
 DURATION_SHIP_ORDER = 10.0
 DURATION_ARCHIVE = 0.2
 
+#: Default arrival rate in the benchmark mixes (``init-demo`` uses it).
+ARRIVAL_RATE = 0.2
 
-def order_processing_activities() -> ActivityRegistry:
-    """Activity catalogue of the order-processing workflow."""
-    activities = [
+
+def _activity_specs() -> tuple[ActivitySpec, ...]:
+    """The order-processing activities with Figure-1 request counts."""
+    return (
         interactive_activity("ReceiveOrder", DURATION_RECEIVE),
         automated_activity("ValidateOrder", DURATION_VALIDATE),
         automated_activity("ProcessPayment", DURATION_PAYMENT),
         interactive_activity("PackOrder", DURATION_PACK),
         automated_activity("ShipOrder", DURATION_SHIP_ORDER),
         automated_activity("ArchiveOrder", DURATION_ARCHIVE),
-    ]
-    return ActivityRegistry({spec.name: spec for spec in activities})
+    )
+
+
+def order_processing_activities() -> ActivityRegistry:
+    """Activity catalogue of the order-processing workflow."""
+    return ActivityRegistry(
+        {spec.name: spec for spec in _activity_specs()}
+    )
+
+
+def order_processing_spec() -> WorkflowSpec:
+    """Receive -> validate -> (reject | pay -> pack -> ship) -> archive.
+
+    The reject arm jumps straight to the final ``ArchiveOrder`` state;
+    the payment-retry loop is a *self-loop* (no section block), which the
+    CTMC construction folds into the state's residence time via the
+    geometric-sojourn transform.
+    """
+    return WorkflowSpec(
+        name="OrderProcessing",
+        body=sequence(
+            activity("ReceiveOrder"),
+            activity("ValidateOrder"),
+            branch(
+                arm(guard=Var("OrderRejected"), probability=P_REJECT,
+                    next="final"),
+                arm(guard=Not(Var("OrderRejected")),
+                    probability=1.0 - P_REJECT),
+            ),
+            loop(
+                activity("ProcessPayment"),
+                arm(guard=Var("PaymentFailed"),
+                    probability=P_PAYMENT_RETRY, next="loop"),
+                arm(guard=Not(Var("PaymentFailed")),
+                    probability=1.0 - P_PAYMENT_RETRY),
+            ),
+            activity("PackOrder"),
+            activity("ShipOrder"),
+            activity("ArchiveOrder"),
+        ),
+        activities=_activity_specs(),
+        server_types=standard_server_types(),
+        arrival=ArrivalSpec(rate=ARRIVAL_RATE),
+    )
 
 
 def order_processing_chart() -> StateChart:
-    """Receive -> validate -> (reject | pay -> pack -> ship) -> archive."""
-    return (
-        StateChartBuilder("OrderProcessing")
-        .activity_state("ReceiveOrder")
-        .activity_state("ValidateOrder")
-        .activity_state("ProcessPayment")
-        .activity_state("PackOrder")
-        .activity_state("ShipOrder")
-        .activity_state("ArchiveOrder")
-        .initial("ReceiveOrder")
-        .transition("ReceiveOrder", "ValidateOrder",
-                    event="ReceiveOrder_DONE")
-        .transition("ValidateOrder", "ArchiveOrder",
-                    event="ValidateOrder_DONE", guard=Var("OrderRejected"),
-                    probability=P_REJECT)
-        .transition("ValidateOrder", "ProcessPayment",
-                    event="ValidateOrder_DONE",
-                    guard=Not(Var("OrderRejected")),
-                    probability=1.0 - P_REJECT)
-        .transition("ProcessPayment", "ProcessPayment",
-                    event="ProcessPayment_DONE",
-                    guard=Var("PaymentFailed"),
-                    probability=P_PAYMENT_RETRY)
-        .transition("ProcessPayment", "PackOrder",
-                    event="ProcessPayment_DONE",
-                    guard=Not(Var("PaymentFailed")),
-                    probability=1.0 - P_PAYMENT_RETRY)
-        .transition("PackOrder", "ShipOrder", event="PackOrder_DONE")
-        .transition("ShipOrder", "ArchiveOrder", event="ShipOrder_DONE")
-        .build()
-    )
+    """The order-processing chart, lowered from the spec."""
+    return spec_to_chart(order_processing_spec())
 
 
 def order_processing_workflow() -> WorkflowDefinition:
@@ -85,6 +118,4 @@ def order_processing_workflow() -> WorkflowDefinition:
     geometric-sojourn transform (see
     :func:`repro.core.ctmc.remove_self_loops`).
     """
-    return translate_chart(
-        order_processing_chart(), order_processing_activities()
-    )
+    return spec_to_definition(order_processing_spec())

@@ -7,16 +7,39 @@ across multiple organizations"; this workflow models that setting: three
 organizations, a confirmation step, and a cancellation/compensation
 branch that undoes the bookings when the customer rejects the offer —
 the widest parallel join in the example library.
+
+Expressed as a declarative :class:`~repro.scenarios.spec.WorkflowSpec`
+(:func:`travel_spec`); chart and model lower from it.
 """
 
 from __future__ import annotations
 
+from repro.core.model_types import ActivitySpec
 from repro.core.workflow_model import WorkflowDefinition
-from repro.spec.builder import StateChartBuilder
+from repro.scenarios.adapters import (
+    region_to_chart,
+    spec_to_chart,
+    spec_to_definition,
+)
+from repro.scenarios.spec import (
+    ArrivalSpec,
+    RegionSpec,
+    WorkflowSpec,
+    activity,
+    arm,
+    branch,
+    parallel,
+    region,
+    sequence,
+)
 from repro.spec.events import Not, Var
 from repro.spec.statechart import StateChart
-from repro.spec.translator import ActivityRegistry, translate_chart
-from repro.workflows.common import automated_activity, interactive_activity
+from repro.spec.translator import ActivityRegistry
+from repro.workflows.common import (
+    automated_activity,
+    interactive_activity,
+    standard_server_types,
+)
 
 #: Probability that the customer accepts the combined offer.
 P_ACCEPT = 0.8
@@ -35,10 +58,13 @@ DURATION_INVOICE = 2.0
 DURATION_CANCEL = 5.0
 DURATION_CLOSE = 0.2
 
+#: Default arrival rate in the benchmark mixes (documented choice).
+ARRIVAL_RATE = 0.1
 
-def travel_activities() -> ActivityRegistry:
-    """Activity catalogue of the travel-booking workflow."""
-    activities = [
+
+def _activity_specs() -> tuple[ActivitySpec, ...]:
+    """The travel-booking activities with Figure-1 request counts."""
+    return (
         interactive_activity("TravelRequest", DURATION_REQUEST),
         automated_activity("FlightSearch", DURATION_FLIGHT_SEARCH),
         automated_activity("FlightBooking", DURATION_FLIGHT_BOOK),
@@ -50,84 +76,95 @@ def travel_activities() -> ActivityRegistry:
         automated_activity("SendInvoice", DURATION_INVOICE),
         automated_activity("CancelBookings", DURATION_CANCEL),
         automated_activity("CloseTrip", DURATION_CLOSE),
-    ]
-    return ActivityRegistry({spec.name: spec for spec in activities})
+    )
+
+
+def travel_activities() -> ActivityRegistry:
+    """Activity catalogue of the travel-booking workflow."""
+    return ActivityRegistry(
+        {spec.name: spec for spec in _activity_specs()}
+    )
+
+
+def _flight_region() -> RegionSpec:
+    """Airline organization: search, then book."""
+    return region(
+        "Flight_SC",
+        sequence(activity("FlightSearch"), activity("FlightBooking")),
+    )
+
+
+def _hotel_region() -> RegionSpec:
+    """Hotel chain: search, optional negotiation round, booking."""
+    return region(
+        "Hotel_SC",
+        sequence(
+            activity("HotelSearch"),
+            branch(
+                arm(activity("RoomNegotiation"),
+                    guard=Var("NeedsNegotiation"),
+                    probability=P_NEGOTIATE),
+                arm(guard=Not(Var("NeedsNegotiation")),
+                    probability=1.0 - P_NEGOTIATE),
+            ),
+            activity("HotelBooking"),
+        ),
+    )
+
+
+def _car_region() -> RegionSpec:
+    """Car rental agency: a single automated booking."""
+    return region("Car_SC", activity("CarBooking"))
 
 
 def flight_subchart() -> StateChart:
-    """Airline organization: search, then book."""
-    return (
-        StateChartBuilder("Flight_SC")
-        .activity_state("FlightSearch")
-        .activity_state("FlightBooking")
-        .initial("FlightSearch")
-        .transition("FlightSearch", "FlightBooking",
-                    event="FlightSearch_DONE")
-        .build()
-    )
+    """``Flight_SC`` lowered to a standalone state chart."""
+    return region_to_chart(_flight_region())
 
 
 def hotel_subchart() -> StateChart:
-    """Hotel chain: search, optional negotiation round, booking."""
-    return (
-        StateChartBuilder("Hotel_SC")
-        .activity_state("HotelSearch")
-        .activity_state("RoomNegotiation")
-        .activity_state("HotelBooking")
-        .initial("HotelSearch")
-        .transition("HotelSearch", "RoomNegotiation",
-                    event="HotelSearch_DONE", guard=Var("NeedsNegotiation"),
-                    probability=P_NEGOTIATE)
-        .transition("HotelSearch", "HotelBooking",
-                    event="HotelSearch_DONE",
-                    guard=Not(Var("NeedsNegotiation")),
-                    probability=1.0 - P_NEGOTIATE)
-        .transition("RoomNegotiation", "HotelBooking",
-                    event="RoomNegotiation_DONE")
-        .build()
-    )
+    """``Hotel_SC`` lowered to a standalone state chart."""
+    return region_to_chart(_hotel_region())
 
 
 def car_subchart() -> StateChart:
-    """Car rental agency: a single automated booking."""
-    return (
-        StateChartBuilder("Car_SC")
-        .activity_state("CarBooking")
-        .initial("CarBooking")
-        .build()
+    """``Car_SC`` lowered to a standalone state chart."""
+    return region_to_chart(_car_region())
+
+
+def travel_spec() -> WorkflowSpec:
+    """Request -> three parallel bookings -> confirm -> invoice/cancel."""
+    return WorkflowSpec(
+        name="TravelBooking",
+        body=sequence(
+            activity("TravelRequest"),
+            parallel(
+                "Bookings_S",
+                _flight_region(),
+                _hotel_region(),
+                _car_region(),
+            ),
+            activity("ConfirmOffer"),
+            branch(
+                arm(activity("SendInvoice"), guard=Var("OfferAccepted"),
+                    probability=P_ACCEPT),
+                arm(activity("CancelBookings"),
+                    guard=Not(Var("OfferAccepted")),
+                    probability=1.0 - P_ACCEPT),
+            ),
+            activity("CloseTrip"),
+        ),
+        activities=_activity_specs(),
+        server_types=standard_server_types(),
+        arrival=ArrivalSpec(rate=ARRIVAL_RATE),
     )
 
 
 def travel_chart() -> StateChart:
-    """Request -> three parallel bookings -> confirm -> invoice/cancel."""
-    return (
-        StateChartBuilder("TravelBooking")
-        .activity_state("TravelRequest")
-        .nested_state(
-            "Bookings_S", flight_subchart(), hotel_subchart(), car_subchart()
-        )
-        .activity_state("ConfirmOffer")
-        .activity_state("SendInvoice")
-        .activity_state("CancelBookings")
-        .activity_state("CloseTrip")
-        .initial("TravelRequest")
-        .transition("TravelRequest", "Bookings_S",
-                    event="TravelRequest_DONE")
-        .transition("Bookings_S", "ConfirmOffer")
-        .transition("ConfirmOffer", "SendInvoice",
-                    event="ConfirmOffer_DONE", guard=Var("OfferAccepted"),
-                    probability=P_ACCEPT)
-        .transition("ConfirmOffer", "CancelBookings",
-                    event="ConfirmOffer_DONE",
-                    guard=Not(Var("OfferAccepted")),
-                    probability=1.0 - P_ACCEPT)
-        .transition("SendInvoice", "CloseTrip", event="SendInvoice_DONE")
-        .transition("CancelBookings", "CloseTrip",
-                    event="CancelBookings_DONE")
-        .build()
-    )
+    """The travel-booking chart, lowered from the spec."""
+    return spec_to_chart(travel_spec())
 
 
 def travel_workflow() -> WorkflowDefinition:
     """The travel-booking workflow translated into the model layer."""
-    return translate_chart(travel_chart(), travel_activities())
+    return spec_to_definition(travel_spec())

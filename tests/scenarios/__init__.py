@@ -1,0 +1,1 @@
+"""Tests for the scenario-corpus pipeline (WorkflowSpec IR)."""

@@ -1,0 +1,282 @@
+"""Tests for lowering WorkflowSpecs to charts, models, and projects."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.scenarios import (
+    ArrivalSpec,
+    WorkflowSpec,
+    activity,
+    arm,
+    branch,
+    loop,
+    parallel,
+    region,
+    region_to_chart,
+    routing,
+    sequence,
+    spec_to_chart,
+    spec_to_ctmc,
+    spec_to_definition,
+    spec_to_project,
+    spec_to_registry,
+    spec_to_simulated_type,
+)
+from repro.spec.events import Not, Var
+from repro.spec.validation import IssueLevel, validate_chart
+from repro.workflows import ecommerce_spec, loan_spec
+from repro.workflows.common import (
+    automated_activity,
+    extended_server_types,
+    standard_server_types,
+)
+
+
+def _linear_spec(name="Linear", rate=0.2):
+    return WorkflowSpec(
+        name=name,
+        body=sequence(
+            activity("First"),
+            activity("Second"),
+            routing("Exit_S", 0.5),
+        ),
+        activities=(
+            automated_activity("First", 3.0),
+            automated_activity("Second", 4.0),
+        ),
+        server_types=standard_server_types(),
+        arrival=ArrivalSpec(rate=rate),
+    )
+
+
+class TestSpecToChart:
+    def test_linear_chart_shape(self):
+        chart = spec_to_chart(_linear_spec())
+        assert chart.name == "Linear"
+        assert chart.initial_state == "First"
+        assert [state.name for state in chart.states] == [
+            "First", "Second", "Exit_S",
+        ]
+        assert chart.final_states == ("Exit_S",)
+
+    def test_charts_validate_cleanly(self):
+        chart = spec_to_chart(ecommerce_spec())
+        errors = [
+            issue
+            for issue in validate_chart(chart)
+            if issue.level is IssueLevel.ERROR
+        ]
+        assert errors == []
+
+    def test_branch_probabilities_annotate_transitions(self):
+        spec = WorkflowSpec(
+            name="Branchy",
+            body=sequence(
+                activity("Ask"),
+                branch(
+                    arm(block=activity("Yes"), guard=Var("ok"),
+                        probability=0.7),
+                    arm(block=activity("No"), guard=Not(Var("ok")),
+                        probability=0.3),
+                ),
+                routing("Done_S"),
+            ),
+            activities=(
+                automated_activity("Ask", 1.0),
+                automated_activity("Yes", 1.0),
+                automated_activity("No", 1.0),
+            ),
+        )
+        chart = spec_to_chart(spec)
+        probabilities = {
+            (rule.source, rule.target): rule.probability
+            for rule in chart.transitions
+            if rule.probability is not None
+        }
+        assert probabilities[("Ask", "Yes")] == pytest.approx(0.7)
+        assert probabilities[("Ask", "No")] == pytest.approx(0.3)
+
+    def test_loop_arm_returns_to_body_entry(self):
+        spec = WorkflowSpec(
+            name="Loopy",
+            body=sequence(
+                activity("Work"),
+                loop(
+                    activity("Check"),
+                    arm(guard=Var("again"), probability=0.25, next="loop"),
+                    arm(probability=0.75),
+                ),
+                routing("Done_S"),
+            ),
+            activities=(
+                automated_activity("Work", 1.0),
+                automated_activity("Check", 1.0),
+            ),
+        )
+        chart = spec_to_chart(spec)
+        edges = {(rule.source, rule.target) for rule in chart.transitions}
+        assert ("Check", "Check") in edges  # the self-repeat
+        assert ("Check", "Done_S") in edges
+
+    def test_final_arm_jumps_to_workflow_exit(self):
+        spec = WorkflowSpec(
+            name="EarlyOut",
+            body=sequence(
+                activity("Screen"),
+                branch(
+                    arm(guard=Var("reject"), probability=0.1, next="final"),
+                    arm(guard=Not(Var("reject")), probability=0.9),
+                ),
+                activity("Handle"),
+                routing("Exit_S"),
+            ),
+            activities=(
+                automated_activity("Screen", 1.0),
+                automated_activity("Handle", 1.0),
+            ),
+        )
+        chart = spec_to_chart(spec)
+        edges = {(rule.source, rule.target) for rule in chart.transitions}
+        assert ("Screen", "Exit_S") in edges
+        assert ("Screen", "Handle") in edges
+
+    def test_region_to_chart(self):
+        nested = region(
+            "Side_SC", sequence(activity("Inner"), routing("InnerDone_S"))
+        )
+        chart = region_to_chart(nested)
+        assert chart.name == "Side_SC"
+        assert chart.final_states == ("InnerDone_S",)
+
+
+class TestSpecToModels:
+    def test_definition_matches_chart_states(self):
+        spec = _linear_spec()
+        definition = spec_to_definition(spec)
+        assert definition.name == spec.name
+        assert {state.name for state in definition.states} == {
+            "First", "Second", "Exit_S",
+        }
+
+    def test_ctmc_turnaround_of_linear_spec(self):
+        model = spec_to_ctmc(_linear_spec())
+        # Sequence of independent stages: turnaround is the sum of the
+        # mean durations (3 + 4 + 0.5).
+        assert model.turnaround_time() == pytest.approx(7.5)
+
+    def test_ctmc_needs_a_landscape(self):
+        spec = WorkflowSpec(
+            name="Bare",
+            body=sequence(activity("Only"), routing("Exit_S")),
+            activities=(automated_activity("Only", 1.0),),
+        )
+        with pytest.raises(ValidationError):
+            spec_to_ctmc(spec)
+        assert spec_to_ctmc(
+            spec, server_types=standard_server_types()
+        ).turnaround_time() > 0.0
+
+    def test_registry_covers_catalogued_activities(self):
+        spec = _linear_spec()
+        registry = spec_to_registry(spec)
+        assert registry.get("First").name == "First"
+        assert registry.get("Second").name == "Second"
+
+    def test_simulated_type_uses_spec_arrival(self):
+        simulated = spec_to_simulated_type(_linear_spec(rate=0.25))
+        assert simulated.arrival_rate == pytest.approx(0.25)
+
+    def test_simulated_type_arrival_override(self):
+        simulated = spec_to_simulated_type(
+            _linear_spec(rate=0.0), arrival_rate=0.125
+        )
+        assert simulated.arrival_rate == pytest.approx(0.125)
+
+
+class TestSpecToProject:
+    def test_bundles_specs_into_a_project(self):
+        project = spec_to_project([
+            _linear_spec("One", rate=0.1),
+            _linear_spec("Two", rate=0.2),
+        ])
+        assert {w.name for w in project.workflows} == {"One", "Two"}
+        assert project.arrival_rates == {
+            "One": pytest.approx(0.1),
+            "Two": pytest.approx(0.2),
+        }
+
+    def test_zero_rate_specs_carry_no_workload(self):
+        project = spec_to_project([_linear_spec("Quiet", rate=0.0)])
+        assert project.arrival_rates == {}
+
+    def test_merges_superset_landscapes(self):
+        # Extended landscape is a superset of the standard one: the
+        # merge keeps all five types.
+        other = WorkflowSpec(
+            name="Other",
+            body=sequence(activity("Only"), routing("Exit_S")),
+            activities=(automated_activity("Only", 1.0),),
+            server_types=extended_server_types(),
+        )
+        project = spec_to_project([_linear_spec(), other])
+        assert len(project.server_types.names) == 5
+
+    def test_rejects_conflicting_landscapes(self):
+        import dataclasses
+
+        from repro.core.model_types import ServerTypeIndex
+
+        standard = standard_server_types()
+        slower = ServerTypeIndex(tuple(
+            dataclasses.replace(
+                spec,
+                mean_service_time=spec.mean_service_time * 2.0,
+                second_moment_service_time=None,
+            )
+            for spec in standard.specs
+        ))
+        conflicting = WorkflowSpec(
+            name="Other",
+            body=sequence(activity("Only"), routing("Exit_S")),
+            activities=(automated_activity("Only", 1.0),),
+            server_types=slower,
+        )
+        with pytest.raises(ValidationError):
+            spec_to_project([_linear_spec(), conflicting])
+
+    def test_rejects_empty_input(self):
+        with pytest.raises(ValidationError):
+            spec_to_project([])
+
+
+class TestLoweringErrors:
+    def test_dangling_mid_sequence_exit_is_rejected(self):
+        # A "final" arm in a spec whose body does not end in a unique
+        # final state would leave a dangling jump target.
+        body = sequence(
+            activity("A"),
+            branch(
+                arm(probability=0.5, next="final"),
+                arm(probability=0.5),
+            ),
+            parallel(
+                "P_S",
+                region("R1_SC", sequence(activity("B"))),
+                region("R2_SC", sequence(activity("C"))),
+            ),
+        )
+        spec = WorkflowSpec(
+            name="Tangled",
+            body=body,
+            activities=(
+                automated_activity("A", 1.0),
+                automated_activity("B", 1.0),
+                automated_activity("C", 1.0),
+            ),
+        )
+        chart = spec_to_chart(spec)  # still lowers: P_S is the exit
+        assert chart.final_states == ("P_S",)
+
+    def test_loan_uses_extended_landscape(self):
+        model = spec_to_ctmc(loan_spec())
+        assert len(model.server_types.names) == 5

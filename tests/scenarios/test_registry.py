@@ -1,0 +1,53 @@
+"""Golden tests for the bundled scenario registry.
+
+The registry pins the analytic results of every bundled example.  Exact
+(not approximate) equality is asserted: the lowering pipeline and the
+CTMC translation are deterministic, so any numeric drift means the IR,
+the adapters, or the translation changed behavior.
+"""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.scenarios import (
+    bundled_scenarios,
+    scenario,
+    scenario_names,
+    spec_to_chart,
+)
+
+
+class TestRegistry:
+    def test_names(self):
+        assert scenario_names() == (
+            "ecommerce", "order_processing", "insurance", "loan", "travel",
+        )
+
+    def test_lookup_by_name(self):
+        entry = scenario("ecommerce")
+        assert entry.spec().name == "EP"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValidationError):
+            scenario("nonexistent")
+
+    @pytest.mark.parametrize(
+        "entry", bundled_scenarios(), ids=lambda e: e.name
+    )
+    def test_golden_analytic_results_exactly(self, entry):
+        turnaround, requests = entry.analytic_results()
+        assert turnaround == entry.golden_turnaround
+        assert requests == entry.golden_requests
+
+    @pytest.mark.parametrize(
+        "entry", bundled_scenarios(), ids=lambda e: e.name
+    )
+    def test_specs_lower_to_single_exit_charts(self, entry):
+        chart = spec_to_chart(entry.spec())
+        assert len(chart.final_states) == 1
+
+    @pytest.mark.parametrize(
+        "entry", bundled_scenarios(), ids=lambda e: e.name
+    )
+    def test_arrival_rates_are_positive(self, entry):
+        assert entry.spec().arrival.rate > 0.0

@@ -23,7 +23,7 @@ class TestParser:
         for command in (
             "init-demo", "assess", "availability", "throughput",
             "breakdown", "sensitivity", "quantile", "recommend",
-            "simulate", "campaign", "monitor",
+            "simulate", "campaign", "monitor", "corpus",
         ):
             assert command in help_text
 

@@ -1,0 +1,78 @@
+"""Byte-equality golden tests for the bundled example workflows.
+
+The golden files under ``tests/workflows/goldens/`` were captured from
+the pre-refactor, hand-coded chart builders
+(``tools/capture_workflow_goldens.py``).  These tests rebuild every
+artifact from the declarative :mod:`repro.scenarios` WorkflowSpec IR and
+assert **byte equality**, proving the refactor is behavior-preserving
+down to state order, transition order, guard structure, probability
+annotations, and every CTMC matrix entry.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.workflow_model import build_workflow_ctmc
+from repro.io.chart_serialization import chart_to_dict
+from repro.io.serialization import workflow_to_dict
+from repro.scenarios import spec_to_chart, spec_to_definition
+from repro.workflows import (
+    ecommerce_spec,
+    extended_server_types,
+    insurance_spec,
+    loan_spec,
+    order_processing_spec,
+    standard_server_types,
+    travel_spec,
+)
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "goldens"
+
+#: ``name -> (spec factory, landscape factory)``.
+EXAMPLES = {
+    "ecommerce": (ecommerce_spec, standard_server_types),
+    "order_processing": (order_processing_spec, standard_server_types),
+    "insurance": (insurance_spec, standard_server_types),
+    "loan": (loan_spec, extended_server_types),
+    "travel": (travel_spec, standard_server_types),
+}
+
+
+def chart_golden_text(chart) -> str:
+    """Canonical golden text of one state chart."""
+    return json.dumps(chart_to_dict(chart), indent=2, sort_keys=True) + "\n"
+
+
+def model_golden_text(definition, server_types) -> str:
+    """Canonical golden text of a definition and its CTMC translation."""
+    model = build_workflow_ctmc(definition, server_types)
+    document = {
+        "definition": workflow_to_dict(definition),
+        "ctmc": {
+            "state_names": list(model.chain.state_names),
+            "initial_state": model.chain.initial_state,
+            "jump_probabilities": model.chain.jump_probabilities.tolist(),
+            "residence_times": model.chain.residence_times.tolist(),
+            "load_matrix": model.load_matrix.tolist(),
+            "server_types": list(server_types.names),
+        },
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+@pytest.mark.parametrize("name", sorted(EXAMPLES))
+class TestByteIdenticalLowering:
+    def test_chart_matches_golden(self, name):
+        spec_factory, _ = EXAMPLES[name]
+        golden = (GOLDEN_DIR / f"{name}.chart.json").read_text()
+        assert chart_golden_text(spec_to_chart(spec_factory())) == golden
+
+    def test_model_matches_golden(self, name):
+        spec_factory, types_factory = EXAMPLES[name]
+        golden = (GOLDEN_DIR / f"{name}.model.json").read_text()
+        rebuilt = model_golden_text(
+            spec_to_definition(spec_factory()), types_factory()
+        )
+        assert rebuilt == golden

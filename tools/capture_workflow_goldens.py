@@ -1,0 +1,105 @@
+"""Capture golden chart/CTMC artifacts of the bundled example workflows.
+
+Writes, for every bundled example workflow, two golden files under
+``tests/workflows/goldens/``:
+
+* ``<name>.chart.json`` — the state chart serialized through
+  :func:`repro.io.chart_serialization.chart_to_dict` (states, transitions,
+  events, guards, and probability annotations, in definition order);
+* ``<name>.model.json`` — the translated workflow definition
+  (:func:`repro.io.serialization.workflow_to_dict`) together with the full
+  CTMC translation: jump probabilities, residence times, state names,
+  initial state, and the load matrix over the workflow's server landscape.
+
+The golden tests in ``tests/workflows/test_goldens.py`` assert **byte
+equality** of these files against the artifacts derived from the
+:mod:`repro.scenarios` WorkflowSpec IR, proving that the refactor from
+hand-coded builders to declarative specs is behavior-preserving.
+
+Regenerate deliberately (only when a workflow is *meant* to change)::
+
+    PYTHONPATH=src python tools/capture_workflow_goldens.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.workflow_model import build_workflow_ctmc
+from repro.io.chart_serialization import chart_to_dict
+from repro.io.serialization import workflow_to_dict
+from repro.workflows import (
+    ecommerce_chart,
+    ecommerce_workflow,
+    extended_server_types,
+    insurance_chart,
+    insurance_workflow,
+    loan_chart,
+    loan_workflow,
+    order_processing_chart,
+    order_processing_workflow,
+    standard_server_types,
+    travel_chart,
+    travel_workflow,
+)
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / (
+    "tests/workflows/goldens"
+)
+
+#: ``name -> (chart factory, definition factory, landscape factory)``.
+EXAMPLES = {
+    "ecommerce": (ecommerce_chart, ecommerce_workflow,
+                  standard_server_types),
+    "order_processing": (order_processing_chart,
+                         order_processing_workflow,
+                         standard_server_types),
+    "insurance": (insurance_chart, insurance_workflow,
+                  standard_server_types),
+    "loan": (loan_chart, loan_workflow, extended_server_types),
+    "travel": (travel_chart, travel_workflow, standard_server_types),
+}
+
+
+def chart_golden(chart) -> str:
+    """Canonical golden text of one state chart."""
+    return json.dumps(chart_to_dict(chart), indent=2, sort_keys=True) + "\n"
+
+
+def model_golden(definition, server_types) -> str:
+    """Canonical golden text of one definition and its CTMC translation."""
+    model = build_workflow_ctmc(definition, server_types)
+    document = {
+        "definition": workflow_to_dict(definition),
+        "ctmc": {
+            "state_names": list(model.chain.state_names),
+            "initial_state": model.chain.initial_state,
+            "jump_probabilities": model.chain.jump_probabilities.tolist(),
+            "residence_times": model.chain.residence_times.tolist(),
+            "load_matrix": model.load_matrix.tolist(),
+            "server_types": list(server_types.names),
+        },
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def main() -> int:
+    """Write every golden file; prints one line per artifact."""
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for name, (chart_factory, workflow_factory, types_factory) in (
+        EXAMPLES.items()
+    ):
+        chart_path = GOLDEN_DIR / f"{name}.chart.json"
+        chart_path.write_text(chart_golden(chart_factory()))
+        print(f"wrote {chart_path}")
+        model_path = GOLDEN_DIR / f"{name}.model.json"
+        model_path.write_text(
+            model_golden(workflow_factory(), types_factory())
+        )
+        print(f"wrote {model_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
