@@ -2,7 +2,7 @@
 
 .PHONY: install test docstrings bench bench-search bench-search-parallel \
 	bench-frontier campaign bench-campaign bench-corpus bench-sim \
-	bench-monitor monitor-smoke examples all
+	bench-monitor bench-service monitor-smoke serve-smoke examples all
 
 install:
 	pip install -e . || python setup.py develop
@@ -47,8 +47,14 @@ bench-sim:
 bench-monitor:
 	PYTHONPATH=src python benchmarks/bench_monitor.py --check
 
+bench-service:
+	PYTHONPATH=src python benchmarks/bench_service.py --check
+
 monitor-smoke:
 	PYTHONPATH=src python tools/monitor_smoke.py
+
+serve-smoke:
+	PYTHONPATH=src python tools/serve_smoke.py
 
 examples:
 	PYTHONPATH=src python examples/quickstart.py

@@ -502,6 +502,69 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.service import (
+        RecommendationService,
+        SearchSettings,
+        parse_goals,
+    )
+
+    baseline = _load_study(args)
+    goals = parse_goals(args.goals)
+    settings = SearchSettings(
+        algorithm=args.algorithm,
+        frontier=args.frontier,
+        objectives=tuple(args.objectives or ()),
+        seed=args.seed,
+        max_total_servers=args.max_total_servers,
+    )
+    # The service serves /metrics itself, so instrumentation is always
+    # on for `serve` (main() only enables it for explicit flags).
+    obs.enable()
+    service = RecommendationService(
+        baseline,
+        goals,
+        settings,
+        host=args.host,
+        port=args.port,
+        window=args.window,
+        snapshot_path=args.snapshot,
+    )
+    restored = len(service.state.tenants)
+    service.start()
+    if restored:
+        print(
+            f"restored {restored} tenant(s) from {args.snapshot}",
+            file=sys.stderr,
+        )
+    print(
+        f"serving recommendations on {service.url}",
+        file=sys.stderr,
+    )
+    stop = threading.Event()
+
+    def _request_stop(signum: int, frame: object) -> None:
+        stop.set()
+
+    previous = {
+        signal.SIGINT: signal.signal(signal.SIGINT, _request_stop),
+        signal.SIGTERM: signal.signal(signal.SIGTERM, _request_stop),
+    }
+    try:
+        while not stop.is_set():
+            stop.wait(0.5)
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        service.stop()
+        if args.snapshot is not None:
+            print(f"wrote snapshot to {args.snapshot}", file=sys.stderr)
+    return 0
+
+
 def _corpus_specs(args: argparse.Namespace) -> list:
     """Resolve corpus describe/assess inputs into workflow specs.
 
@@ -883,6 +946,65 @@ def build_parser() -> argparse.ArgumentParser:
         "machine-readable JSON",
     )
     monitor.set_defaults(handler=_cmd_monitor)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the always-on recommendation service (ingests audit "
+        "events over HTTP, re-searches on drift, serves the current "
+        "recommendation)",
+    )
+    add_study(serve)
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port to bind (default: 0 = ephemeral; the announced "
+        "URL is printed to stderr)",
+    )
+    serve.add_argument(
+        "--goals", required=True, metavar="SPEC",
+        help="goal thresholds as key=value pairs, e.g. "
+        "max-waiting=0.5,max-unavailability=1e-4",
+    )
+    serve.add_argument(
+        "--snapshot", default=None, metavar="PATH",
+        help="snapshot file: restored on startup when present, "
+        "written on graceful shutdown (warm restart)",
+    )
+    serve.add_argument(
+        "--window", type=float, default=1_000.0,
+        help="sliding window (simulation time units) of the windowed "
+        "arrival-rate estimator",
+    )
+    serve.add_argument(
+        "--algorithm", choices=sorted(_SEARCHES), default="greedy",
+        help="point-search algorithm for each re-search",
+    )
+    serve.add_argument(
+        "--frontier", action="store_true",
+        help="multi-objective mode: each re-search emits the whole "
+        "Pareto frontier instead of a single recommendation",
+    )
+    serve.add_argument(
+        "--objectives", action="append", metavar="AXIS",
+        choices=[
+            "cost", "max_waiting_time", "unavailability",
+            "performability_waiting_time",
+        ],
+        help="frontier objective axis, repeatable "
+        "(default: all four axes)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0,
+        help="random seed of the frontier shotgun/restart sampling",
+    )
+    serve.add_argument(
+        "--max-total-servers", type=int, default=32,
+        help="search bound on the total number of servers",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     corpus = commands.add_parser(
         "corpus",

@@ -23,6 +23,8 @@ the batching searches); the default is in-process serial evaluation.
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.core.goals import GoalEvaluator, PerformabilityGoals
 from repro.core.performance import SystemConfiguration
 from repro.core.search.engine import SearchEngine
@@ -56,6 +58,7 @@ def greedy_configuration(
     constraints: ReplicationConstraints | None = None,
     initial: SystemConfiguration | None = None,
     executor: CandidateEvaluator | None = None,
+    stop_check: Callable[[], bool] | None = None,
 ) -> ConfigurationRecommendation:
     """The paper's greedy heuristic (Section 7.2).
 
@@ -70,7 +73,9 @@ def greedy_configuration(
     """
     constraints = constraints or ReplicationConstraints()
     strategy = GreedyStrategy(evaluator, goals, constraints, initial)
-    return SearchEngine(evaluator, goals, executor).run(strategy)
+    return SearchEngine(
+        evaluator, goals, executor, stop_check=stop_check
+    ).run(strategy)
 
 
 def exhaustive_configuration(
@@ -78,6 +83,7 @@ def exhaustive_configuration(
     goals: PerformabilityGoals,
     constraints: ReplicationConstraints | None = None,
     executor: CandidateEvaluator | None = None,
+    stop_check: Callable[[], bool] | None = None,
 ) -> ConfigurationRecommendation:
     """Exact minimum-cost configuration by enumeration in cost order.
 
@@ -86,7 +92,9 @@ def exhaustive_configuration(
     """
     constraints = constraints or ReplicationConstraints(max_total_servers=16)
     strategy = ExhaustiveStrategy(evaluator, goals, constraints)
-    return SearchEngine(evaluator, goals, executor).run(strategy)
+    return SearchEngine(
+        evaluator, goals, executor, stop_check=stop_check
+    ).run(strategy)
 
 
 def branch_and_bound_configuration(
@@ -94,6 +102,7 @@ def branch_and_bound_configuration(
     goals: PerformabilityGoals,
     constraints: ReplicationConstraints | None = None,
     executor: CandidateEvaluator | None = None,
+    stop_check: Callable[[], bool] | None = None,
 ) -> ConfigurationRecommendation:
     """Exact minimum-cost search with monotonicity-based pruning.
 
@@ -105,7 +114,9 @@ def branch_and_bound_configuration(
     """
     constraints = constraints or ReplicationConstraints(max_total_servers=32)
     strategy = BranchAndBoundStrategy(evaluator, goals, constraints)
-    return SearchEngine(evaluator, goals, executor).run(strategy)
+    return SearchEngine(
+        evaluator, goals, executor, stop_check=stop_check
+    ).run(strategy)
 
 
 def simulated_annealing_configuration(
@@ -118,6 +129,7 @@ def simulated_annealing_configuration(
     violation_penalty: float = 100.0,
     seed: int = 0,
     executor: CandidateEvaluator | None = None,
+    stop_check: Callable[[], bool] | None = None,
 ) -> ConfigurationRecommendation:
     """Simulated-annealing search over the configuration space.
 
@@ -136,4 +148,6 @@ def simulated_annealing_configuration(
         violation_penalty=violation_penalty,
         seed=seed,
     )
-    return SearchEngine(evaluator, goals, executor).run(strategy)
+    return SearchEngine(
+        evaluator, goals, executor, stop_check=stop_check
+    ).run(strategy)

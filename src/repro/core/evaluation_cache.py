@@ -163,6 +163,7 @@ class EvaluationCache:
         self.curve_misses = 0
         self.curve_points_computed = 0
         self.invalidations = 0
+        self.rebinds = 0
 
     # ------------------------------------------------------------------
     # Binding and invalidation
@@ -211,6 +212,135 @@ class EvaluationCache:
         self.invalidations += 1
         obs.count("evaluation_cache.invalidations")
         obs.event("evaluation_cache.invalidated", reason=reason)
+
+    def rebind(self, fingerprint: tuple, reason: str = "") -> dict[str, int]:
+        """Re-bind the cache to a drifted model, keeping still-valid entries.
+
+        The continuous loop's incremental alternative to
+        :meth:`invalidate`: when calibration drift changes *some* server
+        types' service moments or request totals, entries derived only
+        from unchanged inputs are still bitwise-correct and are kept:
+
+        * a waiting-time curve survives iff its type's service moments
+          and total request rate are unchanged — ``w_x(n)`` is a pure
+          function of exactly those inputs;
+        * a pool marginal survives iff its type's failure and repair
+          rates are unchanged (the birth-death chain never reads the
+          service moments); it is re-keyed under the new spec so future
+          lookups hit, with its already-solved steady-state vector
+          carried over;
+        * goal assessments are always dropped: each combines waiting
+          times and marginals across *all* types, and clearing them also
+          keeps a search's ``evaluations`` accounting identical to a
+          cold run against the re-calibrated model.
+
+        Rebinding an unbound cache degenerates to :meth:`bind`;
+        rebinding the identical fingerprint keeps everything.  Returns
+        kept/dropped entry counts for observability and tests.
+        """
+        if self._fingerprint is None or self._fingerprint == fingerprint:
+            self._fingerprint = fingerprint
+            return {
+                "curves_kept": len(self._curves),
+                "curves_dropped": 0,
+                "pools_kept": len(self._pools),
+                "pools_dropped": 0,
+                "assessments_dropped": 0,
+            }
+        old_specs, old_totals = self._fingerprint
+        new_specs, new_totals = fingerprint
+        old_by_name = {
+            spec.name: (spec, total)
+            for spec, total in zip(old_specs, old_totals)
+        }
+        new_by_name = {
+            spec.name: (spec, total)
+            for spec, total in zip(new_specs, new_totals)
+        }
+
+        curves_kept = 0
+        surviving_curves: dict[str, list[float]] = {}
+        for name, curve in self._curves.items():
+            old = old_by_name.get(name)
+            new = new_by_name.get(name)
+            if old is None or new is None:
+                continue
+            (old_spec, old_total), (new_spec, new_total) = old, new
+            if (
+                old_spec.mean_service_time == new_spec.mean_service_time
+                and old_spec.second_moment_service_time
+                == new_spec.second_moment_service_time
+                and old_total == new_total
+            ):
+                surviving_curves[name] = curve
+                curves_kept += 1
+        curves_dropped = len(self._curves) - curves_kept
+        self._curves = surviving_curves
+
+        pools_kept = 0
+        pools_dropped = 0
+        old_pool_entries = self._pools.items()
+        self._pools.clear()
+        for (old_spec, count, policy_value), pool in old_pool_entries:
+            new = new_by_name.get(old_spec.name)
+            if new is None:
+                pools_dropped += 1
+                continue
+            new_spec = new[0]
+            if (
+                old_spec.failure_rate != new_spec.failure_rate
+                or old_spec.repair_rate != new_spec.repair_rate
+            ):
+                pools_dropped += 1
+                continue
+            rekeyed = ServerPoolAvailability(
+                spec=new_spec, count=count, policy=RepairPolicy(policy_value)
+            )
+            if "state_probabilities" in pool.__dict__:
+                # Carry the already-solved marginal over; the chain
+                # depends only on (failure rate, repair rate, count,
+                # policy), all unchanged here.
+                rekeyed.__dict__["state_probabilities"] = pool.__dict__[
+                    "state_probabilities"
+                ]
+            self._pools.put((new_spec, count, policy_value), rekeyed)
+            pools_kept += 1
+
+        assessments_dropped = len(self._assessments)
+        self._assessments.clear()
+
+        self._fingerprint = fingerprint
+        self.rebinds += 1
+        obs.count("evaluation_cache.rebinds")
+        obs.event(
+            "evaluation_cache.rebound",
+            reason=reason,
+            curves_kept=curves_kept,
+            curves_dropped=curves_dropped,
+            pools_kept=pools_kept,
+            pools_dropped=pools_dropped,
+        )
+        return {
+            "curves_kept": curves_kept,
+            "curves_dropped": curves_dropped,
+            "pools_kept": pools_kept,
+            "pools_dropped": pools_dropped,
+            "assessments_dropped": assessments_dropped,
+        }
+
+    def clear_assessments(self) -> int:
+        """Drop cached goal assessments, keeping curves and marginals.
+
+        The recommendation pipeline calls this before every published
+        search so its ``evaluations`` accounting matches a cold run
+        exactly — warm curves and pool marginals are pure value caches
+        that leave the document unchanged, but a warm assessment would
+        skip an ``evaluation_count`` increment.  Returns the number of
+        dropped assessments.
+        """
+        dropped = len(self._assessments)
+        self._assessments.clear()
+        return dropped
 
     # ------------------------------------------------------------------
     # Goal assessments
@@ -372,4 +502,5 @@ class EvaluationCache:
             "waiting_curve.misses": self.curve_misses,
             "waiting_curve.points_computed": self.curve_points_computed,
             "evictions": self._assessments.evictions + self._pools.evictions,
+            "rebinds": self.rebinds,
         }

@@ -21,6 +21,10 @@ The public convenience wrappers (``greedy_configuration`` etc.) live in
 :mod:`repro.core.configuration` for API compatibility.
 """
 
+from repro.core.search.background import (
+    BackgroundSearchExecutor,
+    SearchOutcome,
+)
 from repro.core.search.candidates import (
     configurations_by_cost,
     initial_configuration,
@@ -55,6 +59,7 @@ from repro.core.search.types import (
 )
 
 __all__ = [
+    "BackgroundSearchExecutor",
     "BranchAndBoundStrategy",
     "Candidate",
     "CandidateEvaluator",
@@ -69,6 +74,7 @@ __all__ = [
     "ProcessPoolEvaluator",
     "ReplicationConstraints",
     "SearchEngine",
+    "SearchOutcome",
     "SearchStep",
     "SearchStrategy",
     "SerialEvaluator",

@@ -12,6 +12,8 @@ evaluation placement.  One loop, four algorithms, two backends.
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro import obs
 from repro.core.goals import GoalAssessment, GoalEvaluator, PerformabilityGoals
 from repro.core.search.executors import CandidateEvaluator, SerialEvaluator
@@ -20,7 +22,7 @@ from repro.core.search.types import (
     ConfigurationRecommendation,
     SearchStep,
 )
-from repro.exceptions import InfeasibleConfigurationError
+from repro.exceptions import InfeasibleConfigurationError, SearchCancelledError
 
 
 class SearchEngine:
@@ -37,10 +39,17 @@ class SearchEngine:
         evaluator: GoalEvaluator,
         goals: PerformabilityGoals,
         executor: CandidateEvaluator | None = None,
+        stop_check: Callable[[], bool] | None = None,
     ) -> None:
         self.evaluator = evaluator
         self.goals = goals
         self.executor = executor if executor is not None else SerialEvaluator()
+        #: Cooperative cancellation probe, polled at every batch
+        #: boundary; returning true raises
+        #: :class:`~repro.exceptions.SearchCancelledError`.  ``None``
+        #: (the default) never cancels, so existing callers see the
+        #: exact proposal/evaluation sequence they always did.
+        self.stop_check = stop_check
 
     def run(self, strategy: SearchStrategy) -> ConfigurationRecommendation:
         """Drive ``strategy`` to exhaustion or acceptance; recommend."""
@@ -89,8 +98,14 @@ class SearchEngine:
         self, strategy: SearchStrategy, trace: list[SearchStep]
     ) -> GoalAssessment:
         evaluator, goals, executor = self.evaluator, self.goals, self.executor
+        stop_check = self.stop_check
         limit = max(1, executor.batch_limit)
         while True:
+            if stop_check is not None and stop_check():
+                obs.count("configuration.search.cancelled")
+                raise SearchCancelledError(
+                    f"search {strategy.name!r} cancelled by stop_check"
+                )
             batch = strategy.propose(limit)
             if not batch:
                 return strategy.exhausted()

@@ -45,7 +45,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Any, Iterator, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 from repro import obs
 from repro.core.goals import GoalAssessment, GoalEvaluator, PerformabilityGoals
@@ -583,6 +583,7 @@ def frontier_search(
     seed: int = 0,
     prefix: int | None = None,
     executor: CandidateEvaluator | None = None,
+    stop_check: Callable[[], bool] | None = None,
 ) -> FrontierResult:
     """Multi-objective configuration search over the goal bounds.
 
@@ -612,9 +613,9 @@ def frontier_search(
         seed=seed,
         prefix=prefix,
     )
-    recommendation = SearchEngine(evaluator, assess_goals, executor).run(
-        strategy
-    )
+    recommendation = SearchEngine(
+        evaluator, assess_goals, executor, stop_check=stop_check
+    ).run(strategy)
     return FrontierResult(
         points=strategy.frontier.points,
         objectives=strategy.frontier.objectives,

@@ -53,3 +53,13 @@ class InfeasibleConfigurationError(ReproError):
     def __init__(self, message: str, best_found=None) -> None:
         super().__init__(message)
         self.best_found = best_found
+
+
+class SearchCancelledError(ReproError):
+    """A configuration search was cancelled before it finished.
+
+    Raised by :class:`~repro.core.search.SearchEngine` when its
+    ``stop_check`` reports true — the always-on recommendation service
+    uses this to abandon an in-flight re-search the moment newer
+    confirmed drift supersedes the calibration it was searching against.
+    """

@@ -19,6 +19,7 @@ from repro.monitor.persistence import (
     iter_trail_records,
     load_trail,
     merge_trail_files,
+    parse_record_line,
     save_trail,
 )
 from repro.monitor.calibration import (
@@ -65,5 +66,6 @@ __all__ = [
     "iter_trail_records",
     "load_trail",
     "merge_trail_files",
+    "parse_record_line",
     "save_trail",
 ]

@@ -128,6 +128,40 @@ class PageHinkleyDetector:
         self._up = 0.0
         self._down = 0.0
 
+    def export_state(self) -> dict[str, Any]:
+        """Exact JSON-serializable detector state (parameters + stats)."""
+        return {
+            "delta": self.delta,
+            "threshold": self.threshold,
+            "min_samples": self.min_samples,
+            "relative": self.relative,
+            "samples": self.samples,
+            "mean": self._mean,
+            "up": self._up,
+            "down": self._down,
+        }
+
+    @classmethod
+    def restore_state(cls, state: dict[str, Any]) -> "PageHinkleyDetector":
+        """Rebuild a detector from :meth:`export_state` output.
+
+        The restored detector continues the sample stream exactly: the
+        running mean and both one-sided statistics are carried over
+        bit-for-bit, so drift confirmations fire on the same records as
+        they would have without the snapshot/restore cycle.
+        """
+        detector = cls(
+            delta=float(state["delta"]),
+            threshold=float(state["threshold"]),
+            min_samples=int(state["min_samples"]),
+            relative=bool(state["relative"]),
+        )
+        detector.samples = int(state["samples"])
+        detector._mean = float(state["mean"])
+        detector._up = float(state["up"])
+        detector._down = float(state["down"])
+        return detector
+
 
 class CusumDetector:
     """Two-sided CUSUM against a known (calibrated) reference mean.
@@ -205,6 +239,18 @@ class DriftEvent:
             "threshold": self.threshold,
             "reference_mean": self.reference_mean,
         }
+
+    @classmethod
+    def from_document(cls, data: dict[str, Any]) -> "DriftEvent":
+        """Rebuild an event from :meth:`to_document` output."""
+        return cls(
+            kind=str(data["kind"]),
+            subject=str(data["subject"]),
+            records_seen=int(data["records_seen"]),
+            statistic=float(data["statistic"]),
+            threshold=float(data["threshold"]),
+            reference_mean=float(data["reference_mean"]),
+        )
 
     def __str__(self) -> str:
         return (
@@ -410,6 +456,105 @@ class DriftMonitor:
         if self._on_drift is not None:
             self._on_drift(event)
         return event
+
+    # ------------------------------------------------------------------
+    # Snapshot state (service warm restart)
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict[str, Any]:
+        """JSON-serializable snapshot: calibrator + every detector.
+
+        Composite detector keys are exported as lists (JSON objects
+        cannot key on tuples); detector insertion order is preserved,
+        which matters because :meth:`_observe_visit` iterates the
+        transition-indicator group in creation order.
+        """
+        return {
+            "schema": "repro.monitor.drift-state/v1",
+            "config": {
+                "delta": self.delta,
+                "threshold": self.threshold,
+                "min_samples": self.min_samples,
+                "indicator_delta": self.indicator_delta,
+                "indicator_threshold": self.indicator_threshold,
+            },
+            "calibrator": self.calibrator.export_state(),
+            "events": [event.to_document() for event in self.events],
+            "residence": [
+                [workflow, state, detector.export_state()]
+                for (workflow, state), detector in self._residence.items()
+            ],
+            "interarrival": {
+                workflow: detector.export_state()
+                for workflow, detector in self._interarrival.items()
+            },
+            "transitions": [
+                [
+                    workflow,
+                    state,
+                    {
+                        successor: detector.export_state()
+                        for successor, detector in indicators.items()
+                    },
+                ]
+                for (workflow, state), indicators in
+                self._transitions.items()
+            ],
+            "last_completion": dict(self._last_completion),
+        }
+
+    @classmethod
+    def restore_state(
+        cls,
+        state: dict[str, Any],
+        caches: Iterable[EvaluationCache] = (),
+        on_drift: Callable[["DriftEvent"], None] | None = None,
+    ) -> "DriftMonitor":
+        """Rebuild a monitor (and its calibrator) from a snapshot.
+
+        ``caches``/``on_drift`` re-attach the live wiring a snapshot
+        deliberately does not carry.  The restored monitor confirms
+        future drifts on exactly the records the original would have.
+        """
+        if state.get("schema") != "repro.monitor.drift-state/v1":
+            raise ValidationError(
+                f"unknown drift snapshot schema {state.get('schema')!r}"
+            )
+        config = state["config"]
+        monitor = cls(
+            calibrator=StreamingCalibrator.restore_state(
+                state["calibrator"]
+            ),
+            delta=float(config["delta"]),
+            threshold=float(config["threshold"]),
+            min_samples=int(config["min_samples"]),
+            indicator_delta=float(config["indicator_delta"]),
+            indicator_threshold=float(config["indicator_threshold"]),
+            caches=caches,
+            on_drift=on_drift,
+        )
+        monitor.events = [
+            DriftEvent.from_document(event) for event in state["events"]
+        ]
+        monitor._residence = {
+            (workflow, visited): PageHinkleyDetector.restore_state(detector)
+            for workflow, visited, detector in state["residence"]
+        }
+        monitor._interarrival = {
+            workflow: PageHinkleyDetector.restore_state(detector)
+            for workflow, detector in state["interarrival"].items()
+        }
+        monitor._transitions = {
+            (workflow, visited): {
+                successor: PageHinkleyDetector.restore_state(detector)
+                for successor, detector in indicators.items()
+            }
+            for workflow, visited, indicators in state["transitions"]
+        }
+        monitor._last_completion = {
+            workflow: float(value)
+            for workflow, value in state["last_completion"].items()
+        }
+        return monitor
 
     # ------------------------------------------------------------------
     # Reporting

@@ -88,6 +88,29 @@ def _build_record(
         ) from exc
 
 
+def parse_record_line(
+    line: str, line_number: int = 0
+) -> StateVisitRecord | ServiceRequestRecord | InstanceRecord:
+    """Parse one JSONL audit-record line into a validated record.
+
+    The single-record counterpart of :func:`iter_trail_records`, used by
+    the recommendation service's ``POST /events`` ingestion — the wire
+    format of an event body is exactly the on-disk trail format, so a
+    trail file can be replayed against a running service verbatim.
+    Raises :class:`~repro.exceptions.ValidationError` (tagged with
+    ``line_number``) on malformed JSON or records.
+    """
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ValidationError(
+            f"line {line_number}: invalid JSON: {exc}"
+        ) from exc
+    if not isinstance(data, dict):
+        raise ValidationError(f"line {line_number}: expected a JSON object")
+    return _build_record(data, line_number)
+
+
 def load_trail(path: str | Path) -> AuditTrail:
     """Read a JSON Lines trail file; validates every record."""
     trail = AuditTrail()

@@ -347,6 +347,123 @@ class StreamingCalibrator:
         )
 
     # ------------------------------------------------------------------
+    # Snapshot state (service warm restart)
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict[str, Any]:
+        """JSON-serializable snapshot of every accumulator, exactly.
+
+        Dictionaries are exported in insertion order (which the batch
+        parity depends on) and floats survive the JSON round-trip
+        bit-for-bit, so a calibrator rebuilt by :meth:`restore_state`
+        continues the stream exactly where this one stopped: feeding the
+        remaining records produces estimates bitwise identical to never
+        having snapshotted at all.  This is what lets the recommendation
+        service snapshot on shutdown and warm-restart without replaying
+        the whole audit history.
+        """
+        return {
+            "schema": SCHEMA,
+            "window": self.window,
+            "records_seen": self.records_seen,
+            "departures": self._departures,
+            "residence": {
+                name: {
+                    state: stats.export_state()
+                    for state, stats in per_state.items()
+                }
+                for name, per_state in self._residence.items()
+            },
+            "turnaround": {
+                name: stats.export_state()
+                for name, stats in self._turnaround.items()
+            },
+            "completions": self._completions,
+            "completion_times": {
+                name: list(times)
+                for name, times in self._completion_times.items()
+            },
+            "service": {
+                name: stats.export_state()
+                for name, stats in self._service.items()
+            },
+            "waiting": {
+                name: stats.export_state()
+                for name, stats in self._waiting.items()
+            },
+            "instance_requests": {
+                str(instance_id): counts
+                for instance_id, counts in self._instance_requests.items()
+            },
+            "completed_ids": {
+                name: sorted(ids)
+                for name, ids in self._completed_ids.items()
+            },
+            "first_timestamp": self._first_timestamp,
+            "last_timestamp": self._last_timestamp,
+        }
+
+    @classmethod
+    def restore_state(cls, state: dict[str, Any]) -> "StreamingCalibrator":
+        """Rebuild a calibrator from :meth:`export_state` output."""
+        if state.get("schema") != SCHEMA:
+            raise ValidationError(
+                f"unknown calibrator snapshot schema {state.get('schema')!r}"
+            )
+        calibrator = cls(window=float(state["window"]))
+        calibrator.records_seen = int(state["records_seen"])
+        calibrator._departures = {
+            name: {
+                visited: {
+                    successor: int(count)
+                    for successor, count in successors.items()
+                }
+                for visited, successors in per_state.items()
+            }
+            for name, per_state in state["departures"].items()
+        }
+        calibrator._residence = {
+            name: {
+                visited: RunningStats.restore_state(stats)
+                for visited, stats in per_state.items()
+            }
+            for name, per_state in state["residence"].items()
+        }
+        calibrator._turnaround = {
+            name: RunningStats.restore_state(stats)
+            for name, stats in state["turnaround"].items()
+        }
+        calibrator._completions = {
+            name: int(count) for name, count in state["completions"].items()
+        }
+        calibrator._completion_times = {
+            name: deque(float(value) for value in times)
+            for name, times in state["completion_times"].items()
+        }
+        calibrator._service = {
+            name: RunningStats.restore_state(stats)
+            for name, stats in state["service"].items()
+        }
+        calibrator._waiting = {
+            name: RunningStats.restore_state(stats)
+            for name, stats in state["waiting"].items()
+        }
+        calibrator._instance_requests = {
+            int(instance_id): {
+                server: int(count) for server, count in counts.items()
+            }
+            for instance_id, counts in state["instance_requests"].items()
+        }
+        calibrator._completed_ids = {
+            name: set(int(value) for value in ids)
+            for name, ids in state["completed_ids"].items()
+        }
+        first = state["first_timestamp"]
+        last = state["last_timestamp"]
+        calibrator._first_timestamp = None if first is None else float(first)
+        calibrator._last_timestamp = None if last is None else float(last)
+        return calibrator
+
+    # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
     def document(

@@ -37,28 +37,71 @@ from repro.obs.trace import Tracer
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
+def render_json_body(document: dict[str, Any]) -> bytes:
+    """Canonical JSON encoding shared by every observability endpoint."""
+    return json.dumps(
+        _export._sanitize(document), indent=2, sort_keys=True
+    ).encode("utf-8")
+
+
+def render_metrics(
+    registry: MetricsRegistry, prefix: str = "repro"
+) -> tuple[str, bytes]:
+    """``(content type, body)`` of a ``/metrics`` Prometheus scrape.
+
+    Shared by :class:`MetricsServer` and the asyncio recommendation
+    service (:mod:`repro.service.server`), so both expose the identical
+    text-exposition rendering of a registry.
+    """
+    body = _export.prometheus_text(registry, prefix=prefix).encode("utf-8")
+    return PROMETHEUS_CONTENT_TYPE, body
+
+
+def render_health(extra: dict[str, Any] | None = None) -> tuple[str, bytes]:
+    """``(content type, body)`` of the ``/health`` liveness document."""
+    document: dict[str, Any] = {
+        "status": "ok", "endpoints": sorted(ENDPOINTS)
+    }
+    if extra:
+        document.update(extra)
+    return "application/json; charset=utf-8", render_json_body(document)
+
+
+def render_report(
+    registry: MetricsRegistry, tracer: Tracer
+) -> tuple[str, bytes]:
+    """``(content type, body)`` of the full ``/report`` JSON document."""
+    document = _export.metrics_document(registry, tracer)
+    return "application/json; charset=utf-8", render_json_body(document)
+
+
 class _MetricsRequestHandler(BaseHTTPRequestHandler):
     """Routes the three read-only endpoints; logs nothing."""
 
     server: "_MetricsHTTPServer"
+
+    #: Socket timeout for one request.  Without it, a client that
+    #: connects and never sends a request line parks the handler thread
+    #: in ``readline`` forever, which used to leave the listening port
+    #: held across :meth:`MetricsServer.stop` (see ``block_on_close``
+    #: below).  With the timeout the handler gives up and exits.
+    timeout = 5.0
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib handler contract)
         """Serve ``/metrics``, ``/health``, or ``/report``."""
         owner = self.server.owner
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         if path == "/metrics":
-            body = _export.prometheus_text(
+            content_type, body = render_metrics(
                 owner.registry, prefix=owner.prefix
-            ).encode("utf-8")
-            self._respond(200, PROMETHEUS_CONTENT_TYPE, body)
-        elif path == "/health":
-            document = {"status": "ok", "endpoints": sorted(ENDPOINTS)}
-            self._respond_json(200, document)
-        elif path == "/report":
-            document = _export.metrics_document(
-                owner.registry, owner.tracer
             )
-            self._respond_json(200, document)
+            self._respond(200, content_type, body)
+        elif path == "/health":
+            content_type, body = render_health()
+            self._respond(200, content_type, body)
+        elif path == "/report":
+            content_type, body = render_report(owner.registry, owner.tracer)
+            self._respond(200, content_type, body)
         else:
             self._respond_json(
                 404,
@@ -66,11 +109,18 @@ class _MetricsRequestHandler(BaseHTTPRequestHandler):
                  "endpoints": sorted(ENDPOINTS)},
             )
 
+    def handle_one_request(self) -> None:
+        """One request, tolerating clients that hang up or stall."""
+        try:
+            super().handle_one_request()
+        except TimeoutError:
+            self.close_connection = True
+
     def _respond_json(self, status: int, document: dict[str, Any]) -> None:
-        body = json.dumps(
-            _export._sanitize(document), indent=2, sort_keys=True
-        ).encode("utf-8")
-        self._respond(status, "application/json; charset=utf-8", body)
+        self._respond(
+            status, "application/json; charset=utf-8",
+            render_json_body(document),
+        )
 
     def _respond(self, status: int, content_type: str, body: bytes) -> None:
         self.send_response(status)
@@ -88,9 +138,23 @@ ENDPOINTS = ("/metrics", "/health", "/report")
 
 
 class _MetricsHTTPServer(ThreadingHTTPServer):
-    """ThreadingHTTPServer carrying a back-reference to its owner."""
+    """ThreadingHTTPServer carrying a back-reference to its owner.
+
+    Shutdown is made deterministic for rapid stop/start cycles (the
+    test suite and the service's warm restart both rebind the same
+    port immediately):
+
+    * ``allow_reuse_address`` (``SO_REUSEADDR``) lets a fresh server
+      rebind while the previous socket lingers in ``TIME_WAIT``;
+    * ``block_on_close = False`` keeps :meth:`server_close` from
+      joining handler threads — a client that connected and went
+      silent would otherwise park ``stop()`` until its (daemon)
+      handler died, which could be never before handler timeouts.
+    """
 
     daemon_threads = True
+    allow_reuse_address = True
+    block_on_close = False
     owner: "MetricsServer"
 
 
@@ -165,7 +229,13 @@ class MetricsServer:
         return self.port
 
     def stop(self) -> None:
-        """Shut the server down and join the thread; idempotent."""
+        """Shut the server down, release the port, join; idempotent.
+
+        ``server_close()`` closes the listening socket immediately and
+        — with ``block_on_close = False`` — never waits on handler
+        threads, so the port is free for rebinding the moment this
+        returns (``SO_REUSEADDR`` covers the ``TIME_WAIT`` tail).
+        """
         if self._server is None:
             return
         self._server.shutdown()

@@ -138,6 +138,43 @@ class RunningStats:
             result.merge(collector)
         return result
 
+    def export_state(self) -> list[float]:
+        """The collector's exact accumulator state, as a JSON list.
+
+        The six accumulators are plain floats/ints that survive a JSON
+        round-trip bit-for-bit (Python serializes floats with the
+        shortest round-tripping ``repr``; empty-collector extrema are
+        ``Infinity``/``-Infinity``, which :mod:`json` accepts), so
+        :meth:`restore_state` rebuilds a collector whose every future
+        observation produces bitwise-identical statistics.  This is the
+        snapshot primitive of the always-on recommendation service's
+        warm restart.
+        """
+        return [
+            self._count,
+            self._mean,
+            self._m2,
+            self._sum_squares,
+            self._minimum,
+            self._maximum,
+        ]
+
+    @classmethod
+    def restore_state(cls, state: list[float]) -> "RunningStats":
+        """Rebuild a collector from :meth:`export_state` output."""
+        if len(state) != 6:
+            raise ValidationError(
+                f"RunningStats state needs 6 accumulators, got {len(state)}"
+            )
+        stats = cls()
+        stats._count = int(state[0])
+        stats._mean = float(state[1])
+        stats._m2 = float(state[2])
+        stats._sum_squares = float(state[3])
+        stats._minimum = float(state[4])
+        stats._maximum = float(state[5])
+        return stats
+
 
 class TimeWeightedStats:
     """Time-average of a piecewise-constant signal (utilization etc.).

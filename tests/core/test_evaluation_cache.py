@@ -293,3 +293,91 @@ class TestGoalsIdentityAliasing:
         )
         assert second is first
         assert evaluator.evaluation_count == count
+
+
+class TestRebind:
+    """Incremental re-binding after calibration drift."""
+
+    def _warm(self, cache, arrival_rate=0.8, fast_service=0.05):
+        performance = make_performance(arrival_rate, fast_service)
+        evaluator = GoalEvaluator(performance, cache=cache)
+        goals = PerformabilityGoals(max_waiting_time=10.0)
+        evaluator.assess(SystemConfiguration({"fast": 2, "slow": 2}), goals)
+        return model_fingerprint(performance)
+
+    def test_unbound_cache_just_binds(self):
+        cache = EvaluationCache()
+        performance = make_performance()
+        report = cache.rebind(model_fingerprint(performance))
+        assert cache.fingerprint == model_fingerprint(performance)
+        assert report["curves_dropped"] == 0
+
+    def test_identical_fingerprint_keeps_everything(self):
+        cache = EvaluationCache()
+        fingerprint = self._warm(cache)
+        before = cache.stats()
+        report = cache.rebind(fingerprint)
+        assert report["curves_dropped"] == 0
+        assert report["assessments_dropped"] == 0
+        assert cache.stats()["waiting_curve.types"] == (
+            before["waiting_curve.types"]
+        )
+        assert cache.rebinds == 0  # degenerate rebind is not counted
+
+    def test_changed_service_time_drops_only_that_curve(self):
+        cache = EvaluationCache()
+        self._warm(cache, fast_service=0.05)
+        drifted = make_performance(fast_service=0.07)
+        report = cache.rebind(model_fingerprint(drifted))
+        # "fast" moved, "slow" did not -- but the workload totals also
+        # change for both types only if arrival rate moved; here only
+        # the fast type's moments changed, so slow's curve survives.
+        assert report["curves_dropped"] == 1
+        assert report["curves_kept"] == 1
+        # Failure/repair rates unchanged -> every pool marginal is
+        # re-keyed and survives.
+        assert report["pools_dropped"] == 0
+        assert report["pools_kept"] >= 1
+        assert report["assessments_dropped"] >= 1
+        assert cache.rebinds == 1
+        assert cache.stats()["rebinds"] == 1
+
+    def test_changed_arrival_rate_drops_all_curves_keeps_pools(self):
+        cache = EvaluationCache()
+        self._warm(cache, arrival_rate=0.8)
+        drifted = make_performance(arrival_rate=1.1)
+        report = cache.rebind(model_fingerprint(drifted))
+        assert report["curves_kept"] == 0
+        assert report["curves_dropped"] == 2
+        assert report["pools_dropped"] == 0
+
+    def test_rebound_cache_produces_cold_results(self):
+        """After a rebind the cache serves the drifted model correctly."""
+        cache = EvaluationCache()
+        self._warm(cache, fast_service=0.05)
+        drifted = make_performance(fast_service=0.07)
+        cache.rebind(model_fingerprint(drifted))
+        warm = GoalEvaluator(drifted, cache=cache)
+        cold = GoalEvaluator(make_performance(fast_service=0.07))
+        goals = PerformabilityGoals(max_waiting_time=10.0)
+        configuration = SystemConfiguration({"fast": 2, "slow": 2})
+        a = warm.assess(configuration, goals)
+        b = cold.assess(configuration, goals)
+        assert a.satisfied == b.satisfied
+        assert a.unavailability == b.unavailability
+        assert warm.evaluation_count == cold.evaluation_count
+
+    def test_clear_assessments_keeps_curves(self):
+        cache = EvaluationCache()
+        self._warm(cache)
+        before = cache.stats()
+        dropped = cache.clear_assessments()
+        assert dropped == before["assessments.size"]
+        after = cache.stats()
+        assert after["assessments.size"] == 0
+        assert after["waiting_curve.types"] == (
+            before["waiting_curve.types"]
+        )
+        assert after["pool_marginals.size"] == (
+            before["pool_marginals.size"]
+        )

@@ -109,3 +109,53 @@ class TestLifecycle:
         registry.inc("monitor.stream.records", 8.0)
         _, _, body = _get(f"{populated_server.url}/metrics")
         assert "repro_monitor_stream_records 50" in body
+
+
+class TestDeterministicPortRelease:
+    """Regression tests for the rapid fixed-port restart bug.
+
+    ``server_close`` used to join handler threads; a client that
+    connected and never sent a request line parked a handler in
+    ``readline``, so ``stop()`` hung and the next bind on the same
+    fixed port failed.  ``block_on_close = False`` plus a handler
+    read timeout make shutdown deterministic.
+    """
+
+    def test_rapid_restart_on_the_same_fixed_port(self):
+        with MetricsServer(port=0) as probe:
+            port = probe.port
+        # The port is free again: rebind it immediately, repeatedly.
+        for _ in range(3):
+            server = MetricsServer(port=port)
+            server.start()
+            try:
+                status, _, _ = _get(f"{server.url}/health")
+                assert status == 200
+                assert server.port == port
+            finally:
+                server.stop()
+
+    def test_stop_returns_promptly_despite_stuck_client(self):
+        import socket
+        import time
+
+        server = MetricsServer(port=0)
+        server.start()
+        port = server.port
+        # A client that connects and never sends a request line.
+        stuck = socket.create_connection(("127.0.0.1", port), timeout=10.0)
+        try:
+            start = time.monotonic()
+            server.stop()
+            elapsed = time.monotonic() - start
+            assert elapsed < 3.0, f"stop() took {elapsed:.1f}s"
+        finally:
+            stuck.close()
+        # And the port is immediately reusable.
+        again = MetricsServer(port=port)
+        again.start()
+        try:
+            status, _, _ = _get(f"{again.url}/health")
+            assert status == 200
+        finally:
+            again.stop()

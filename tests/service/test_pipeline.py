@@ -1,0 +1,159 @@
+"""Tests for the shared calibrate -> evaluate -> recommend pipeline."""
+
+import pytest
+
+from repro.core.evaluation_cache import EvaluationCache
+from repro.exceptions import ValidationError
+from repro.monitor.stream import StreamingCalibrator
+from repro.service import (
+    SearchSettings,
+    batch_recommendation,
+    calibrated_model,
+    calibrated_specs,
+    goals_to_document,
+    parse_goals,
+    recommend_from_calibration,
+    render_document,
+)
+
+from tests.service.conftest import TRAIL_PATH
+
+
+class TestParseGoals:
+    def test_both_goals(self):
+        goals = parse_goals("max-waiting=0.5,max-unavailability=1e-4")
+        assert goals.max_waiting_time == 0.5
+        assert goals.max_unavailability == 1e-4
+
+    def test_single_goal(self):
+        goals = parse_goals("max-waiting=2.0")
+        assert goals.max_waiting_time == 2.0
+        assert goals.max_unavailability is None
+
+    def test_missing_separator_raises(self):
+        with pytest.raises(ValidationError):
+            parse_goals("max-waiting 0.5")
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(ValidationError):
+            parse_goals("max-cost=3")
+
+    def test_bad_value_raises(self):
+        with pytest.raises(ValidationError):
+            parse_goals("max-waiting=fast")
+
+    def test_empty_raises(self):
+        with pytest.raises(ValidationError):
+            parse_goals("")
+
+    def test_round_trips_into_document(self):
+        goals = parse_goals("max-waiting=0.5")
+        document = goals_to_document(goals)
+        assert document["max_waiting_time"] == 0.5
+        assert document["max_unavailability"] is None
+
+
+class TestSearchSettings:
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(ValidationError):
+            SearchSettings(algorithm="oracle")
+
+    def test_frontier_ignores_algorithm_choice(self):
+        settings = SearchSettings(algorithm="oracle", frontier=True)
+        assert settings.to_document()["algorithm"] == "frontier"
+
+    def test_document_sorts_fixed_counts(self):
+        settings = SearchSettings(fixed={"b": 2, "a": 1})
+        assert list(settings.to_document()["fixed"]) == ["a", "b"]
+
+
+class TestCalibratedModel:
+    def test_unknown_measured_type_raises(self, baseline, trail_records):
+        calibrator = StreamingCalibrator()
+        calibrator.replay_records(trail_records)
+        from repro.core.model_types import ServerTypeIndex
+        from repro.io import Project
+
+        partial = Project(
+            server_types=ServerTypeIndex(
+                list(baseline.server_types.specs)[:1]
+            ),
+            workflows=baseline.workflows,
+            arrival_rates=baseline.arrival_rates,
+        )
+        with pytest.raises(ValidationError, match="missing from"):
+            calibrated_specs(calibrator, partial)
+
+    def test_empty_calibration_raises(self, baseline):
+        with pytest.raises(ValidationError, match="observed time span"):
+            calibrated_model(StreamingCalibrator(), baseline)
+
+    def test_overlays_measured_moments(self, baseline, trail_records):
+        calibrator = StreamingCalibrator()
+        calibrator.replay_records(trail_records)
+        index = calibrated_specs(calibrator, baseline)
+        measured = calibrator.service_times()
+        for spec in index.specs:
+            assert (
+                spec.mean_service_time == measured[spec.name].mean
+            ), spec.name
+
+
+class TestByteIdentity:
+    def test_streaming_equals_batch(
+        self, baseline, goals, trail_records
+    ):
+        calibrator = StreamingCalibrator()
+        # Feed in uneven chunks, the way POST /events would.
+        for start in range(0, len(trail_records), 113):
+            calibrator.replay_records(trail_records[start:start + 113])
+        streamed = recommend_from_calibration(calibrator, baseline, goals)
+        batch = batch_recommendation(str(TRAIL_PATH), baseline, goals)
+        assert render_document(streamed) == render_document(batch)
+
+    def test_warm_cache_changes_nothing(
+        self, baseline, goals, trail_records
+    ):
+        calibrator = StreamingCalibrator()
+        calibrator.replay_records(trail_records)
+        cache = EvaluationCache()
+        cold = recommend_from_calibration(
+            calibrator, baseline, goals, cache=cache
+        )
+        warm = recommend_from_calibration(
+            calibrator, baseline, goals, cache=cache
+        )
+        # Same document bytes *and* the same evaluations accounting --
+        # clear_assessments() keeps the warm run's count cold.
+        assert render_document(warm) == render_document(cold)
+
+    def test_frontier_streaming_equals_batch(
+        self, baseline, goals, trail_records
+    ):
+        settings = SearchSettings(frontier=True, seed=7)
+        calibrator = StreamingCalibrator()
+        calibrator.replay_records(trail_records)
+        streamed = recommend_from_calibration(
+            calibrator, baseline, goals, settings
+        )
+        batch = batch_recommendation(
+            str(TRAIL_PATH), baseline, goals, settings
+        )
+        assert render_document(streamed) == render_document(batch)
+        assert streamed["search"]["algorithm"] == "frontier"
+
+
+class TestInfeasible:
+    def test_infeasible_is_a_result_not_an_error(
+        self, baseline, trail_records
+    ):
+        goals = parse_goals("max-unavailability=1e-30")
+        calibrator = StreamingCalibrator()
+        calibrator.replay_records(trail_records)
+        settings = SearchSettings(max_total_servers=3)
+        document = recommend_from_calibration(
+            calibrator, baseline, goals, settings
+        )
+        assert document["feasible"] is False
+        assert "error" in document
+        render_document(document)  # still canonical JSON

@@ -1,0 +1,117 @@
+"""Documentation drift gate: CLI reference and operations runbook.
+
+Two checks, run in CI's lint job:
+
+1. **CLI completeness** — walks the real argparse tree built by
+   :func:`repro.cli.build_parser` (recursively, so nested subcommands
+   like ``corpus generate`` are covered) and fails unless
+   ``docs/CLI.md`` names every subcommand and every long option flag.
+   Adding a flag without documenting it breaks the build, so the
+   reference can never silently rot.
+2. **Metric reference completeness** — fails unless
+   ``docs/OPERATIONS.md`` names every metric family the recommendation
+   service exports (:data:`repro.service.server.SERVICE_METRICS`).
+   A new service counter must land with its runbook entry.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_cli_docs.py
+
+Exits non-zero listing every missing item (never just the first).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cli import build_parser  # noqa: E402
+from repro.service import SERVICE_METRICS  # noqa: E402
+
+CLI_DOC = REPO_ROOT / "docs" / "CLI.md"
+OPERATIONS_DOC = REPO_ROOT / "docs" / "OPERATIONS.md"
+
+
+def iter_subcommands(
+    parser: argparse.ArgumentParser, prefix: str = ""
+) -> list[tuple[str, argparse.ArgumentParser]]:
+    """Every ``(qualified name, parser)`` pair, depth first."""
+    found: list[tuple[str, argparse.ArgumentParser]] = []
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            for name, subparser in action.choices.items():
+                qualified = f"{prefix}{name}"
+                found.append((qualified, subparser))
+                found.extend(
+                    iter_subcommands(subparser, prefix=f"{qualified} ")
+                )
+    return found
+
+
+def long_flags(parser: argparse.ArgumentParser) -> list[str]:
+    """The parser's documented long options (``--help`` excluded)."""
+    flags: list[str] = []
+    for action in parser._actions:
+        for option in action.option_strings:
+            if option.startswith("--") and option != "--help":
+                flags.append(option)
+    return flags
+
+
+def check_cli_reference() -> list[str]:
+    """Missing subcommands/flags in ``docs/CLI.md``."""
+    if not CLI_DOC.exists():
+        return [f"{CLI_DOC.relative_to(REPO_ROOT)} does not exist"]
+    text = CLI_DOC.read_text(encoding="utf-8")
+    problems: list[str] = []
+    for qualified, subparser in iter_subcommands(build_parser()):
+        if f"`{qualified}`" not in text and qualified not in text:
+            problems.append(f"CLI.md is missing subcommand: {qualified}")
+            continue
+        for flag in long_flags(subparser):
+            if flag not in text:
+                problems.append(
+                    f"CLI.md is missing flag of `{qualified}`: {flag}"
+                )
+    return problems
+
+
+def check_metric_reference() -> list[str]:
+    """Missing service metric families in ``docs/OPERATIONS.md``."""
+    if not OPERATIONS_DOC.exists():
+        return [f"{OPERATIONS_DOC.relative_to(REPO_ROOT)} does not exist"]
+    text = OPERATIONS_DOC.read_text(encoding="utf-8")
+    return [
+        f"OPERATIONS.md is missing service metric: {name}"
+        for name, _kind, _help in SERVICE_METRICS
+        if name not in text
+    ]
+
+
+def main() -> int:
+    """Run both drift checks; print every finding."""
+    problems = check_cli_reference() + check_metric_reference()
+    if problems:
+        for problem in problems:
+            print(f"DOC DRIFT: {problem}", file=sys.stderr)
+        print(
+            f"{len(problems)} documentation drift problem(s); update "
+            f"docs/CLI.md and docs/OPERATIONS.md",
+            file=sys.stderr,
+        )
+        return 1
+    subcommands = iter_subcommands(build_parser())
+    flags = sum(len(long_flags(parser)) for _, parser in subcommands)
+    print(
+        f"documentation in sync: {len(subcommands)} subcommands, "
+        f"{flags} flags, {len(SERVICE_METRICS)} service metric families"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,159 @@
+"""End-to-end smoke test for the ``repro serve`` subcommand.
+
+Exercises the always-on recommendation service exactly the way an
+operator deploys it — as a subprocess of the CLI:
+
+1. starts ``repro serve`` on an ephemeral port with a snapshot path and
+   parses the announced URL from stderr;
+2. replays the bundled sample trail over ``POST /events`` (the raw
+   JSONL file is the wire format) and asserts the ingestion summary;
+3. asserts ``GET /recommendation?refresh=1`` serves a canonical
+   document with staleness headers, ``/status`` reports it fresh, and
+   ``/metrics`` exposes the ``service.*`` counter families;
+4. sends SIGTERM and asserts a clean exit that wrote the snapshot;
+5. restarts from the snapshot and asserts the published document
+   survived the restart byte-for-byte.
+
+Exits non-zero with a one-line diagnosis on the first failure.
+
+Usage::
+
+    PYTHONPATH=src python tools/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+TRAIL = REPO_ROOT / "examples" / "data" / "sample_trail.jsonl"
+BASELINE = REPO_ROOT / "examples" / "data" / "service_baseline.json"
+GOALS = "max-waiting=0.5,max-unavailability=1e-4"
+
+
+def fail(message: str) -> None:
+    """Print a diagnosis and exit non-zero."""
+    print(f"SMOKE FAILED: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def start_serve(snapshot: str) -> tuple[subprocess.Popen, str]:
+    """Launch ``repro serve`` and parse the announced base URL."""
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = str(REPO_ROOT / "src")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--project", str(BASELINE),
+            "--goals", GOALS,
+            "--snapshot", snapshot,
+        ],
+        stderr=subprocess.PIPE,
+        text=True,
+        cwd=REPO_ROOT,
+        env=environment,
+    )
+    url = None
+    for _ in range(50):
+        line = process.stderr.readline()
+        if not line and process.poll() is not None:
+            break
+        match = re.search(r"(http://[\d.]+:\d+)", line)
+        if match:
+            url = match.group(1)
+            break
+    if url is None:
+        process.kill()
+        fail("serve never announced its URL on stderr")
+    return process, url
+
+
+def get(url: str) -> tuple[int, dict, bytes]:
+    with urllib.request.urlopen(url, timeout=30.0) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+def post(url: str, body: bytes) -> dict:
+    request = urllib.request.Request(url, data=body, method="POST")
+    with urllib.request.urlopen(request, timeout=30.0) as response:
+        return json.load(response)
+
+
+def terminate(process: subprocess.Popen) -> None:
+    process.send_signal(signal.SIGTERM)
+    try:
+        process.wait(timeout=30.0)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        fail("serve did not exit within 30s of SIGTERM")
+    if process.returncode != 0:
+        fail(f"serve exited with status {process.returncode}")
+
+
+def main() -> int:
+    """Run the serve smoke test."""
+    with tempfile.TemporaryDirectory() as scratch:
+        snapshot = str(Path(scratch) / "snapshot.json")
+
+        process, url = start_serve(snapshot)
+        try:
+            summary = post(f"{url}/events", TRAIL.read_bytes())
+            if summary["ingested"] != 745 or summary["rejected"] != 0:
+                fail(f"unexpected ingestion summary: {summary}")
+            if not summary["search_scheduled"]:
+                fail("ingestion did not schedule a re-search")
+
+            status, headers, served = get(f"{url}/recommendation?refresh=1")
+            if status != 200:
+                fail(f"GET /recommendation returned {status}")
+            if headers.get("X-Recommendation-Stale") != "false":
+                fail(f"refreshed recommendation reported stale: {headers}")
+            document = json.loads(served)
+            if document.get("schema") != "repro.service.recommendation/v1":
+                fail(f"unexpected document schema: {document.get('schema')}")
+
+            status, _, body = get(f"{url}/status?tenant=default")
+            meta = json.loads(body)
+            if meta["records_seen"] != 745 or meta["stale"]:
+                fail(f"unexpected status after refresh: {meta}")
+
+            status, _, metrics = get(f"{url}/metrics")
+            text = metrics.decode("utf-8")
+            for family in (
+                "repro_service_http_requests",
+                "repro_service_events_ingested",
+                "repro_service_recommendations_refreshed",
+            ):
+                if family not in text:
+                    fail(f"/metrics is missing {family}")
+        finally:
+            terminate(process)
+
+        if not Path(snapshot).exists():
+            fail("graceful shutdown did not write the snapshot")
+
+        # Warm restart: the published document must survive verbatim.
+        process, url = start_serve(snapshot)
+        try:
+            status, _, again = get(f"{url}/recommendation")
+            if status != 200:
+                fail(f"restarted serve returned {status} before any POST")
+            if again != served:
+                fail("restarted serve lost or altered the recommendation")
+        finally:
+            terminate(process)
+
+    print("serve smoke passed: ingest, refresh, metrics, snapshot, restart")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
