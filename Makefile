@@ -2,7 +2,8 @@
 
 .PHONY: install test docstrings bench bench-search bench-search-parallel \
 	bench-frontier campaign bench-campaign bench-corpus bench-sim \
-	bench-monitor bench-service monitor-smoke serve-smoke examples all
+	bench-sim-quick bench-monitor bench-service monitor-smoke \
+	serve-smoke examples all
 
 install:
 	pip install -e . || python setup.py develop
@@ -42,7 +43,10 @@ bench-corpus:
 
 bench-sim:
 	PYTHONPATH=src python benchmarks/bench_sim_hotpath.py --check \
-		--min-speedup 1.5
+		--min-speedup 1.5 --min-fast-speedup 2.5
+
+bench-sim-quick:
+	PYTHONPATH=src python benchmarks/bench_sim_hotpath.py --quick --check
 
 bench-monitor:
 	PYTHONPATH=src python benchmarks/bench_monitor.py --check

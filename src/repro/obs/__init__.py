@@ -126,6 +126,10 @@ DECLARED_METRICS: tuple[tuple[str, str, str], ...] = (
      "Goal violations observed during search"),
     ("counter", "sim.events_executed",
      "Discrete-event simulator events dispatched"),
+    ("counter", "sim.fastdraw.blocks_drawn",
+     "Variate blocks pre-drawn by fast-RNG streams"),
+    ("counter", "sim.fastdraw.variates_served",
+     "Variates handed out by fast-RNG block streams"),
     ("counter", "wfms.requests_submitted",
      "Service requests submitted to server pools"),
     ("counter", "wfms.server_failures", "Replica failures injected"),

@@ -106,11 +106,20 @@ class CampaignPlan:
     duration_sampling: DurationSampling = DurationSampling.EXPONENTIAL
     inject_failures: bool = True
     default_routing_duration: float = DEFAULT_ROUTING_DURATION
+    #: ``"exact"`` keeps the bit-identical ``random.Random`` contract;
+    #: ``"fast"`` switches every replication to numpy block pre-drawing
+    #: (statistically equivalent, own golden documents — see
+    #: :mod:`repro.sim.fastdraw`).
+    rng_mode: str = "exact"
 
     def __post_init__(self) -> None:
         object.__setattr__(
             self, "workflow_types", tuple(self.workflow_types)
         )
+        if self.rng_mode not in ("exact", "fast"):
+            raise ValidationError(
+                f"rng_mode must be 'exact' or 'fast', got {self.rng_mode!r}"
+            )
         if not self.workflow_types:
             raise ValidationError("campaign needs at least one workflow type")
         if self.replications < 1:
@@ -139,6 +148,7 @@ class CampaignPlan:
             duration_sampling=self.duration_sampling,
             inject_failures=self.inject_failures,
             default_routing_duration=self.default_routing_duration,
+            rng_mode=self.rng_mode,
         )
 
 
@@ -199,7 +209,7 @@ def _run_replication_task(
     return ReplicationResult(
         index=index,
         seed=plan.seed_for(index),
-        events_executed=wfms.simulator.executed_events,
+        events_executed=wfms.logical_events,
         report=dataclasses.replace(report, trail=AuditTrail()),
         obs_snapshot=obs.export_snapshot() if observe else None,
     )
@@ -331,9 +341,12 @@ class CampaignResult:
 
         Contains no wall-clock times and no worker counts, so the same
         plan produces an *identical* document whether the campaign ran
-        serially or on any number of worker processes.
+        serially or on any number of worker processes.  The ``rng_mode``
+        key appears only for non-exact modes: exact-mode documents are
+        byte-identical to the ones recorded before the fast mode
+        existed, so the exact goldens stay untouched.
         """
-        return {
+        document: dict[str, Any] = {
             "schema": "repro.sim.campaign/v1",
             "replications": self.plan.replications,
             "base_seed": self.plan.base_seed,
@@ -359,6 +372,9 @@ class CampaignResult:
             "pooled_system_unavailability":
                 self.pooled_system_unavailability,
         }
+        if self.plan.rng_mode != "exact":
+            document["rng_mode"] = self.plan.rng_mode
+        return document
 
     def format_text(self) -> str:
         """Human-readable campaign summary."""

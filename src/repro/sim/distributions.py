@@ -31,14 +31,27 @@ class Distribution(abc.ABC):
     def sampler(self, rng: random.Random) -> Callable[[], float]:
         """Precompiled zero-argument sampler bound to ``rng``.
 
-        The returned closure draws the *identical* variate stream as
-        repeated :meth:`sample` calls on the same generator — same RNG
-        method calls in the same order with bit-identical parameters —
-        but with the per-sample parameter recomputation and attribute
-        lookups hoisted out.  Hot call sites (the simulated servers and
-        the WFMS duration sampling) compile their distribution once and
-        call the closure per draw.
+        For a :class:`random.Random` the returned closure draws the
+        *identical* variate stream as repeated :meth:`sample` calls on
+        the same generator — same RNG method calls in the same order
+        with bit-identical parameters — but with the per-sample
+        parameter recomputation and attribute lookups hoisted out.  Hot
+        call sites (the simulated servers and the WFMS duration
+        sampling) compile their distribution once and call the closure
+        per draw.
+
+        A generator exposing ``stream_for`` (the fast-RNG mode's
+        :class:`repro.sim.fastdraw.FastRng`) is dispatched there
+        instead: the sampler then serves numpy block pre-draws — same
+        distribution, different (documented) stream contract.
         """
+        stream_for = getattr(rng, "stream_for", None)
+        if stream_for is not None:
+            return stream_for(self)
+        return self._compile(rng)
+
+    def _compile(self, rng: random.Random) -> Callable[[], float]:
+        """The exact-mode compiled sampler (family-specific hoisting)."""
         sample = self.sample
         return lambda: sample(rng)
 
@@ -79,7 +92,7 @@ class Deterministic(Distribution):
         """The fixed value (``rng`` is unused)."""
         return self.value
 
-    def sampler(self, rng: random.Random) -> Callable[[], float]:
+    def _compile(self, rng: random.Random) -> Callable[[], float]:
         """Constant closure (``rng`` is unused, matching :meth:`sample`)."""
         value = self.value
         return lambda: value
@@ -109,7 +122,7 @@ class Exponential(Distribution):
         """One exponential variate with the configured mean."""
         return rng.expovariate(1.0 / self.mean_value)
 
-    def sampler(self, rng: random.Random) -> Callable[[], float]:
+    def _compile(self, rng: random.Random) -> Callable[[], float]:
         """Closure with the rate precomputed and ``expovariate`` bound."""
         rate = 1.0 / self.mean_value
         expovariate = rng.expovariate
@@ -141,7 +154,7 @@ class Uniform(Distribution):
         """One uniform variate on ``[low, high]``."""
         return rng.uniform(self.low, self.high)
 
-    def sampler(self, rng: random.Random) -> Callable[[], float]:
+    def _compile(self, rng: random.Random) -> Callable[[], float]:
         """Closure with the bounds hoisted and ``uniform`` bound."""
         low, high = self.low, self.high
         uniform = rng.uniform
@@ -182,7 +195,7 @@ class Erlang(Distribution):
             rng.expovariate(1.0 / stage_mean) for _ in range(self.stages)
         )
 
-    def sampler(self, rng: random.Random) -> Callable[[], float]:
+    def _compile(self, rng: random.Random) -> Callable[[], float]:
         """Closure with the stage rate precomputed; the common one- and
         two-stage cases skip the generator entirely."""
         # Exactly the per-sample expression, hoisted: any other algebraic
@@ -244,7 +257,7 @@ class HyperExponential(Distribution):
         )[0]
         return rng.expovariate(1.0 / mean)
 
-    def sampler(self, rng: random.Random) -> Callable[[], float]:
+    def _compile(self, rng: random.Random) -> Callable[[], float]:
         """Closure with the branch selection precompiled.
 
         The branch pick inlines exactly what ``random.Random.choices``
@@ -317,7 +330,7 @@ class LogNormal(Distribution):
         mu, sigma = self._parameters()
         return rng.lognormvariate(mu, sigma)
 
-    def sampler(self, rng: random.Random) -> Callable[[], float]:
+    def _compile(self, rng: random.Random) -> Callable[[], float]:
         """Closure with ``(mu, sigma)`` computed once instead of per draw."""
         mu, sigma = self._parameters()
         lognormvariate = rng.lognormvariate
@@ -332,6 +345,52 @@ class LogNormal(Distribution):
     def second_moment(self) -> float:
         """``mean^2 * (1 + scv)``."""
         return self.mean_value**2 * (1.0 + self.scv)
+
+
+@dataclass(frozen=True)
+class Pareto(Distribution):
+    """Pareto (power-law) distribution with shape ``shape``, scale ``minimum``.
+
+    The archetypal heavy tail: density ``shape * minimum**shape /
+    x**(shape+1)`` for ``x >= minimum``.  The mean is finite only for
+    ``shape > 1`` and the second moment only for ``shape > 2`` —
+    shapes in ``(1, 2]`` deliberately break the M/G/1 second-moment
+    assumption, probing the analytic model where it must fail.
+    """
+
+    shape: float
+    minimum: float
+
+    def __post_init__(self) -> None:
+        if self.shape <= 1.0:
+            raise ValidationError(
+                "shape must be > 1 (the mean is infinite otherwise)"
+            )
+        if self.minimum <= 0.0:
+            raise ValidationError("minimum must be positive")
+
+    def sample(self, rng: random.Random) -> float:
+        """One Pareto variate (``paretovariate`` scaled by ``minimum``)."""
+        return self.minimum * rng.paretovariate(self.shape)
+
+    def _compile(self, rng: random.Random) -> Callable[[], float]:
+        """Closure with the scale hoisted and ``paretovariate`` bound."""
+        minimum = self.minimum
+        shape = self.shape
+        paretovariate = rng.paretovariate
+        return lambda: minimum * paretovariate(shape)
+
+    @property
+    def mean(self) -> float:
+        """``shape * minimum / (shape - 1)``."""
+        return self.shape * self.minimum / (self.shape - 1.0)
+
+    @property
+    def second_moment(self) -> float:
+        """``shape * minimum^2 / (shape - 2)`` (infinite for shape <= 2)."""
+        if self.shape <= 2.0:
+            return math.inf
+        return self.shape * self.minimum**2 / (self.shape - 2.0)
 
 
 def distribution_for_moments(

@@ -13,6 +13,11 @@ from dataclasses import dataclass
 
 from repro.exceptions import ValidationError
 
+try:  # numpy accelerates the block paths but is not required here
+    import numpy as np
+except ImportError:  # pragma: no cover - the toolchain ships numpy
+    np = None
+
 #: Two-sided 95% normal quantile used for confidence intervals.
 NORMAL_QUANTILE_95 = 1.959963984540054
 
@@ -45,6 +50,50 @@ class RunningStats:
             self._minimum = value
         if value > self._maximum:
             self._maximum = value
+
+    def add_block(self, values) -> None:
+        """Record a whole block of observations in one vectorized step.
+
+        Computes the block's count/mean/M2/extrema with numpy reductions
+        and folds them in via the same Chan–Golub–LeVeque combination as
+        :meth:`merge` — the buffered flush path of the fast-RNG
+        simulation mode, where per-observation :meth:`add` calls are the
+        measured hot spot.  The result is statistically identical to
+        adding the values one by one but not bitwise so (different
+        summation order); exact-mode collectors therefore never use it.
+        Falls back to scalar :meth:`add` when numpy is unavailable.
+        """
+        if np is None:
+            for value in values:
+                self.add(value)
+            return
+        block = np.asarray(values, dtype=float)
+        count = block.size
+        if count == 0:
+            return
+        mean = float(block.mean())
+        centered = block - mean
+        m2 = float(centered.dot(centered))
+        minimum = float(block.min())
+        maximum = float(block.max())
+        sum_squares = float(block.dot(block))
+        if self._count == 0:
+            self._count = count
+            self._mean = mean
+            self._m2 = m2
+        else:
+            total = self._count + count
+            delta = mean - self._mean
+            self._m2 += m2 + delta * delta * self._count * count / total
+            self._mean = (
+                self._count * self._mean + count * mean
+            ) / total
+            self._count = total
+        self._sum_squares += sum_squares
+        if minimum < self._minimum:
+            self._minimum = minimum
+        if maximum > self._maximum:
+            self._maximum = maximum
 
     @property
     def count(self) -> int:
@@ -209,6 +258,46 @@ class TimeWeightedStats:
         self._weighted_sum += self._value * (time - last)
         self._value = value
         self._last_time = time
+
+    def update_block(self, values, times) -> None:
+        """Apply a whole batch of updates in one vectorized step.
+
+        ``values[i]`` takes effect at ``times[i]``; times must be
+        non-decreasing and start no earlier than the last update.  The
+        result equals calling :meth:`update` pairwise (modulo float
+        summation order), but the piecewise integral of the batch is
+        computed with one dot product — the buffered busy-time flush of
+        the fast-RNG simulation mode.  Falls back to scalar updates
+        when numpy is unavailable.
+        """
+        if len(values) != len(times):
+            raise ValidationError(
+                "values and times must have the same length"
+            )
+        if not len(values):
+            return
+        if np is None or len(values) < 2:
+            for value, time in zip(values, times):
+                self.update(value, time)
+            return
+        time_array = np.asarray(times, dtype=float)
+        if time_array[0] < self._last_time:
+            raise ValidationError(
+                f"time {time_array[0]} precedes last update "
+                f"{self._last_time}"
+            )
+        if np.any(np.diff(time_array) < 0.0):
+            raise ValidationError("times must be non-decreasing")
+        value_array = np.asarray(values, dtype=float)
+        # float(...) around the full increment: numpy scalars would
+        # otherwise infect _weighted_sum (and every downstream document
+        # value) with np.float64.
+        self._weighted_sum += float(
+            self._value * (time_array[0] - self._last_time)
+            + value_array[:-1].dot(np.diff(time_array))
+        )
+        self._value = float(value_array[-1])
+        self._last_time = float(time_array[-1])
 
     @property
     def current_value(self) -> float:

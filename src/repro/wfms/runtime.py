@@ -41,6 +41,7 @@ from repro.sim.distributions import (
     distribution_for_moments,
 )
 from repro.sim.engine import Simulator
+from repro.sim.fastdraw import FastRng
 from repro.sim.seeding import derive_rng
 from repro.sim.statistics import RunningStats, TimeWeightedStats
 from repro.spec.interpreter import (
@@ -62,8 +63,12 @@ from repro.wfms.measurement import (
     pooled_ci95,
     pooled_mean,
 )
+from repro.wfms.fastsink import FastServer, FastServerPool
 from repro.wfms.routing import RoutingPolicy, ServerPool
 from repro.wfms.servers import FailureInjector, Server, ServiceRequest
+
+#: Valid values of the ``rng_mode`` simulation parameter.
+RNG_MODES = ("exact", "fast")
 
 
 class DurationSampling(enum.Enum):
@@ -111,17 +116,30 @@ class SimulatedWFMS:
         organization=None,
         activity_roles: Mapping[str, str] | None = None,
         worklist_policy=None,
+        rng_mode: str = "exact",
+        fast_block_size: int | None = None,
     ) -> None:
         if not workflow_types:
             raise ValidationError("at least one workflow type is required")
         names = [wft.chart.name for wft in workflow_types]
         if len(set(names)) != len(names):
             raise ValidationError(f"duplicate workflow types in {names}")
+        if rng_mode not in RNG_MODES:
+            raise ValidationError(
+                f"rng_mode must be one of {RNG_MODES}, got {rng_mode!r}"
+            )
+        if rng_mode == "fast" and organization is not None:
+            raise ValidationError(
+                "rng_mode='fast' does not support worklist management; "
+                "use the exact mode for organizational experiments"
+            )
         self.server_types = server_types
         self.configuration = configuration
         self.workflow_types = list(workflow_types)
         self.duration_sampling = duration_sampling
         self.default_routing_duration = default_routing_duration
+        self.rng_mode = rng_mode
+        fast = self._fast_mode = rng_mode == "fast"
 
         self.simulator = Simulator()
         self.trail = AuditTrail()
@@ -129,15 +147,40 @@ class SimulatedWFMS:
         # different configurations as tight as possible.  Each stream is
         # seeded from a hash of (seed, stream name) — never seed+offset,
         # which would make replications with adjacent master seeds share
-        # identical sub-streams (see repro.sim.seeding).
-        self._arrival_rng = derive_rng(seed, "arrival")
-        self._branch_rng = derive_rng(seed, "branch")
-        self._duration_rng = derive_rng(seed, "duration")
-        self._service_rng = derive_rng(seed, "service")
-        self._failure_rng = derive_rng(seed, "failure")
-        self._load_rng = derive_rng(seed, "load")
+        # identical sub-streams (see repro.sim.seeding).  Fast mode swaps
+        # in block-drawing FastRng streams under the same names (service
+        # and failure streams become per-replica so the variates a
+        # replica consumes are independent of replay flush boundaries).
+        self._fast_rngs: list[FastRng] = []
+        if fast:
 
-        self.pools: dict[str, ServerPool] = {}
+            def fast_rng(*scope) -> FastRng:
+                if fast_block_size is not None:
+                    rng = FastRng(
+                        seed, *scope, block_size=fast_block_size
+                    )
+                else:
+                    rng = FastRng(seed, *scope)
+                self._fast_rngs.append(rng)
+                return rng
+
+            self._arrival_rng = fast_rng("arrival")
+            self._branch_rng = fast_rng("branch")
+            self._duration_rng = fast_rng("duration")
+            self._load_rng = fast_rng("load")
+            # Bound u01-stream methods for the request-issue hot path.
+            load_u01 = self._load_rng.u01_stream()
+            self._load_u01_next = load_u01.next
+            self._load_u01_take = load_u01.take
+        else:
+            self._arrival_rng = derive_rng(seed, "arrival")
+            self._branch_rng = derive_rng(seed, "branch")
+            self._duration_rng = derive_rng(seed, "duration")
+            self._service_rng = derive_rng(seed, "service")
+            self._failure_rng = derive_rng(seed, "failure")
+            self._load_rng = derive_rng(seed, "load")
+
+        self.pools: dict[str, ServerPool | FastServerPool] = {}
         self._injectors: list[FailureInjector] = []
         repair_distributions = dict(repair_distributions or {})
         for spec in server_types.specs:
@@ -150,24 +193,44 @@ class SimulatedWFMS:
             service_distribution = distribution_for_moments(
                 spec.mean_service_time, spec.second_moment_service_time
             )
-            servers = [
-                Server(
+            if fast:
+                servers = [
+                    FastServer(
+                        simulator=self.simulator,
+                        name=f"{spec.name}#{replica}",
+                        spec=spec,
+                        service_distribution=service_distribution,
+                        rng=fast_rng("service", f"{spec.name}#{replica}"),
+                        trail=self.trail,
+                    )
+                    for replica in range(count)
+                ]
+                pool = FastServerPool(
                     simulator=self.simulator,
-                    name=f"{spec.name}#{replica}",
                     spec=spec,
-                    service_distribution=service_distribution,
-                    rng=self._service_rng,
-                    trail=self.trail,
+                    servers=servers,
+                    policy=routing_policy,
+                    rng=fast_rng("routing", spec.name),
                 )
-                for replica in range(count)
-            ]
-            pool = ServerPool(
-                simulator=self.simulator,
-                spec=spec,
-                servers=servers,
-                policy=routing_policy,
-                rng=self._load_rng,
-            )
+            else:
+                servers = [
+                    Server(
+                        simulator=self.simulator,
+                        name=f"{spec.name}#{replica}",
+                        spec=spec,
+                        service_distribution=service_distribution,
+                        rng=self._service_rng,
+                        trail=self.trail,
+                    )
+                    for replica in range(count)
+                ]
+                pool = ServerPool(
+                    simulator=self.simulator,
+                    spec=spec,
+                    servers=servers,
+                    policy=routing_policy,
+                    rng=self._load_rng,
+                )
             self.pools[spec.name] = pool
             if inject_failures and spec.failure_rate > 0.0:
                 for server in servers:
@@ -175,7 +238,11 @@ class SimulatedWFMS:
                         FailureInjector(
                             simulator=self.simulator,
                             server=server,
-                            rng=self._failure_rng,
+                            rng=(
+                                fast_rng("failure", server.name)
+                                if fast
+                                else self._failure_rng
+                            ),
                             repair_distribution=repair_distributions.get(
                                 spec.name
                             ),
@@ -219,9 +286,25 @@ class SimulatedWFMS:
                     if state.mean_duration is not None:
                         self._duration_sampler(state.mean_duration)
         self._duration_sampler(self.default_routing_duration)
-        self._pool_submit = {
-            name: pool.submit for name, pool in self.pools.items()
-        }
+        if fast:
+            self._pool_add = {
+                name: pool.add_arrival
+                for name, pool in self.pools.items()
+            }
+            # Direct append handles into each pool's arrival buffers:
+            # replay_until() empties the lists with clear(), never
+            # rebinds them, so the bound methods stay valid.
+            self._pool_buffers = {
+                name: (
+                    pool._pending_times.append,
+                    pool._pending_ids.append,
+                )
+                for name, pool in self.pools.items()
+            }
+        else:
+            self._pool_submit = {
+                name: pool.submit for name, pool in self.pools.items()
+            }
         self._arrival_expovariate = self._arrival_rng.expovariate
 
         # Per-event observability is batched: plain-int tallies here,
@@ -231,6 +314,8 @@ class SimulatedWFMS:
         self._obs_instances_started = 0
         self._obs_instances_completed = 0
         self._obs_requests_submitted = 0
+        self._obs_blocks_flushed = 0
+        self._obs_variates_flushed = 0
 
         self._next_instance_id = 0
         self._active_instances = 0
@@ -337,6 +422,16 @@ class SimulatedWFMS:
 
     def submit_request(self, server_type: str, instance_id: int) -> None:
         """Issue one service request to a server type's pool."""
+        if self._fast_mode:
+            try:
+                add = self._pool_add[server_type]
+            except KeyError:
+                raise ValidationError(
+                    f"unknown server type {server_type!r}"
+                ) from None
+            self._obs_requests_submitted += 1
+            add(self.simulator.now, instance_id)
+            return
         try:
             submit = self._pool_submit[server_type]
         except KeyError:
@@ -403,13 +498,26 @@ class SimulatedWFMS:
                     self._reset_statistics()
                 end = warmup + duration
                 self.simulator.run_until(end)
+                if self._fast_mode:
+                    # Fast mode buffers service requests instead of
+                    # simulating them per event: replay the queueing
+                    # dynamics up to the window end so the measurement
+                    # snapshot below sees the same state the exact mode
+                    # would have accumulated event by event.
+                    for pool in self.pools.values():
+                        pool.replay_until(end)
                 # Window-scoped measurements are taken now; the drain
                 # below only completes the in-flight instance cohort.
                 server_measurements = self._measure_servers(end)
                 self._system_up.finalize(end)
                 system_unavailability = 1.0 - self._system_up.time_average()
                 self._drain(duration, end)
-                span.set("events", self.simulator.executed_events)
+                if self._fast_mode:
+                    # Complete the drained cohort's requests so the audit
+                    # trail covers them (measurements are already taken).
+                    for pool in self.pools.values():
+                        pool.replay_until(self.simulator.now)
+                span.set("events", self.logical_events)
                 return self._build_report(
                     duration, warmup, server_measurements,
                     system_unavailability,
@@ -434,6 +542,41 @@ class SimulatedWFMS:
                 "wfms.requests_submitted", self._obs_requests_submitted
             )
             self._obs_requests_submitted = 0
+        if self._fast_rngs:
+            blocks = sum(rng.blocks_drawn for rng in self._fast_rngs)
+            variates = sum(
+                rng.variates_served for rng in self._fast_rngs
+            )
+            if blocks > self._obs_blocks_flushed:
+                obs.count(
+                    "sim.fastdraw.blocks_drawn",
+                    blocks - self._obs_blocks_flushed,
+                )
+                self._obs_blocks_flushed = blocks
+            if variates > self._obs_variates_flushed:
+                obs.count(
+                    "sim.fastdraw.variates_served",
+                    variates - self._obs_variates_flushed,
+                )
+                self._obs_variates_flushed = variates
+
+    @property
+    def logical_events(self) -> int:
+        """Simulated events including the ones fast mode vectorized away.
+
+        In the exact mode every service request costs two calendar
+        events (timed submission, completion), so this equals
+        ``simulator.executed_events``.  The fast mode buffers arrivals
+        and replays completions outside the calendar; counting each
+        routed arrival and each completed request restores the same
+        per-request weight, making throughput comparisons across modes
+        measure the same workload.
+        """
+        events = self.simulator.executed_events
+        if self._fast_mode:
+            for pool in self.pools.values():
+                events += pool.arrivals_processed + pool.completed_total
+        return events
 
     def _drain(self, duration: float, end: float) -> None:
         """Simulate past the window until the tracked cohort completes."""
@@ -673,9 +816,41 @@ class _InstanceRuntime(InterpreterListener):
         """Spread the activity's requests uniformly over its duration."""
         wfms = self.wfms
         uniform = wfms._load_rng.uniform
+        instance_id = self.instance_id
+        if wfms._fast_mode:
+            # Fast mode: requests go straight into the pool's arrival
+            # buffers with their absolute submission times — no
+            # calendar event per request; the pool replays them at the
+            # measurement boundaries.  The spread offsets come from the
+            # same u01 stream scalar uniform() would consume.
+            now = wfms.simulator.now
+            buffers = wfms._pool_buffers
+            u01 = wfms._load_u01_next
+            take = wfms._load_u01_take
+            submitted = 0
+            for server_type, expected in loads.items():
+                # Inlined integer_load (randomized rounding) against
+                # the bound u01 stream.
+                count = int(expected)
+                fraction = expected - count
+                if fraction > 0.0 and u01() < fraction:
+                    count += 1
+                if not count:
+                    continue
+                try:
+                    append_time, append_id = buffers[server_type]
+                except KeyError:
+                    raise ValidationError(
+                        f"unknown server type {server_type!r}"
+                    ) from None
+                for offset in take(count):
+                    append_time(now + offset * duration)
+                    append_id(instance_id)
+                submitted += count
+            wfms._obs_requests_submitted += submitted
+            return
         post = wfms.simulator.post
         submit_request = wfms.submit_request
-        instance_id = self.instance_id
         for server_type, expected in loads.items():
             for _ in range(wfms.integer_load(expected)):
                 post(

@@ -1,0 +1,82 @@
+"""Observability counters of the fast-RNG block streams.
+
+``sim.fastdraw.blocks_drawn`` / ``sim.fastdraw.variates_served`` fold
+the per-run :class:`repro.sim.fastdraw.FastRng` tallies into the obs
+registry, so a /metrics scrape shows how much block pre-drawing a
+fast-mode campaign performed.  Exact-mode runs must not emit them.
+"""
+
+import dataclasses
+
+from repro import obs
+from repro.obs.export import prometheus_text
+from tests.sim.test_fastmode import make_fast_plan, make_plan
+from repro.sim.campaign import run_campaign
+from repro.wfms import RoutingPolicy
+
+
+def _counter(name: str) -> float:
+    return obs.registry().counter(name).value
+
+
+class TestFastdrawCounters:
+    def test_fast_campaign_emits_block_counters(self):
+        obs.reset()
+        obs.enable()
+        try:
+            run_campaign(make_fast_plan(), workers=1)
+            blocks = _counter("sim.fastdraw.blocks_drawn")
+            variates = _counter("sim.fastdraw.variates_served")
+        finally:
+            obs.disable()
+            obs.reset()
+        assert blocks > 0
+        # Block pre-drawing only pays off when each refill serves many
+        # variates; a campaign consumes far more variates than refills.
+        assert variates > blocks
+
+    def test_parallel_counters_match_serial(self):
+        plan = dataclasses.replace(make_fast_plan(), replications=2)
+        totals = {}
+        for workers in (1, 2):
+            obs.reset()
+            obs.enable()
+            try:
+                run_campaign(plan, workers=workers)
+                totals[workers] = (
+                    _counter("sim.fastdraw.blocks_drawn"),
+                    _counter("sim.fastdraw.variates_served"),
+                )
+            finally:
+                obs.disable()
+                obs.reset()
+        assert totals[1] == totals[2]
+
+    def test_exact_mode_stays_silent(self):
+        plan = dataclasses.replace(
+            make_plan(RoutingPolicy.ROUND_ROBIN), replications=1
+        )
+        obs.reset()
+        obs.enable()
+        try:
+            run_campaign(plan, workers=1)
+            blocks = _counter("sim.fastdraw.blocks_drawn")
+        finally:
+            obs.disable()
+            obs.reset()
+        assert blocks == 0
+
+    def test_counters_render_in_prometheus_exposition(self):
+        obs.reset()
+        obs.enable()
+        try:
+            run_campaign(
+                dataclasses.replace(make_fast_plan(), replications=1),
+                workers=1,
+            )
+            text = prometheus_text(obs.registry())
+        finally:
+            obs.disable()
+            obs.reset()
+        assert "repro_sim_fastdraw_blocks_drawn" in text
+        assert "repro_sim_fastdraw_variates_served" in text

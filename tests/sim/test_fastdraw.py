@@ -1,0 +1,199 @@
+"""Statistical and mechanical tests of the fast-RNG block streams.
+
+Two contracts are exercised: every distribution family served by a
+:class:`repro.sim.fastdraw.VariateStream` must be *statistically
+indistinguishable* from the scalar ``Distribution.sample`` population
+(two-sample Kolmogorov-Smirnov), and the block mechanics — refills,
+bulk ``take``, counters, block-size choice — must never change which
+variates are served.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from scipy.stats import ks_2samp
+
+from repro.exceptions import ValidationError
+from repro.sim.distributions import (
+    Deterministic,
+    Erlang,
+    Exponential,
+    HyperExponential,
+    LogNormal,
+    Pareto,
+    Uniform,
+)
+from repro.sim.fastdraw import FastRng, _hyperexp_draw
+
+#: Every family in repro.sim.distributions with a vectorized stream.
+FAMILIES = [
+    Exponential(2.0),
+    Uniform(0.5, 2.5),
+    Erlang(3, 1.5),
+    HyperExponential((0.7, 0.3), (0.5, 4.0)),
+    LogNormal(2.0, 1.5),
+    Pareto(2.5, 1.0),
+]
+
+POPULATION = 4000
+
+
+def _exponential_stream(block_size, seed=5):
+    rng = FastRng(seed, "mechanics", block_size=block_size)
+    return rng.variate_stream(Exponential(1.0))
+
+
+class TestPopulationEquivalence:
+    @pytest.mark.parametrize(
+        "distribution", FAMILIES, ids=lambda d: type(d).__name__
+    )
+    def test_block_stream_matches_scalar_sample_population(
+        self, distribution
+    ):
+        stream = FastRng(101, "ks").variate_stream(distribution)
+        assert stream is not None
+        fast = stream.take(POPULATION)
+        exact_rng = random.Random(202)
+        exact = [
+            distribution.sample(exact_rng) for _ in range(POPULATION)
+        ]
+        result = ks_2samp(fast, exact)
+        assert result.pvalue > 0.01, (
+            f"{type(distribution).__name__}: fast-mode block draws are "
+            f"distinguishable from scalar draws (p={result.pvalue:.4g})"
+        )
+
+    @pytest.mark.parametrize(
+        "distribution",
+        [d for d in FAMILIES if np.isfinite(d.second_moment)],
+        ids=lambda d: type(d).__name__,
+    )
+    def test_block_mean_within_sampling_error(self, distribution):
+        stream = FastRng(303, "moments").variate_stream(distribution)
+        values = np.asarray(stream.take(POPULATION))
+        variance = distribution.second_moment - distribution.mean**2
+        tolerance = 5.0 * np.sqrt(variance / POPULATION)
+        assert abs(values.mean() - distribution.mean) < tolerance
+
+
+class TestStreamMechanics:
+    def test_take_equals_repeated_next_across_refills(self):
+        bulk = _exponential_stream(16)
+        scalar = _exponential_stream(16)
+        assert bulk.take(40) == [scalar.next() for _ in range(40)]
+
+    def test_take_within_buffer_then_across_boundary(self):
+        bulk = _exponential_stream(16)
+        scalar = _exponential_stream(16)
+        bulk.next()
+        scalar.next()
+        # Fits the current buffer (fast path)…
+        assert bulk.take(5) == [scalar.next() for _ in range(5)]
+        # …then spans a refill boundary.
+        assert bulk.take(20) == [scalar.next() for _ in range(20)]
+
+    def test_block_size_does_not_change_the_variates(self):
+        # numpy Generator draws are stream-sequential, so refilling in
+        # blocks of 8 or 64 serves the identical variate sequence.
+        small = _exponential_stream(8)
+        large = _exponential_stream(64)
+        assert small.take(100) == large.take(100)
+
+    def test_take_zero_and_negative(self):
+        stream = _exponential_stream(8)
+        assert stream.take(0) == []
+        with pytest.raises(ValidationError):
+            stream.take(-1)
+
+    def test_counters_track_blocks_and_variates(self):
+        stream = _exponential_stream(8)
+        for _ in range(20):
+            stream.next()
+        assert stream.blocks_drawn == 3
+        assert stream.variates_served == 20
+        stream.take(4)  # fits the current buffer, no refill
+        assert stream.blocks_drawn == 3
+        assert stream.variates_served == 24
+
+    def test_values_are_plain_floats(self):
+        stream = _exponential_stream(8)
+        assert type(stream.next()) is float
+        assert all(type(v) is float for v in stream.take(10))
+
+
+class TestHyperExponentialBranches:
+    def test_branch_cuts_match_the_choices_bisection(self):
+        # The vectorized searchsorted(side="right") must place a
+        # uniform exactly where random.choices' bisect would: u equal
+        # to a cumulative boundary selects the *next* branch.
+        draw = _hyperexp_draw((0.2, 0.5, 0.3), (1.0, 10.0, 100.0))
+
+        class _Stub:
+            def random(self, n):
+                return np.asarray(
+                    [0.0, 0.1999, 0.2, 0.6999, 0.7, 0.9999]
+                )[:n]
+
+            def standard_exponential(self, n):
+                return np.ones(n)
+
+        assert draw(_Stub(), 6).tolist() == [
+            1.0, 1.0, 10.0, 10.0, 100.0, 100.0,
+        ]
+
+    def test_branch_probabilities_realized(self):
+        # Widely separated means make the chosen branch identifiable
+        # from the variate magnitude.
+        distribution = HyperExponential((0.8, 0.2), (1.0, 1000.0))
+        stream = FastRng(77, "branches").variate_stream(distribution)
+        values = np.asarray(stream.take(20000))
+        small_fraction = float(np.mean(values < 50.0))
+        assert abs(small_fraction - 0.8) < 0.02
+
+
+class TestFastRng:
+    def test_same_seed_and_scope_reproduces_the_sequence(self):
+        first = FastRng(11, "service", "engine#0")
+        second = FastRng(11, "service", "engine#0")
+        assert [first.random() for _ in range(20)] == [
+            second.random() for _ in range(20)
+        ]
+
+    def test_scope_separates_streams(self):
+        assert FastRng(11, "service", "engine#0").random() != FastRng(
+            11, "service", "engine#1"
+        ).random()
+
+    def test_first_touch_order_does_not_move_draws(self):
+        forward = FastRng(13, "order")
+        value_uniform = forward.random()
+        value_exponential = forward.expovariate(1.0)
+        backward = FastRng(13, "order")
+        assert backward.expovariate(1.0) == value_exponential
+        assert backward.random() == value_uniform
+
+    def test_u01_stream_shares_the_scalar_uniform_sequence(self):
+        mixed = FastRng(17, "shared")
+        reference = FastRng(17, "shared")
+        expected = [reference.random() for _ in range(7)]
+        consumed = [mixed.random(), mixed.random()]
+        consumed.extend(mixed.u01_stream().take(3))
+        consumed.extend(mixed.random_block(2))
+        assert consumed == expected
+
+    def test_deterministic_needs_no_stream(self):
+        rng = FastRng(19, "deterministic")
+        assert rng.variate_stream(Deterministic(3.5)) is None
+        sampler = rng.stream_for(Deterministic(3.5))
+        assert sampler() == 3.5
+        assert rng.blocks_drawn == 0
+
+    def test_aggregate_counters_sum_over_streams(self):
+        rng = FastRng(23, "counters", block_size=8)
+        for _ in range(3):
+            rng.random()
+        for _ in range(2):
+            rng.expovariate(2.0)
+        assert rng.blocks_drawn == 2
+        assert rng.variates_served == 5
